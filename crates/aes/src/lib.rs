@@ -1,0 +1,28 @@
+//! # mcml-aes — the AES workload
+//!
+//! The cryptographic workload of the paper's evaluation:
+//!
+//! * [`aes`] — a complete software AES-128 (FIPS-197) used as the program
+//!   the OpenRISC core executes 5000 times for the Table 3 power study;
+//! * [`sbox`] — the AES S-box (plus a 4-bit mini S-box used for the
+//!   transistor-level CPA tier, where an 8-bit LUT would be too large to
+//!   SPICE for all plaintext–key pairs);
+//! * [`reduced`] — the *"commonly accepted reduced version of the AES
+//!   algorithm composed by a key addition and a S-box look-up-table"*
+//!   (§6) that the security evaluation attacks, with its gate-level
+//!   netlist generator;
+//! * [`sbox_ise`] — the S-box instruction-set-extension functional unit:
+//!   four parallel 8×8 S-box LUTs matching the processor's 32-bit word,
+//!   as a mapped netlist in any of the three styles.
+
+#![deny(missing_docs)]
+
+pub mod aes;
+pub mod reduced;
+pub mod sbox;
+pub mod sbox_ise;
+
+pub use aes::Aes128;
+pub use reduced::ReducedAes;
+pub use sbox::{MINI_SBOX, SBOX};
+pub use sbox_ise::build_sbox_ise;

@@ -1,0 +1,362 @@
+//! Reduced ordered binary decision diagrams (ROBDDs).
+//!
+//! An MCML gate's differential NMOS network is, physically, the BDD of its
+//! Boolean function: every BDD node becomes a source-coupled transistor
+//! pair steering the tail current toward the child selected by the input,
+//! and the two terminals connect to the two output loads (the paper,
+//! §3: *"The logic function is realized by a NMOS network that implements
+//! the corresponding binary decision diagram"*). This module provides the
+//! BDD construction the stage generator consumes; it is also reused by the
+//! technology mapper for LUT-style functions such as the AES S-box.
+
+use std::collections::HashMap;
+
+/// Node reference within a [`Bdd`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BddRef(u32);
+
+impl BddRef {
+    /// The constant FALSE terminal.
+    pub const ZERO: BddRef = BddRef(0);
+    /// The constant TRUE terminal.
+    pub const ONE: BddRef = BddRef(1);
+
+    /// True for either terminal node.
+    #[must_use]
+    pub fn is_terminal(self) -> bool {
+        self.0 < 2
+    }
+
+    /// Raw index.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Internal decision node: split on `var`, go to `hi` when the variable is
+/// 1, `lo` when 0.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BddNode {
+    /// Variable index (level); smaller indices are closer to the root.
+    pub var: u8,
+    /// Child when the variable is 0.
+    pub lo: BddRef,
+    /// Child when the variable is 1.
+    pub hi: BddRef,
+}
+
+/// A shared-node ROBDD manager over at most 64 variables.
+#[derive(Debug, Clone, Default)]
+pub struct Bdd {
+    nodes: Vec<BddNode>,
+    unique: HashMap<BddNode, BddRef>,
+}
+
+impl Bdd {
+    /// A fresh manager containing only the terminals.
+    #[must_use]
+    pub fn new() -> Self {
+        // Index 0/1 are reserved for the terminals; store placeholder
+        // nodes so indices line up.
+        let sentinel = BddNode {
+            var: u8::MAX,
+            lo: BddRef::ZERO,
+            hi: BddRef::ZERO,
+        };
+        Self {
+            nodes: vec![sentinel, sentinel],
+            unique: HashMap::new(),
+        }
+    }
+
+    /// Total node count, including the two terminals.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Decision node payload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is a terminal.
+    #[must_use]
+    pub fn node(&self, r: BddRef) -> BddNode {
+        assert!(!r.is_terminal(), "terminals carry no node payload");
+        self.nodes[r.index()]
+    }
+
+    fn mk(&mut self, var: u8, lo: BddRef, hi: BddRef) -> BddRef {
+        if lo == hi {
+            return lo;
+        }
+        let node = BddNode { var, lo, hi };
+        if let Some(&r) = self.unique.get(&node) {
+            return r;
+        }
+        let r = BddRef(u32::try_from(self.nodes.len()).expect("bdd too large"));
+        self.nodes.push(node);
+        self.unique.insert(node, r);
+        r
+    }
+
+    /// The single-variable function `x_var`.
+    pub fn var(&mut self, var: u8) -> BddRef {
+        self.mk(var, BddRef::ZERO, BddRef::ONE)
+    }
+
+    /// Top variable of `r` (`u8::MAX` for terminals).
+    fn top_var(&self, r: BddRef) -> u8 {
+        if r.is_terminal() {
+            u8::MAX
+        } else {
+            self.nodes[r.index()].var
+        }
+    }
+
+    fn cofactors(&self, r: BddRef, var: u8) -> (BddRef, BddRef) {
+        if r.is_terminal() || self.nodes[r.index()].var != var {
+            (r, r)
+        } else {
+            let n = self.nodes[r.index()];
+            (n.lo, n.hi)
+        }
+    }
+
+    /// If-then-else: `ite(f, g, h) = f·g + ¬f·h` — the universal BDD
+    /// operation all the Boolean connectives reduce to.
+    pub fn ite(&mut self, f: BddRef, g: BddRef, h: BddRef) -> BddRef {
+        // Terminal cases.
+        if f == BddRef::ONE {
+            return g;
+        }
+        if f == BddRef::ZERO {
+            return h;
+        }
+        if g == h {
+            return g;
+        }
+        if g == BddRef::ONE && h == BddRef::ZERO {
+            return f;
+        }
+        let var = self
+            .top_var(f)
+            .min(self.top_var(g))
+            .min(self.top_var(h));
+        let (f0, f1) = self.cofactors(f, var);
+        let (g0, g1) = self.cofactors(g, var);
+        let (h0, h1) = self.cofactors(h, var);
+        let lo = self.ite(f0, g0, h0);
+        let hi = self.ite(f1, g1, h1);
+        self.mk(var, lo, hi)
+    }
+
+    /// Conjunction.
+    pub fn and(&mut self, a: BddRef, b: BddRef) -> BddRef {
+        self.ite(a, b, BddRef::ZERO)
+    }
+
+    /// Disjunction.
+    pub fn or(&mut self, a: BddRef, b: BddRef) -> BddRef {
+        self.ite(a, BddRef::ONE, b)
+    }
+
+    /// Negation.
+    pub fn not(&mut self, a: BddRef) -> BddRef {
+        self.ite(a, BddRef::ZERO, BddRef::ONE)
+    }
+
+    /// Exclusive or.
+    pub fn xor(&mut self, a: BddRef, b: BddRef) -> BddRef {
+        let nb = self.not(b);
+        self.ite(a, nb, b)
+    }
+
+    /// Build the BDD of an arbitrary truth table over `n_vars` variables;
+    /// bit `i` of the table is the function value for the input assignment
+    /// whose bits are `i` (variable 0 = LSB).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_vars > 16` or the table is shorter than `2^n_vars`
+    /// bits.
+    pub fn from_truth_table(&mut self, n_vars: u8, table: &[bool]) -> BddRef {
+        assert!(n_vars <= 16, "truth tables limited to 16 variables");
+        assert!(
+            table.len() >= (1usize << n_vars),
+            "table too short for {n_vars} vars"
+        );
+        self.from_tt_rec(n_vars, table, 0, 0)
+    }
+
+    fn from_tt_rec(&mut self, n_vars: u8, table: &[bool], var: u8, offset: usize) -> BddRef {
+        if var == n_vars {
+            return if table[offset] { BddRef::ONE } else { BddRef::ZERO };
+        }
+        let lo = self.from_tt_rec(n_vars, table, var + 1, offset);
+        let hi = self.from_tt_rec(n_vars, table, var + 1, offset | (1 << var));
+        self.mk(var, lo, hi)
+    }
+
+    /// Evaluate the function at the given assignment (indexed by variable).
+    #[must_use]
+    pub fn eval(&self, mut r: BddRef, assignment: &[bool]) -> bool {
+        while !r.is_terminal() {
+            let n = self.nodes[r.index()];
+            r = if assignment[n.var as usize] { n.hi } else { n.lo };
+        }
+        r == BddRef::ONE
+    }
+
+    /// All decision nodes reachable from `root`, topologically ordered
+    /// root-first (suitable for emitting the transistor network).
+    #[must_use]
+    pub fn reachable(&self, root: BddRef) -> Vec<BddRef> {
+        let mut seen = vec![false; self.nodes.len()];
+        let mut out = Vec::new();
+        let mut stack = vec![root];
+        while let Some(r) = stack.pop() {
+            if r.is_terminal() || seen[r.index()] {
+                continue;
+            }
+            seen[r.index()] = true;
+            out.push(r);
+            let n = self.nodes[r.index()];
+            stack.push(n.lo);
+            stack.push(n.hi);
+        }
+        out.sort_by_key(|r| self.nodes[r.index()].var);
+        out
+    }
+
+    /// Number of decision nodes reachable from `root`.
+    #[must_use]
+    pub fn size(&self, root: BddRef) -> usize {
+        self.reachable(root).len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_assignments(n: usize) -> impl Iterator<Item = Vec<bool>> {
+        (0..(1usize << n)).map(move |i| (0..n).map(|b| (i >> b) & 1 == 1).collect())
+    }
+
+    #[test]
+    fn terminals() {
+        let bdd = Bdd::new();
+        assert!(BddRef::ZERO.is_terminal());
+        assert!(BddRef::ONE.is_terminal());
+        assert!(!bdd.eval(BddRef::ZERO, &[]));
+        assert!(bdd.eval(BddRef::ONE, &[]));
+    }
+
+    #[test]
+    fn var_and_not() {
+        let mut bdd = Bdd::new();
+        let x = bdd.var(0);
+        let nx = bdd.not(x);
+        assert!(bdd.eval(x, &[true]));
+        assert!(!bdd.eval(x, &[false]));
+        assert!(!bdd.eval(nx, &[true]));
+        assert!(bdd.eval(nx, &[false]));
+    }
+
+    #[test]
+    fn and_or_xor_truth() {
+        let mut bdd = Bdd::new();
+        let a = bdd.var(0);
+        let b = bdd.var(1);
+        let and = bdd.and(a, b);
+        let or = bdd.or(a, b);
+        let xor = bdd.xor(a, b);
+        for asg in all_assignments(2) {
+            assert_eq!(bdd.eval(and, &asg), asg[0] && asg[1]);
+            assert_eq!(bdd.eval(or, &asg), asg[0] || asg[1]);
+            assert_eq!(bdd.eval(xor, &asg), asg[0] ^ asg[1]);
+        }
+    }
+
+    #[test]
+    fn reduction_shares_nodes() {
+        let mut bdd = Bdd::new();
+        let a = bdd.var(0);
+        let b = bdd.var(1);
+        let x1 = bdd.xor(a, b);
+        let x2 = bdd.xor(a, b);
+        assert_eq!(x1, x2, "hash-consing returns identical refs");
+        // XOR2 BDD: one node for `a`, two for `b`.
+        assert_eq!(bdd.size(x1), 3);
+    }
+
+    #[test]
+    fn idempotent_ops_collapse() {
+        let mut bdd = Bdd::new();
+        let a = bdd.var(0);
+        assert_eq!(bdd.and(a, a), a);
+        assert_eq!(bdd.or(a, a), a);
+        assert_eq!(bdd.xor(a, a), BddRef::ZERO);
+    }
+
+    #[test]
+    fn truth_table_round_trip() {
+        let mut bdd = Bdd::new();
+        // Majority of 3: table indexed by bits (a=bit0, b=bit1, c=bit2).
+        let table: Vec<bool> = (0..8u32).map(|i| i.count_ones() >= 2).collect();
+        let f = bdd.from_truth_table(3, &table);
+        for asg in all_assignments(3) {
+            let expect = asg.iter().filter(|&&x| x).count() >= 2;
+            assert_eq!(bdd.eval(f, &asg), expect, "assignment {asg:?}");
+        }
+    }
+
+    #[test]
+    fn mux_via_ite() {
+        let mut bdd = Bdd::new();
+        let s = bdd.var(2);
+        let d0 = bdd.var(0);
+        let d1 = bdd.var(1);
+        let mux = bdd.ite(s, d1, d0);
+        for asg in all_assignments(3) {
+            let expect = if asg[2] { asg[1] } else { asg[0] };
+            assert_eq!(bdd.eval(mux, &asg), expect);
+        }
+    }
+
+    #[test]
+    fn reachable_ordered_by_var() {
+        let mut bdd = Bdd::new();
+        let a = bdd.var(0);
+        let b = bdd.var(1);
+        let c = bdd.var(2);
+        let ab = bdd.and(a, b);
+        let abc = bdd.and(ab, c);
+        let nodes = bdd.reachable(abc);
+        assert_eq!(nodes.len(), 3, "AND3 chain BDD");
+        let vars: Vec<u8> = nodes.iter().map(|&r| bdd.node(r).var).collect();
+        assert!(vars.windows(2).all(|w| w[0] <= w[1]), "root-first order");
+    }
+
+    #[test]
+    fn xor4_node_count_is_linear() {
+        let mut bdd = Bdd::new();
+        let vars: Vec<BddRef> = (0..4).map(|i| bdd.var(i)).collect();
+        let x = vars.iter().skip(1).fold(vars[0], |acc, &v| bdd.xor(acc, v));
+        // XOR chain BDD: 2 nodes per middle level + 1 root = 1+2+2+2.
+        assert_eq!(bdd.size(x), 7);
+        for asg in all_assignments(4) {
+            let expect = asg.iter().fold(false, |a, &b| a ^ b);
+            assert_eq!(bdd.eval(x, &asg), expect);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "table too short")]
+    fn short_table_rejected() {
+        let mut bdd = Bdd::new();
+        let _ = bdd.from_truth_table(3, &[true; 4]);
+    }
+}

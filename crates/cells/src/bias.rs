@@ -1,0 +1,177 @@
+//! Bias-voltage solver: find `Vn` (tail gate) and `Vp` (load gate) for a
+//! target tail current and output swing.
+//!
+//! In the paper's library the two analog bias lines are global: `Vn`
+//! *"determines the tail current"* and `Vp` *"defines the resistivity of
+//! the active load"*. This module computes both directly from the device
+//! model by bisection, playing the role of the designer's bias-generation
+//! step.
+
+use mcml_device::{MosParams, Mosfet};
+use serde::{Deserialize, Serialize};
+
+use crate::params::CellParams;
+
+/// Solved bias operating point for a library build.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BiasPoint {
+    /// Tail current-source gate voltage (V).
+    pub vn: f64,
+    /// PMOS active-load gate voltage (V).
+    pub vp: f64,
+    /// Tail current the biases were solved for (A), drive-scaled.
+    pub iss: f64,
+    /// Output swing the load was solved for (V).
+    pub vswing: f64,
+}
+
+/// Solve `Vn` and `Vp` for the given cell parameters.
+///
+/// `Vn` is chosen so the (high-Vt) tail device carries `Iss` with ≈0.3 V
+/// of drain headroom; `Vp` so the (low-Vt) load carries `Iss` at a
+/// source–drain drop of exactly `Vswing` (i.e. an effective load
+/// resistance of `Vswing / Iss`).
+///
+/// # Panics
+///
+/// Panics if the requested current is outside what the sized devices can
+/// deliver anywhere in the supply range — a sizing bug, not a runtime
+/// condition.
+#[must_use]
+pub fn solve_bias(params: &CellParams) -> BiasPoint {
+    let iss = params.iss_effective();
+    let m = params.drive_mult();
+
+    // Tail: high-Vt NMOS, Vds fixed at a representative 0.3 V.
+    let tail = Mosfet::nmos(
+        MosParams::nmos_hvt_90().at_corner(params.corner),
+        params.w_tail * m,
+        params.l_tail,
+    );
+    let vn = bisect_increasing(
+        |vg| tail.eval(vg, 0.3, 0.0, 0.0).id,
+        iss,
+        0.0,
+        params.tech.vdd,
+        "tail current",
+    );
+
+    // Load: low-Vt PMOS with source at Vdd; current magnitude at
+    // Vsd = Vswing must be Iss. Lower gate voltage -> stronger device.
+    let vdd = params.tech.vdd;
+    let load = Mosfet::pmos(
+        MosParams::pmos_lvt_90().at_corner(params.corner),
+        params.w_load * m,
+        params.l,
+    );
+    let vp = bisect_decreasing(
+        |vg| -load.eval(vg, vdd - params.vswing, vdd, vdd).id,
+        iss,
+        0.0,
+        vdd,
+        "load current",
+    );
+
+    BiasPoint {
+        vn,
+        vp,
+        iss,
+        vswing: params.vswing,
+    }
+}
+
+/// Bisect `f(x) = target` where `f` is increasing on `[lo, hi]`.
+fn bisect_increasing(
+    f: impl Fn(f64) -> f64,
+    target: f64,
+    mut lo: f64,
+    mut hi: f64,
+    what: &str,
+) -> f64 {
+    assert!(
+        f(hi) >= target && f(lo) <= target,
+        "{what}: target {target:.3e} A outside achievable range [{:.3e}, {:.3e}]",
+        f(lo),
+        f(hi)
+    );
+    for _ in 0..80 {
+        let mid = 0.5 * (lo + hi);
+        if f(mid) < target {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    0.5 * (lo + hi)
+}
+
+/// Bisect `f(x) = target` where `f` is decreasing on `[lo, hi]`.
+fn bisect_decreasing(
+    f: impl Fn(f64) -> f64,
+    target: f64,
+    lo: f64,
+    hi: f64,
+    what: &str,
+) -> f64 {
+    // `y ↦ f(−y)` is increasing on [−hi, −lo].
+    -bisect_increasing(|y| f(-y), target, -hi, -lo, what)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kind::DriveStrength;
+
+    #[test]
+    fn tail_bias_delivers_target_current() {
+        let p = CellParams::default();
+        let b = solve_bias(&p);
+        let tail = Mosfet::nmos(MosParams::nmos_hvt_90(), p.w_tail, p.l_tail);
+        let id = tail.eval(b.vn, 0.3, 0.0, 0.0).id;
+        assert!(
+            (id / p.iss - 1.0).abs() < 1e-3,
+            "tail current {id:.3e} vs target {:.3e}",
+            p.iss
+        );
+        assert!(b.vn > 0.3 && b.vn < 1.0, "plausible Vn = {}", b.vn);
+    }
+
+    #[test]
+    fn load_bias_sets_swing_resistance() {
+        let p = CellParams::default();
+        let b = solve_bias(&p);
+        let load = Mosfet::pmos(MosParams::pmos_lvt_90(), p.w_load, p.l);
+        let vdd = p.tech.vdd;
+        let i = -load.eval(b.vp, vdd - p.vswing, vdd, vdd).id;
+        assert!(
+            (i / p.iss - 1.0).abs() < 1e-3,
+            "load current {i:.3e} at full swing"
+        );
+        // The load must be *on*: Vp well below Vdd − |Vtp|.
+        assert!(b.vp < vdd - 0.2, "Vp = {}", b.vp);
+    }
+
+    #[test]
+    fn x4_biases_close_to_x1() {
+        // Widths and current both scale 4x, so the bias point barely
+        // moves — that is what makes shared bias rails possible.
+        let b1 = solve_bias(&CellParams::default());
+        let b4 = solve_bias(&CellParams::default().with_drive(DriveStrength::X4));
+        assert!((b1.vn - b4.vn).abs() < 0.02, "{} vs {}", b1.vn, b4.vn);
+        assert!((b1.vp - b4.vp).abs() < 0.02, "{} vs {}", b1.vp, b4.vp);
+        assert_eq!(b4.iss, 4.0 * b1.iss);
+    }
+
+    #[test]
+    fn higher_iss_needs_higher_vn() {
+        // At fixed W (no rescale) more current means more overdrive.
+        let mut p50 = CellParams::default();
+        p50.iss = 50e-6;
+        let mut p100 = p50.clone();
+        p100.iss = 100e-6;
+        let b50 = solve_bias(&p50);
+        let b100 = solve_bias(&p100);
+        assert!(b100.vn > b50.vn);
+        assert!(b100.vp < b50.vp, "stronger load for same swing");
+    }
+}

@@ -1,0 +1,114 @@
+//! The generated transistor-level view of a standard cell.
+
+use std::collections::HashMap;
+
+use mcml_spice::{Circuit, Element, NodeId};
+
+use crate::kind::CellKind;
+use crate::style::LogicStyle;
+
+/// A differential signal: positive and negative rail.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DiffSignal {
+    /// Asserted-high rail.
+    pub p: NodeId,
+    /// Complement rail.
+    pub n: NodeId,
+}
+
+impl DiffSignal {
+    /// The logically inverted signal — in differential logic, inversion is
+    /// free: swap the rails.
+    #[must_use]
+    pub fn inverted(self) -> Self {
+        Self {
+            p: self.n,
+            n: self.p,
+        }
+    }
+}
+
+/// Structural statistics of a generated cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CellStats {
+    /// NMOS device count.
+    pub n_nmos: usize,
+    /// PMOS device count.
+    pub n_pmos: usize,
+    /// Number of current-mode stages (tails); 0 for CMOS cells.
+    pub stages: usize,
+}
+
+/// A standard cell as a transistor-level netlist with named ports.
+///
+/// Port naming: power is `vdd` (ground is [`Circuit::GND`]); MCML cells
+/// add the analog bias pins `vn`, `vp` and (PG only) `sleep` /
+/// `sleep_b` as required by the topology. Logical ports use the names of
+/// [`CellKind::input_names`]/[`CellKind::output_names`], with `_p`/`_n`
+/// suffixes on differential cells (e.g. `a_p`, `a_n`, `q_p`, `q_n`).
+#[derive(Debug, Clone)]
+pub struct CellNetlist {
+    /// The transistor-level circuit (without supplies or drivers; the
+    /// characterisation harness provides those).
+    pub circuit: Circuit,
+    /// Port name → node.
+    pub ports: HashMap<String, NodeId>,
+    /// Which cell this is.
+    pub kind: CellKind,
+    /// Which style it was generated in.
+    pub style: LogicStyle,
+    /// Device counts.
+    pub stats: CellStats,
+}
+
+impl CellNetlist {
+    /// Node of a named port.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the port does not exist — generator and harness must
+    /// agree on names, so a miss is a bug.
+    #[must_use]
+    pub fn port(&self, name: &str) -> NodeId {
+        *self
+            .ports
+            .get(name)
+            .unwrap_or_else(|| panic!("cell {} has no port `{name}`", self.kind))
+    }
+
+    /// Differential port pair `name_p` / `name_n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when either rail is missing.
+    #[must_use]
+    pub fn diff_port(&self, name: &str) -> DiffSignal {
+        DiffSignal {
+            p: self.port(&format!("{name}_p")),
+            n: self.port(&format!("{name}_n")),
+        }
+    }
+
+    /// Total transistor count.
+    #[must_use]
+    pub fn transistor_count(&self) -> usize {
+        self.stats.n_nmos + self.stats.n_pmos
+    }
+
+    /// Recompute device counts from the circuit (sanity cross-check used
+    /// in tests).
+    #[must_use]
+    pub fn count_devices(&self) -> (usize, usize) {
+        let mut nmos = 0;
+        let mut pmos = 0;
+        for (_, _, e) in self.circuit.elements() {
+            if let Element::Mos { dev, .. } = e {
+                match dev.params.polarity {
+                    mcml_device::MosPolarity::Nmos => nmos += 1,
+                    mcml_device::MosPolarity::Pmos => pmos += 1,
+                }
+            }
+        }
+        (nmos, pmos)
+    }
+}

@@ -1,0 +1,137 @@
+//! Logic styles and power-gating topologies.
+
+use serde::{Deserialize, Serialize};
+
+/// The three logic styles compared throughout the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LogicStyle {
+    /// Static CMOS: the conventional baseline. Data-dependent supply
+    /// current — fast and dense but vulnerable to DPA.
+    Cmos,
+    /// Conventional MOS current-mode logic: constant-current differential
+    /// style, DPA-resistant but with large static power.
+    Mcml,
+    /// Power-gated MCML: MCML plus a per-cell sleep transistor — the
+    /// paper's contribution.
+    PgMcml,
+}
+
+impl LogicStyle {
+    /// All styles, in the order the paper's tables list them.
+    pub const ALL: [LogicStyle; 3] = [LogicStyle::Cmos, LogicStyle::Mcml, LogicStyle::PgMcml];
+
+    /// Whether cells of this style are differential (dual-rail).
+    #[must_use]
+    pub fn is_differential(self) -> bool {
+        !matches!(self, LogicStyle::Cmos)
+    }
+
+    /// Whether cells of this style carry a sleep pin.
+    #[must_use]
+    pub fn is_power_gated(self) -> bool {
+        matches!(self, LogicStyle::PgMcml)
+    }
+}
+
+impl std::fmt::Display for LogicStyle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            LogicStyle::Cmos => "CMOS",
+            LogicStyle::Mcml => "MCML",
+            LogicStyle::PgMcml => "PG-MCML",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// The four per-cell power-gating topologies evaluated in the paper's
+/// Fig. 2. The shipped library uses [`SleepTopology::SeriesSleep`]
+/// (topology (d)).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum SleepTopology {
+    /// (a) A single transistor pulls the local tail-bias node `Vn` to
+    /// ground during sleep. Discarded: restoring `Vn` within a clock cycle
+    /// needs a wide-bandwidth source follower.
+    VnPulldown,
+    /// (b) Like (a) plus a pass transistor isolating the local `Vn` from
+    /// the global bias line — two extra transistors per cell. Discarded
+    /// for cost.
+    VnPulldownIsolated,
+    /// (c) The current-source gate is driven by the digital ON signal and
+    /// its bulk is tied to the analog `Vn` bias (body-bias modulation).
+    /// Discarded: requires a −500 mV…1 V well bias and a separate well.
+    BodyBias,
+    /// (d) A sleep transistor in series **above** the current source —
+    /// negative sleep-VGS in power-down cuts leakage. The library default.
+    #[default]
+    SeriesSleep,
+}
+
+impl SleepTopology {
+    /// All four topologies, for comparison sweeps.
+    pub const ALL: [SleepTopology; 4] = [
+        SleepTopology::VnPulldown,
+        SleepTopology::VnPulldownIsolated,
+        SleepTopology::BodyBias,
+        SleepTopology::SeriesSleep,
+    ];
+
+    /// Paper figure label.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            SleepTopology::VnPulldown => "(a)",
+            SleepTopology::VnPulldownIsolated => "(b)",
+            SleepTopology::BodyBias => "(c)",
+            SleepTopology::SeriesSleep => "(d)",
+        }
+    }
+
+    /// Extra transistors this topology adds to a cell.
+    #[must_use]
+    pub fn extra_transistors(self) -> usize {
+        match self {
+            SleepTopology::VnPulldown => 1,
+            SleepTopology::VnPulldownIsolated => 2,
+            SleepTopology::BodyBias => 0,
+            SleepTopology::SeriesSleep => 1,
+        }
+    }
+}
+
+impl std::fmt::Display for SleepTopology {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "topology {}", self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn differential_flags() {
+        assert!(!LogicStyle::Cmos.is_differential());
+        assert!(LogicStyle::Mcml.is_differential());
+        assert!(LogicStyle::PgMcml.is_differential());
+        assert!(LogicStyle::PgMcml.is_power_gated());
+        assert!(!LogicStyle::Mcml.is_power_gated());
+    }
+
+    #[test]
+    fn display_names_match_paper() {
+        assert_eq!(LogicStyle::PgMcml.to_string(), "PG-MCML");
+        assert_eq!(SleepTopology::SeriesSleep.to_string(), "topology (d)");
+    }
+
+    #[test]
+    fn default_topology_is_d() {
+        assert_eq!(SleepTopology::default(), SleepTopology::SeriesSleep);
+    }
+
+    #[test]
+    fn topology_costs() {
+        assert_eq!(SleepTopology::SeriesSleep.extra_transistors(), 1);
+        assert_eq!(SleepTopology::VnPulldownIsolated.extra_transistors(), 2);
+    }
+}

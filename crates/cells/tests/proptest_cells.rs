@@ -1,0 +1,113 @@
+//! Property-based tests of the cell library: BDD correctness over random
+//! truth tables, and SPICE-level functionality of random cells at random
+//! design points.
+
+use proptest::prelude::*;
+
+use mcml_cells::bdd::Bdd;
+use mcml_cells::{build_cell, solve_bias, CellKind, CellParams, LogicStyle};
+use mcml_spice::{Circuit, SourceWave};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// BDDs built from random truth tables evaluate back to the table.
+    #[test]
+    fn bdd_matches_truth_table(table in proptest::collection::vec(any::<bool>(), 16)) {
+        let mut bdd = Bdd::new();
+        let f = bdd.from_truth_table(4, &table);
+        for (i, &want) in table.iter().enumerate() {
+            let asg: Vec<bool> = (0..4).map(|b| (i >> b) & 1 == 1).collect();
+            prop_assert_eq!(bdd.eval(f, &asg), want, "entry {}", i);
+        }
+    }
+
+    /// Boolean-algebra identities hold structurally (hash-consing makes
+    /// equal functions identical nodes).
+    #[test]
+    fn bdd_algebra(table_a in proptest::collection::vec(any::<bool>(), 8),
+                   table_b in proptest::collection::vec(any::<bool>(), 8)) {
+        let mut bdd = Bdd::new();
+        let a = bdd.from_truth_table(3, &table_a);
+        let b = bdd.from_truth_table(3, &table_b);
+        // De Morgan: ¬(a ∧ b) = ¬a ∨ ¬b.
+        let lhs = { let t = bdd.and(a, b); bdd.not(t) };
+        let rhs = { let na = bdd.not(a); let nb = bdd.not(b); bdd.or(na, nb) };
+        prop_assert_eq!(lhs, rhs);
+        // XOR via AND/OR: a ⊕ b = (a ∨ b) ∧ ¬(a ∧ b).
+        let x1 = bdd.xor(a, b);
+        let x2 = {
+            let o = bdd.or(a, b);
+            let n = { let t = bdd.and(a, b); bdd.not(t) };
+            bdd.and(o, n)
+        };
+        prop_assert_eq!(x1, x2);
+        // Double negation.
+        let nn = { let n = bdd.not(a); bdd.not(n) };
+        prop_assert_eq!(nn, a);
+    }
+}
+
+/// SPICE-level check of one cell at a perturbed design point.
+fn cell_functional_at(kind: CellKind, iss_ua: f64, vswing: f64, pattern: u32) -> bool {
+    let mut params = CellParams::default();
+    params = params.with_iss(iss_ua * 1e-6);
+    params.vswing = vswing;
+    let bias = solve_bias(&params);
+    let cell = build_cell(kind, LogicStyle::PgMcml, &params);
+    let mut ckt = cell.circuit.clone();
+    let vdd_v = params.tech.vdd;
+    ckt.vsource("VDD", cell.port("vdd"), Circuit::GND, SourceWave::dc(vdd_v));
+    ckt.vsource("VN", cell.port("vn"), Circuit::GND, SourceWave::dc(bias.vn));
+    ckt.vsource("VP", cell.port("vp"), Circuit::GND, SourceWave::dc(bias.vp));
+    ckt.vsource("VS", cell.port("sleep"), Circuit::GND, SourceWave::dc(vdd_v));
+    let inputs: Vec<bool> = (0..kind.input_count()).map(|i| (pattern >> i) & 1 == 1).collect();
+    for (i, name) in kind.input_names().iter().enumerate() {
+        let (hi, lo) = if inputs[i] {
+            (vdd_v, params.v_low())
+        } else {
+            (params.v_low(), vdd_v)
+        };
+        ckt.vsource(
+            &format!("VI{name}p"),
+            cell.port(&format!("{name}_p")),
+            Circuit::GND,
+            SourceWave::dc(hi),
+        );
+        ckt.vsource(
+            &format!("VI{name}n"),
+            cell.port(&format!("{name}_n")),
+            Circuit::GND,
+            SourceWave::dc(lo),
+        );
+    }
+    let op = ckt.dc_op().expect("dc converges");
+    let expect = kind.eval_comb(&inputs).expect("combinational");
+    kind.output_names().iter().zip(&expect).all(|(oname, &want)| {
+        let v = op.voltage(cell.port(&format!("{oname}_p")))
+            - op.voltage(cell.port(&format!("{oname}_n")));
+        (v > 0.0) == want && v.abs() > 0.08
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(20))]
+
+    /// PG-MCML cells stay functionally correct across the usable bias
+    /// design space (Iss 25–150 µA, swing 0.35–0.5 V), not just at the
+    /// library's 50 µA / 0.4 V point.
+    #[test]
+    fn cells_functional_across_design_space(
+        iss_ua in 25.0f64..150.0,
+        vswing in 0.35f64..0.5,
+        kind_pick in 0usize..4,
+        pattern in 0u32..16,
+    ) {
+        let kind = [CellKind::Buffer, CellKind::And2, CellKind::Xor2, CellKind::Mux2][kind_pick];
+        let pattern = pattern & ((1 << kind.input_count()) - 1);
+        prop_assert!(
+            cell_functional_at(kind, iss_ua, vswing, pattern),
+            "{kind:?} at Iss={iss_ua} µA, swing={vswing} V, pattern={pattern:#x}"
+        );
+    }
+}

@@ -1,0 +1,138 @@
+//! Liberty (`.lib`) text export of a characterised library.
+//!
+//! A shipped standard-cell library is consumed by synthesis tools as a
+//! Liberty file; this writer emits the characterised timing/power data in
+//! that format (the subset commercial flows need for the paper's use
+//! case: cell area, pin capacitances, propagation delays, leakage, and
+//! the PG-MCML sleep pin marked as a switch input).
+
+use std::fmt::Write as _;
+
+use mcml_cells::{CellKind, LogicStyle};
+
+use crate::library::TimingLibrary;
+
+/// Render a characterised library as Liberty text for one style.
+///
+/// Cells missing from the library are skipped; an empty result contains
+/// just the library header.
+#[must_use]
+pub fn to_liberty(lib: &TimingLibrary, style: LogicStyle, name: &str) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "library ({name}) {{");
+    let _ = writeln!(out, "  technology (cmos);");
+    let _ = writeln!(out, "  delay_model : table_lookup;");
+    let _ = writeln!(out, "  time_unit : \"1ps\";");
+    let _ = writeln!(out, "  voltage_unit : \"1V\";");
+    let _ = writeln!(out, "  current_unit : \"1uA\";");
+    let _ = writeln!(out, "  leakage_power_unit : \"1nW\";");
+    let _ = writeln!(out, "  capacitive_load_unit (1, ff);");
+    let _ = writeln!(out, "  nom_voltage : 1.2;");
+    let _ = writeln!(out, "  comment : \"PG-MCML reproduction — {style}\";");
+
+    for kind in CellKind::ALL {
+        let Some(t) = lib.get(kind, style) else {
+            continue;
+        };
+        let cell_name = kind.lib_name(t.drive);
+        let _ = writeln!(out, "  cell ({cell_name}) {{");
+        let _ = writeln!(out, "    area : {:.4};", t.area_um2);
+        let _ = writeln!(
+            out,
+            "    cell_leakage_power : {:.6};",
+            t.leakage_sleep_w * 1e9
+        );
+        if style.is_power_gated() {
+            let _ = writeln!(out, "    switch_cell_type : fine_grain;");
+            let _ = writeln!(out, "    pin (sleep) {{");
+            let _ = writeln!(out, "      direction : input;");
+            let _ = writeln!(out, "      switch_pin : true;");
+            let _ = writeln!(out, "    }}");
+        }
+        for pin in kind.input_names() {
+            let _ = writeln!(out, "    pin ({pin}) {{");
+            let _ = writeln!(out, "      direction : input;");
+            let _ = writeln!(out, "      capacitance : {:.4};", t.input_cap_ff);
+            if kind.is_sequential() && *pin == "clk" {
+                let _ = writeln!(out, "      clock : true;");
+            }
+            let _ = writeln!(out, "    }}");
+        }
+        for pin in kind.output_names() {
+            let _ = writeln!(out, "    pin ({pin}) {{");
+            let _ = writeln!(out, "      direction : output;");
+            let related = if kind.is_sequential() { "clk" } else { kind.input_names()[0] };
+            let _ = writeln!(out, "      timing () {{");
+            let _ = writeln!(out, "        related_pin : \"{related}\";");
+            if kind.is_sequential() {
+                let _ = writeln!(out, "        timing_type : rising_edge;");
+            }
+            let _ = writeln!(
+                out,
+                "        cell_rise (scalar) {{ values (\"{:.2}\"); }}",
+                t.delay_fo1_ps
+            );
+            let _ = writeln!(
+                out,
+                "        cell_fall (scalar) {{ values (\"{:.2}\"); }}",
+                t.delay_fo1_ps
+            );
+            let _ = writeln!(out, "      }}");
+            let _ = writeln!(out, "    }}");
+        }
+        let _ = writeln!(out, "  }}");
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::library::CellTiming;
+    use mcml_cells::DriveStrength;
+
+    fn sample_lib() -> TimingLibrary {
+        let mut lib = TimingLibrary::new();
+        for kind in [CellKind::Buffer, CellKind::Xor2, CellKind::Dff] {
+            lib.insert(CellTiming {
+                kind,
+                style: LogicStyle::PgMcml,
+                drive: DriveStrength::X1,
+                area_um2: 8.9,
+                delay_fo1_ps: 44.3,
+                delay_fo4_ps: 80.0,
+                input_cap_ff: 1.25,
+                static_power_w: 60e-6,
+                leakage_sleep_w: 1.3e-9,
+                toggle_energy_j: 0.0,
+            });
+        }
+        lib
+    }
+
+    #[test]
+    fn liberty_structure_is_complete() {
+        let text = to_liberty(&sample_lib(), LogicStyle::PgMcml, "pg_mcml_090");
+        assert!(text.starts_with("library (pg_mcml_090) {"));
+        assert!(text.contains("cell (BUFX1) {"));
+        assert!(text.contains("cell (XOR2X1) {"));
+        assert!(text.contains("cell (DFFX1) {"));
+        assert!(text.contains("switch_pin : true;"), "sleep pin exported");
+        assert!(text.contains("clock : true;"), "clk pin marked");
+        assert!(text.contains("cell_rise (scalar) { values (\"44.30\"); }"));
+        assert!(text.contains("cell_leakage_power : 1.300000;"));
+        // Braces balance.
+        let open = text.matches('{').count();
+        let close = text.matches('}').count();
+        assert_eq!(open, close);
+    }
+
+    #[test]
+    fn missing_cells_are_skipped() {
+        let lib = TimingLibrary::new();
+        let text = to_liberty(&lib, LogicStyle::Mcml, "empty");
+        assert!(!text.contains("cell ("));
+        assert!(text.contains("library (empty) {"));
+    }
+}

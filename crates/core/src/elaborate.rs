@@ -1,0 +1,348 @@
+//! Netlist → transistor-level elaboration.
+//!
+//! Expands a mapped gate-level [`Netlist`] into one flat [`Circuit`] by
+//! instantiating every gate's transistor-level cell and wiring the nets:
+//! differential styles get a **fat wire** (rail pair) per net with free
+//! inversion realised as a rail swap, CMOS gets single wires plus real
+//! two-transistor inverters for `GateKind::Inv`. The result is what the
+//! paper feeds to its fast-SPICE simulator for the Fig. 6 security
+//! analysis.
+
+use std::collections::HashMap;
+
+use mcml_cells::{build_cell, solve_bias, CellParams, LogicStyle};
+use mcml_device::{MosParams, Mosfet};
+use mcml_netlist::{GateKind, NetId, Netlist};
+use mcml_spice::{Circuit, ElementId, NodeId, SourceWave};
+
+/// A flattened transistor-level design with its testbench rails.
+pub struct Elaborated {
+    /// The complete circuit including supplies and bias sources.
+    pub circuit: Circuit,
+    /// Supply source (probe it for the Fig. 5/6 current).
+    pub vdd_src: ElementId,
+    /// Per primary input: the node(s) to drive. Differential styles get
+    /// `(p, Some(n))`, CMOS `(node, None)`.
+    pub inputs: HashMap<String, (NodeId, Option<NodeId>)>,
+    /// Per primary output: the node(s) to observe (already
+    /// polarity-resolved, i.e. output inversions are folded into the rail
+    /// order).
+    pub outputs: HashMap<String, (NodeId, Option<NodeId>)>,
+    /// Style of the source netlist.
+    pub style: LogicStyle,
+    /// Wire capacitance attached per net rail (F).
+    pub wire_cap: f64,
+}
+
+/// Per-net rail pair (differential) or single node.
+#[derive(Clone, Copy)]
+struct NetNodes {
+    p: NodeId,
+    n: Option<NodeId>,
+}
+
+/// Elaborate a netlist to transistors.
+///
+/// The supply, `Vn`/`Vp` bias rails and (for PG-MCML) an always-on sleep
+/// rail are included, so the caller only adds input drivers. Sequential
+/// cells are supported: note their storage loops sit at a metastable
+/// midpoint in the DC operating point and resolve at the first clock
+/// edge of a transient — start measurements after one edge.
+///
+/// # Panics
+///
+/// Panics if the netlist fails validation.
+#[must_use]
+pub fn elaborate(nl: &Netlist, params: &CellParams) -> Elaborated {
+    nl.validate().expect("netlist must validate");
+    let style = nl.style;
+    let differential = style.is_differential();
+    let mut ckt = Circuit::new();
+    let vdd = ckt.node("vdd");
+    let vdd_v = params.tech.vdd;
+    let vdd_src = ckt.vsource("VDD", vdd, Circuit::GND, SourceWave::dc(vdd_v));
+
+    // Bias rails for differential styles.
+    let (vn, vp, sleep) = if differential {
+        let bias = solve_bias(params);
+        let vn = ckt.node("vn");
+        let vp = ckt.node("vp");
+        ckt.vsource("VN", vn, Circuit::GND, SourceWave::dc(bias.vn));
+        ckt.vsource("VP", vp, Circuit::GND, SourceWave::dc(bias.vp));
+        let sleep = if style.is_power_gated() {
+            let s = ckt.node("sleep");
+            ckt.vsource("VSLP", s, Circuit::GND, SourceWave::dc(vdd_v));
+            Some(s)
+        } else {
+            None
+        };
+        (Some(vn), Some(vp), sleep)
+    } else {
+        (None, None, None)
+    };
+
+    // One rail (pair) per net.
+    let wire_cap = 0.8e-15;
+    let mut nets: Vec<NetNodes> = Vec::with_capacity(nl.net_count());
+    for i in 0..nl.net_count() {
+        let name = nl.net_name(NetId::from_index(i)).to_owned();
+        let p = ckt.node(&format!("w_{name}_p"));
+        let n = if differential {
+            Some(ckt.node(&format!("w_{name}_n")))
+        } else {
+            None
+        };
+        // Fat-wire load on both rails.
+        ckt.capacitor(&format!("CW{i}p"), p, Circuit::GND, wire_cap);
+        if let Some(nn) = n {
+            ckt.capacitor(&format!("CW{i}n"), nn, Circuit::GND, wire_cap);
+        }
+        nets.push(NetNodes { p, n });
+    }
+
+    // Instantiate gates.
+    for (gi, g) in nl.gates().iter().enumerate() {
+        match g.kind {
+            GateKind::Inv => {
+                // CMOS legalisation inverter: two transistors inline.
+                let a = nets[g.inputs[0].net.index()].p;
+                let q = nets[g.outputs[0].index()].p;
+                let np = MosParams::nmos_lvt_90().at_corner(params.corner);
+                let pp = MosParams::pmos_lvt_90().at_corner(params.corner);
+                ckt.mosfet_with_caps(
+                    &format!("g{gi}_invn"),
+                    q,
+                    a,
+                    Circuit::GND,
+                    Circuit::GND,
+                    Mosfet::nmos(np, 0.4e-6, params.l),
+                    &params.tech,
+                );
+                ckt.mosfet_with_caps(
+                    &format!("g{gi}_invp"),
+                    q,
+                    a,
+                    vdd,
+                    vdd,
+                    Mosfet::pmos(pp, 0.8e-6, params.l),
+                    &params.tech,
+                );
+            }
+            GateKind::Lib(kind) => {
+                let cell = build_cell(kind, style, params);
+                let mut conns: Vec<(NodeId, NodeId)> = vec![(cell.port("vdd"), vdd)];
+                if let (Some(vn), Some(vp)) = (vn, vp) {
+                    if cell.ports.contains_key("vn") {
+                        conns.push((cell.port("vn"), vn));
+                        conns.push((cell.port("vp"), vp));
+                    }
+                }
+                if let Some(s) = sleep {
+                    if cell.ports.contains_key("sleep") {
+                        conns.push((cell.port("sleep"), s));
+                    }
+                }
+                // Inputs: inversion = rail swap on differential, must not
+                // appear on CMOS (legalised earlier).
+                for (pin, conn) in kind.input_names().iter().zip(&g.inputs) {
+                    let rail = nets[conn.net.index()];
+                    if differential {
+                        let (sig_p, sig_n) = if conn.inverted {
+                            (rail.n.expect("diff"), rail.p)
+                        } else {
+                            (rail.p, rail.n.expect("diff"))
+                        };
+                        conns.push((cell.port(&format!("{pin}_p")), sig_p));
+                        conns.push((cell.port(&format!("{pin}_n")), sig_n));
+                    } else {
+                        assert!(
+                            !conn.inverted,
+                            "CMOS netlists are legalised before elaboration"
+                        );
+                        conns.push((cell.port(pin), rail.p));
+                    }
+                }
+                for (pin, out) in kind.output_names().iter().zip(&g.outputs) {
+                    let rail = nets[out.index()];
+                    if differential {
+                        conns.push((cell.port(&format!("{pin}_p")), rail.p));
+                        conns.push((cell.port(&format!("{pin}_n")), rail.n.expect("diff")));
+                    } else {
+                        conns.push((cell.port(pin), rail.p));
+                    }
+                }
+                ckt.instantiate(&format!("g{gi}"), &cell.circuit, &conns);
+            }
+        }
+    }
+
+    let inputs = nl
+        .inputs()
+        .iter()
+        .map(|(name, id)| {
+            let r = nets[id.index()];
+            (name.clone(), (r.p, r.n))
+        })
+        .collect();
+    let outputs = nl
+        .outputs()
+        .iter()
+        .map(|(name, conn)| {
+            let r = nets[conn.net.index()];
+            let pair = if differential && conn.inverted {
+                (r.n.expect("diff"), Some(r.p))
+            } else {
+                (r.p, r.n)
+            };
+            (name.clone(), pair)
+        })
+        .collect();
+
+    Elaborated {
+        circuit: ckt,
+        vdd_src,
+        inputs,
+        outputs,
+        style,
+        wire_cap,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcml_netlist::{map_network, BoolNetwork, TechmapOptions};
+    use mcml_spice::TranOptions;
+
+    fn xor_of_two() -> BoolNetwork {
+        let mut bn = BoolNetwork::new();
+        let a = bn.input("a");
+        let b = bn.input("b");
+        let q = bn.xor(a, b);
+        // An OR as well, to exercise free inversions.
+        let o = bn.or(a, b);
+        bn.set_output("q", q);
+        bn.set_output("o", o);
+        bn
+    }
+
+    fn drive_and_check(style: LogicStyle, a: bool, b: bool) {
+        let params = CellParams::default();
+        let nl = map_network(&xor_of_two(), style, &TechmapOptions::default());
+        let el = elaborate(&nl, &params);
+        let mut ckt = el.circuit.clone();
+        let (v_lo, v_hi) = match style {
+            LogicStyle::Cmos => (0.0, params.tech.vdd),
+            _ => (params.v_low(), params.tech.vdd),
+        };
+        for (name, val) in [("a", a), ("b", b)] {
+            let (p, n) = el.inputs[name];
+            let (hp, hn) = if val { (v_hi, v_lo) } else { (v_lo, v_hi) };
+            ckt.vsource(&format!("VI{name}"), p, Circuit::GND, SourceWave::dc(hp));
+            if let Some(nn) = n {
+                ckt.vsource(&format!("VI{name}n"), nn, Circuit::GND, SourceWave::dc(hn));
+            }
+        }
+        let op = ckt.dc_op().expect("elaborated circuit converges");
+        for (out, expect) in [("q", a ^ b), ("o", a || b)] {
+            let (p, n) = el.outputs[out];
+            let v = match n {
+                Some(nn) => op.voltage(p) - op.voltage(nn),
+                None => op.voltage(p) - 0.5 * params.tech.vdd,
+            };
+            assert_eq!(v > 0.0, expect, "{style} {out} at a={a} b={b}: {v}");
+            assert!(v.abs() > 0.1, "{style} {out}: swing {v}");
+        }
+    }
+
+    #[test]
+    fn pg_mcml_elaboration_functional() {
+        for (a, b) in [(false, false), (true, false), (false, true), (true, true)] {
+            drive_and_check(LogicStyle::PgMcml, a, b);
+        }
+    }
+
+    #[test]
+    fn cmos_elaboration_functional() {
+        for (a, b) in [(false, false), (true, true), (true, false)] {
+            drive_and_check(LogicStyle::Cmos, a, b);
+        }
+    }
+
+    #[test]
+    fn transient_supply_current_flat_for_mcml() {
+        // Drive a toggling input and compare supply-current spread.
+        let params = CellParams::default();
+        let nl = map_network(&xor_of_two(), LogicStyle::Mcml, &TechmapOptions::default());
+        let el = elaborate(&nl, &params);
+        let mut ckt = el.circuit.clone();
+        let (p, n) = el.inputs["a"];
+        let v_lo = params.v_low();
+        let v_hi = params.tech.vdd;
+        ckt.vsource(
+            "VIa",
+            p,
+            Circuit::GND,
+            SourceWave::Pwl(vec![(0.0, v_lo), (1e-9, v_lo), (1.02e-9, v_hi)]),
+        );
+        ckt.vsource(
+            "VIan",
+            n.unwrap(),
+            Circuit::GND,
+            SourceWave::Pwl(vec![(0.0, v_hi), (1e-9, v_hi), (1.02e-9, v_lo)]),
+        );
+        let (bp, bn) = el.inputs["b"];
+        ckt.vsource("VIb", bp, Circuit::GND, SourceWave::dc(v_lo));
+        ckt.vsource("VIbn", bn.unwrap(), Circuit::GND, SourceWave::dc(v_hi));
+        let res = ckt.transient(&TranOptions::new(3e-9, 10e-12)).unwrap();
+        let i = res.supply_current(el.vdd_src).unwrap();
+        // Settled-window statistics: the MCML current barely moves even
+        // though the outputs switch.
+        let i_before = i.mean_between(0.6e-9, 0.95e-9);
+        let i_after = i.mean_between(2.0e-9, 2.9e-9);
+        assert!(i_before > 10e-6, "bias current flows: {i_before}");
+        assert!(
+            (i_after / i_before - 1.0).abs() < 0.15,
+            "flat supply current: {i_before} -> {i_after}"
+        );
+    }
+
+    #[test]
+    fn sequential_netlist_captures_on_clock_edge() {
+        use mcml_cells::CellKind;
+        use mcml_netlist::{Conn, GateKind, Netlist};
+        let params = CellParams::default();
+        let mut nl = Netlist::new("ff", LogicStyle::PgMcml);
+        let d = nl.add_input("d");
+        let clk = nl.add_input("clk");
+        let q = nl.add_net("q");
+        nl.add_gate(
+            "ff",
+            GateKind::Lib(CellKind::Dff),
+            vec![Conn::plain(d), Conn::plain(clk)],
+            vec![q],
+        );
+        nl.set_output("q", Conn::plain(q));
+        let el = elaborate(&nl, &params);
+        let mut ckt = el.circuit.clone();
+        let (v_lo, v_hi) = (params.v_low(), params.tech.vdd);
+        // d = 1 constant; clk pulses at 1 ns.
+        let (dp, dn) = el.inputs["d"];
+        ckt.vsource("VD", dp, Circuit::GND, SourceWave::dc(v_hi));
+        ckt.vsource("VDn", dn.unwrap(), Circuit::GND, SourceWave::dc(v_lo));
+        let (cp, cn) = el.inputs["clk"];
+        let edge = |a, b| SourceWave::Pwl(vec![(0.0, a), (1.0e-9, a), (1.05e-9, b)]);
+        ckt.vsource("VC", cp, Circuit::GND, edge(v_lo, v_hi));
+        ckt.vsource("VCn", cn.unwrap(), Circuit::GND, edge(v_hi, v_lo));
+        let res = ckt
+            .transient(&mcml_spice::TranOptions::new(3.0e-9, 10e-12))
+            .unwrap();
+        let (qp, qn) = el.outputs["q"];
+        let vq = res.voltage(qp).add(&res.voltage(qn.unwrap()).scaled(-1.0));
+        assert!(
+            vq.last_value() > 0.15,
+            "q captured d=1 after the edge: {}",
+            vq.last_value()
+        );
+    }
+}

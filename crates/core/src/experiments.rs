@@ -1,0 +1,612 @@
+//! One driver per table and figure of the paper's evaluation.
+//!
+//! Each function regenerates the corresponding result from scratch
+//! (generate → characterise → simulate → measure); the `mcml-bench`
+//! binaries print them in the paper's format and `EXPERIMENTS.md` records
+//! the comparison against the published numbers.
+
+use mcml_aes::{ReducedAes, SBOX};
+use mcml_cells::{
+    cell_area_um2, mcml_to_cmos_ratio, CellKind, CellParams, DriveStrength, LogicStyle,
+};
+use mcml_char::{bias_sweep, BiasSweepPoint};
+use mcml_dpa::{cpa_attack, distinguishability_margin, key_rank, CpaResult, HammingWeight, TraceSet};
+use mcml_netlist::{area_report, critical_path_ps, Netlist};
+use mcml_or1k::aes_prog::{run_aes_benchmark, AesBenchParams};
+use mcml_sim::power::SleepWave;
+use mcml_sim::Stimulus;
+use mcml_spice::{Circuit, SourceWave, TranOptions, Waveform};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::elaborate::elaborate;
+use crate::flow::{DesignFlow, Result};
+
+// ---------------------------------------------------------------- Table 1
+
+/// One row of Table 1: MCML vs PG-MCML cell area.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table1Row {
+    /// Library cell name (`BUFX1`, …).
+    pub cell: String,
+    /// Conventional MCML area (µm²).
+    pub mcml_um2: f64,
+    /// PG-MCML area (µm²).
+    pub pg_um2: f64,
+    /// Relative overhead of the sleep transistor.
+    pub overhead: f64,
+}
+
+/// Regenerate Table 1 (area of the four showcase cells with and without
+/// the sleep transistor).
+#[must_use]
+pub fn table1() -> Vec<Table1Row> {
+    [CellKind::Buffer, CellKind::Mux4, CellKind::And4, CellKind::DLatch]
+        .iter()
+        .map(|&k| {
+            let mcml = cell_area_um2(k, LogicStyle::Mcml, DriveStrength::X1);
+            let pg = cell_area_um2(k, LogicStyle::PgMcml, DriveStrength::X1);
+            Table1Row {
+                cell: k.lib_name(DriveStrength::X1),
+                mcml_um2: mcml,
+                pg_um2: pg,
+                overhead: pg / mcml - 1.0,
+            }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------- Table 2
+
+/// One row of Table 2: the characterised PG-MCML library.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table2Row {
+    /// Cell name as the paper prints it.
+    pub cell: String,
+    /// PG-MCML area (µm²).
+    pub area_um2: f64,
+    /// Measured propagation delay (ps, FO1).
+    pub delay_ps: f64,
+    /// PG-MCML / CMOS area ratio (None for cells without a CMOS
+    /// equivalent in the paper's table).
+    pub cmos_ratio: Option<f64>,
+}
+
+/// Regenerate Table 2: characterise all 16 PG-MCML cells.
+///
+/// # Errors
+///
+/// Propagates simulator errors.
+pub fn table2(flow: &mut DesignFlow) -> Result<Vec<Table2Row>> {
+    let mut rows = Vec::new();
+    for kind in CellKind::ALL {
+        let t = flow.timing(kind, LogicStyle::PgMcml)?;
+        let ratio = match kind {
+            CellKind::Diff2Single | CellKind::Maj32 | CellKind::Edff => None,
+            _ => Some(mcml_to_cmos_ratio(kind)),
+        };
+        rows.push(Table2Row {
+            cell: kind.table_name().to_owned(),
+            area_um2: t.area_um2,
+            delay_ps: t.delay_fo1_ps,
+            cmos_ratio: ratio,
+        });
+    }
+    Ok(rows)
+}
+
+// ------------------------------------------------------------------ Fig 3
+
+/// Regenerate Fig. 3: buffer delay and power/area–delay products vs tail
+/// current.
+///
+/// # Errors
+///
+/// Propagates simulator errors.
+pub fn fig3(params: &CellParams, currents: &[f64]) -> Result<Vec<BiasSweepPoint>> {
+    bias_sweep(params, currents)
+}
+
+// ------------------------------------------------------------------ Fig 5
+
+/// Fig. 5 data: supply-current waveforms of the S-box ISE.
+#[derive(Debug, Clone)]
+pub struct Fig5Data {
+    /// Sample times (s).
+    pub time: Vec<f64>,
+    /// Conventional-MCML current (A) — flat.
+    pub i_mcml: Vec<f64>,
+    /// PG-MCML current (A) — gated.
+    pub i_pg: Vec<f64>,
+    /// Sleep signal (1 = awake) at the same samples.
+    pub sleep: Vec<f64>,
+    /// Measured wake-up latency: sleep rise to 90 % of the awake plateau
+    /// (s).
+    pub wake_latency: f64,
+}
+
+/// Regenerate Fig. 5: one ISE activation inside a 20 ns window at
+/// 400 MHz, simulated in conventional MCML and in PG-MCML.
+///
+/// # Errors
+///
+/// Propagates simulator errors.
+pub fn fig5(flow: &mut DesignFlow) -> Result<Fig5Data> {
+    let period = 2.5e-9; // 400 MHz
+    let t_stop = 20e-9;
+    let ise_opts = mcml_aes::sbox_ise::SboxIseOptions::default();
+
+    // Stimulus: free-running clock; operand word applied shortly before
+    // the active edge at 14.5 ns (the paper's marked 14.421 ns activity).
+    let word: u32 = 0xA5_3C_96_5A;
+    let mut st = Stimulus::new();
+    st.clock("clk", period / 2.0, period, 8);
+    for b in 0..32 {
+        st.at(0.0, &format!("x{b}"), false);
+        if (word >> b) & 1 == 1 {
+            st.at(13.9e-9, &format!("x{b}"), true);
+        }
+    }
+
+    let awake = SleepWave::awake_windows(&[(13.4e-9, 16.6e-9)]);
+
+    let nl_mcml = mcml_aes::build_sbox_ise(LogicStyle::Mcml, &ise_opts);
+    let tr_mcml = flow.simulate(&nl_mcml, &st, t_stop)?;
+    let i_mcml = flow.current(&nl_mcml, &tr_mcml, None)?;
+
+    let nl_pg = mcml_aes::build_sbox_ise(LogicStyle::PgMcml, &ise_opts);
+    let tr_pg = flow.simulate(&nl_pg, &st, t_stop)?;
+    let i_pg = flow.current(&nl_pg, &tr_pg, Some(&awake))?;
+
+    let n = 400;
+    let grid: Vec<f64> = (0..n).map(|i| t_stop * i as f64 / n as f64).collect();
+    let plateau = i_pg.mean_between(15.0e-9, 16.4e-9);
+    let wake_latency = i_pg
+        .first_crossing_after(0.9 * plateau, true, 13.4e-9)
+        .map_or(f64::NAN, |t| t - 13.4e-9);
+
+    Ok(Fig5Data {
+        i_mcml: grid.iter().map(|&t| i_mcml.sample(t)).collect(),
+        i_pg: grid.iter().map(|&t| i_pg.sample(t)).collect(),
+        sleep: grid
+            .iter()
+            .map(|&t| if awake.value_at(t) { 1.0 } else { 0.0 })
+            .collect(),
+        time: grid,
+        wake_latency,
+    })
+}
+
+// ---------------------------------------------------------------- Table 3
+
+/// One row of Table 3.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table3Row {
+    /// Logic style.
+    pub style: LogicStyle,
+    /// Cell count of the placed ISE macro (incl. sleep-tree buffers for
+    /// PG-MCML).
+    pub cells: usize,
+    /// Placed area (µm²).
+    pub area_um2: f64,
+    /// Critical-path delay (ns).
+    pub delay_ns: f64,
+    /// Average power over the whole software run (W).
+    pub avg_power_w: f64,
+    /// ISE duty cycle of the software run.
+    pub ise_duty: f64,
+}
+
+/// Regenerate Table 3: run the AES software on the OR1K model, then
+/// price the S-box ISE in each style.
+///
+/// The average power decomposes as
+/// `P_idle + n_ops · E_op / T_total`, with the idle power and the
+/// per-activation energy both measured on event-simulated windows of the
+/// actual netlist (clock running; PG-MCML asleep while idle).
+///
+/// # Errors
+///
+/// Propagates simulator errors.
+pub fn table3(
+    flow: &mut DesignFlow,
+    bench: &AesBenchParams,
+    clock_hz: f64,
+) -> Result<Vec<Table3Row>> {
+    let run = run_aes_benchmark(bench);
+    let t_total = run.trace.cycles as f64 / clock_hz;
+    let n_ops = run.trace.ise_events.len();
+    let duty = run.trace.ise_duty();
+    let period = 1.0 / clock_hz;
+    let vdd = flow.params.tech.vdd;
+
+    let ise_opts = mcml_aes::sbox_ise::SboxIseOptions::default();
+    let mut rows = Vec::new();
+    for style in LogicStyle::ALL {
+        let nl = mcml_aes::build_sbox_ise(style, &ise_opts);
+        flow.library_for(&nl)?;
+        let report = area_report(&nl);
+        let (mut cells, mut area) = (report.cells, report.total_area_um2);
+        if style.is_power_gated() {
+            let tree = flow.sleep_tree(&nl)?;
+            cells += tree.buffer_count();
+            area += tree.area_um2();
+        }
+        let delay_ns = critical_path_ps(&nl, flow.library()) / 1000.0;
+
+        // --- idle window: clock running, inputs constant ------------
+        let window = 6.0 * period;
+        let mut st_idle = Stimulus::new();
+        st_idle.clock("clk", period / 2.0, period, 6);
+        for b in 0..32 {
+            st_idle.at(0.0, &format!("x{b}"), false);
+        }
+        let tr_idle = flow.simulate(&nl, &st_idle, window)?;
+        let asleep = SleepWave::awake_windows(&[]);
+        let sleep_idle = if style.is_power_gated() { Some(&asleep) } else { None };
+        let i_idle = flow.current(&nl, &tr_idle, sleep_idle)?;
+        // Skip the first cycle (X-resolution churn).
+        let p_idle = vdd * i_idle.mean_between(2.0 * period, window);
+
+        // --- per-activation energy, averaged over real operands -----
+        let samples: Vec<(u32, u32)> = run
+            .trace
+            .ise_events
+            .iter()
+            .take(8)
+            .map(|e| (e.input, e.output))
+            .collect();
+        let mut e_op_sum = 0.0;
+        for (prev, (input, _)) in samples.iter().enumerate().map(|(i, ev)| {
+            let prev = if i == 0 { 0u32 } else { samples[i - 1].0 };
+            (prev, *ev)
+        }) {
+            let mut st = Stimulus::new();
+            st.clock("clk", period / 2.0, period, 6);
+            for b in 0..32 {
+                st.at(0.0, &format!("x{b}"), (prev >> b) & 1 == 1);
+            }
+            let t_op = 3.0 * period;
+            for b in 0..32 {
+                let nv = (input >> b) & 1 == 1;
+                if nv != ((prev >> b) & 1 == 1) {
+                    st.at(t_op, &format!("x{b}"), nv);
+                }
+            }
+            let tr = flow.simulate(&nl, &st, window)?;
+            let wake = SleepWave::awake_windows(&[(t_op - 1.0e-9, t_op + 1.5 * period)]);
+            let sleep = if style.is_power_gated() { Some(&wake) } else { None };
+            let i_op = flow.current(&nl, &tr, sleep)?;
+            let e_window = vdd * i_op.integral_between(2.0 * period, window);
+            let e_idle = p_idle * (window - 2.0 * period);
+            e_op_sum += (e_window - e_idle).max(0.0);
+        }
+        let e_op = if samples.is_empty() {
+            0.0
+        } else {
+            e_op_sum / samples.len() as f64
+        };
+
+        let avg_power = p_idle + n_ops as f64 * e_op / t_total;
+        rows.push(Table3Row {
+            style,
+            cells,
+            area_um2: area,
+            delay_ns,
+            avg_power_w: avg_power,
+            ise_duty: duty,
+        });
+    }
+    Ok(rows)
+}
+
+// ------------------------------------------------------------------ Fig 6
+
+/// Verdict of a CPA attack on one implementation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig6Row {
+    /// Attacked style.
+    pub style: LogicStyle,
+    /// Rank of the correct key (0 = attack succeeded).
+    pub rank: usize,
+    /// Correct-key peak divided by best wrong-key peak (>1 ⇒
+    /// distinguishable).
+    pub margin: f64,
+    /// Correct-key peak correlation.
+    pub peak_correct: f64,
+    /// Best wrong-key peak correlation.
+    pub best_wrong: f64,
+    /// Traces used.
+    pub traces: usize,
+}
+
+fn verdict(style: LogicStyle, key: usize, r: &CpaResult, traces: usize) -> Fig6Row {
+    let rank = key_rank(&r.peak, key);
+    let margin = distinguishability_margin(&r.peak, key);
+    let best_wrong = r
+        .peak
+        .iter()
+        .enumerate()
+        .filter(|&(g, _)| g != key)
+        .map(|(_, &p)| p)
+        .fold(0.0f64, f64::max);
+    Fig6Row {
+        style,
+        rank,
+        margin,
+        peak_correct: r.peak[key],
+        best_wrong,
+        traces,
+    }
+}
+
+/// Gaussian noise via Box–Muller from the uniform RNG.
+fn gauss(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.gen_range(1e-12..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Fig. 6, current-template tier: full 8-bit reduced AES attacked with
+/// CPA over all 256 plaintexts at a fixed key, per style.
+///
+/// `noise_rel` is the measurement-noise sigma relative to the mean
+/// supply current (real acquisitions are never noiseless; without it a
+/// deterministic simulator would make *any* nonzero residual leak
+/// perfectly correlatable).
+///
+/// # Errors
+///
+/// Propagates simulator errors.
+pub fn fig6_template(
+    flow: &mut DesignFlow,
+    key: u8,
+    noise_rel: f64,
+    seed: u64,
+    styles: &[LogicStyle],
+) -> Result<Vec<(Fig6Row, CpaResult)>> {
+    let mut out = Vec::new();
+    for &style in styles {
+        let ts = acquire_template_traces(flow, style, key, noise_rel, seed)?;
+        let model = HammingWeight::new(|x| SBOX[x as usize], 8);
+        let r = cpa_attack(&ts, &model);
+        out.push((verdict(style, key as usize, &r, ts.n_traces()), r));
+    }
+    Ok(out)
+}
+
+/// Acquire the tier-2 trace set for one style: the registered design —
+/// every simulated pair starts from reset, applies `(p, k)`, and captures
+/// `S(p ⊕ k)` on the clock edge — the paper's "instantaneous current of
+/// all possible plaintext–key pairs" acquisition, over all 256
+/// plaintexts, with `noise_rel` relative measurement noise.
+///
+/// # Errors
+///
+/// Propagates simulator errors.
+pub fn acquire_template_traces(
+    flow: &mut DesignFlow,
+    style: LogicStyle,
+    key: u8,
+    noise_rel: f64,
+    seed: u64,
+) -> Result<TraceSet> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let nl = ReducedAes::new(8).build_registered_netlist(style);
+    flow.library_for(&nl)?;
+    let t_edge = 2.2e-9;
+    let n_samples = 60;
+    let mut ts = TraceSet::new(n_samples);
+    for p in 0..=255u8 {
+        let mut st = Stimulus::new();
+        st.at(0.0, "clk", false);
+        st.at(t_edge, "clk", true);
+        for b in 0..8 {
+            st.at(0.0, &format!("k{b}"), (key >> b) & 1 == 1);
+            st.at(0.0, &format!("p{b}"), (p >> b) & 1 == 1);
+        }
+        let trace = flow.simulate(&nl, &st, 3.6e-9)?;
+        let i = flow.current(&nl, &trace, None)?;
+        let mean = i.mean().abs().max(1e-12);
+        let w = i.resample(t_edge - 0.1e-9, t_edge + 1.0e-9, n_samples);
+        let noisy: Vec<f64> = w
+            .values()
+            .iter()
+            .map(|&v| v + gauss(&mut rng) * noise_rel * mean)
+            .collect();
+        ts.push(p, &noisy);
+    }
+    Ok(ts)
+}
+
+/// Measurements-to-disclosure for one style: the smallest trace count at
+/// which CPA stably ranks the correct key first (`None` when the attack
+/// never stabilises — the expected verdict for the MCML styles).
+///
+/// # Errors
+///
+/// Propagates simulator errors.
+pub fn fig6_mtd(
+    flow: &mut DesignFlow,
+    style: LogicStyle,
+    key: u8,
+    noise_rel: f64,
+    seed: u64,
+    ladder: &[usize],
+) -> Result<Option<usize>> {
+    let ts = acquire_template_traces(flow, style, key, noise_rel, seed)?;
+    let model = HammingWeight::new(|x| SBOX[x as usize], 8);
+    Ok(mcml_dpa::measurements_to_disclosure(
+        &ts,
+        &model,
+        usize::from(key),
+        ladder,
+    ))
+}
+
+/// Fig. 6, transistor tier: 4-bit reduced AES simulated in full SPICE
+/// for every plaintext at a fixed 4-bit key. This is the genuinely
+/// transistor-level leg of the security claim; the paper's 1 µA / 1 ps
+/// acquisition translates to the simulator's native resolution.
+///
+/// # Errors
+///
+/// Propagates simulator errors.
+pub fn fig6_transistor(
+    params: &CellParams,
+    key: u8,
+    style: LogicStyle,
+    plaintexts: &[u8],
+) -> Result<(Fig6Row, CpaResult)> {
+    let reduced = ReducedAes::new(4);
+    // The registered design, like the paper's synthesised block: the
+    // plaintext/key pair settles combinationally, then the output
+    // register captures S(p ⊕ k) on the clock edge — the moment whose
+    // supply charge carries the Hamming-weight leak (in CMOS).
+    let nl: Netlist = reduced.build_registered_netlist(style);
+    let el = elaborate(&nl, params);
+    let (v_lo, v_hi) = match style {
+        LogicStyle::Cmos => (0.0, params.tech.vdd),
+        _ => (params.v_low(), params.tech.vdd),
+    };
+    let t_edge = 2.0e-9;
+    let t_stop = 3.6e-9;
+    let n_samples = 60;
+    let mut ts = TraceSet::new(n_samples);
+    for &p in plaintexts {
+        let mut ckt: Circuit = el.circuit.clone();
+        let drive_const = |ckt: &mut Circuit, name: &str, v: bool| {
+            let (np, nn) = el.inputs[name];
+            let (lp, ln) = if v { (v_hi, v_lo) } else { (v_lo, v_hi) };
+            ckt.vsource(&format!("V{name}"), np, Circuit::GND, SourceWave::dc(lp));
+            if let Some(nn) = nn {
+                ckt.vsource(&format!("V{name}n"), nn, Circuit::GND, SourceWave::dc(ln));
+            }
+        };
+        for b in 0..4u8 {
+            drive_const(&mut ckt, &format!("k{b}"), (key >> b) & 1 == 1);
+            drive_const(&mut ckt, &format!("p{b}"), (p >> b) & 1 == 1);
+        }
+        // Clock: one rising edge after the combinational logic settles.
+        let (cp, cn) = el.inputs["clk"];
+        let edge = |a: f64, b: f64| SourceWave::Pwl(vec![(0.0, a), (t_edge, a), (t_edge + 50e-12, b)]);
+        ckt.vsource("VCLK", cp, Circuit::GND, edge(v_lo, v_hi));
+        if let Some(cn) = cn {
+            ckt.vsource("VCLKn", cn, Circuit::GND, edge(v_hi, v_lo));
+        }
+        let res = ckt.transient(&TranOptions::new(t_stop, 10e-12))?;
+        let i: Waveform = res.supply_current(el.vdd_src).expect("vdd probed");
+        let w = i.resample(t_edge - 0.1e-9, t_stop - 0.1e-9, n_samples);
+        ts.push(p, w.values());
+    }
+    let model = HammingWeight::new(|x| reduced.sbox(x), 4);
+    let r = cpa_attack(&ts, &model);
+    Ok((verdict(style, usize::from(key), &r, ts.n_traces()), r))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_overhead_band() {
+        let rows = table1();
+        assert_eq!(rows.len(), 4);
+        for r in &rows {
+            assert!(
+                r.overhead > 0.04 && r.overhead < 0.08,
+                "{}: {}",
+                r.cell,
+                r.overhead
+            );
+            assert!(r.pg_um2 > r.mcml_um2);
+        }
+        assert_eq!(rows[0].cell, "BUFX1");
+    }
+
+    #[test]
+    fn fig6_template_cmos_breaks_mcml_resists() {
+        let mut flow = DesignFlow::new(CellParams::default());
+        let key = 0x5a;
+        let rows = fig6_template(
+            &mut flow,
+            key,
+            0.01,
+            7,
+            &[LogicStyle::Cmos, LogicStyle::PgMcml],
+        )
+        .unwrap();
+        let cmos = &rows[0].0;
+        let pg = &rows[1].0;
+        assert_eq!(cmos.style, LogicStyle::Cmos);
+        assert_eq!(cmos.rank, 0, "CPA must break CMOS: {cmos:?}");
+        assert!(cmos.margin > 1.1, "CMOS margin {:?}", cmos.margin);
+        assert!(
+            pg.rank > 0 || pg.margin < 1.05,
+            "PG-MCML must not be distinguishable: {pg:?}"
+        );
+    }
+}
+
+/// TVLA extension (beyond the paper): fixed-vs-random Welch t-test on the
+/// registered reduced AES in one style — a model-free leakage assessment
+/// complementing the CPA verdicts.
+///
+/// # Errors
+///
+/// Propagates simulator errors.
+pub fn tvla_assessment(
+    flow: &mut DesignFlow,
+    style: LogicStyle,
+    key: u8,
+    n_per_population: usize,
+    noise_rel: f64,
+    seed: u64,
+) -> Result<mcml_dpa::TvlaResult> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let nl = ReducedAes::new(8).build_registered_netlist(style);
+    flow.library_for(&nl)?;
+    let t_edge = 2.2e-9;
+    let n_samples = 60;
+    // Worst-case fixed class: the plaintext whose S-box output Hamming
+    // weight is furthest from the random-class mean (4), maximising the
+    // detectable first-order contrast.
+    let fixed_p = (0..=255u8)
+        .max_by_key(|&p| {
+            let hw = SBOX[usize::from(p ^ key)].count_ones() as i32;
+            (hw - 4).abs()
+        })
+        .expect("non-empty scan");
+    let mut fixed = TraceSet::new(n_samples);
+    let mut random = TraceSet::new(n_samples);
+    for i in 0..2 * n_per_population {
+        let is_fixed = i % 2 == 0;
+        let p = if is_fixed {
+            fixed_p
+        } else {
+            rng.gen::<u8>()
+        };
+        let mut st = Stimulus::new();
+        st.at(0.0, "clk", false);
+        st.at(t_edge, "clk", true);
+        for b in 0..8 {
+            st.at(0.0, &format!("k{b}"), (key >> b) & 1 == 1);
+            st.at(0.0, &format!("p{b}"), (p >> b) & 1 == 1);
+        }
+        let trace = flow.simulate(&nl, &st, 3.6e-9)?;
+        let i_wave = flow.current(&nl, &trace, None)?;
+        let mean = i_wave.mean().abs().max(1e-12);
+        let w = i_wave.resample(t_edge - 0.1e-9, t_edge + 1.0e-9, n_samples);
+        let noisy: Vec<f64> = w
+            .values()
+            .iter()
+            .map(|&v| v + gauss(&mut rng) * noise_rel * mean)
+            .collect();
+        if is_fixed {
+            fixed.push(p, &noisy);
+        } else {
+            random.push(p, &noisy);
+        }
+    }
+    Ok(mcml_dpa::welch_t_test(&fixed, &random))
+}

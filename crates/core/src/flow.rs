@@ -1,0 +1,180 @@
+//! The design-flow façade: map, characterise (cached), simulate.
+
+use mcml_cells::{CellKind, CellParams, LogicStyle};
+use mcml_char::{characterize_cell, CellTiming, TimingLibrary};
+use mcml_netlist::{
+    build_sleep_tree, map_network, sleep_tree::SleepTreeOptions, BoolNetwork, GateKind, Netlist,
+    SleepTree, TechmapOptions,
+};
+use mcml_sim::{circuit_current, CurrentModel, EventSim, SimTrace, Stimulus};
+use mcml_sim::power::SleepWave;
+use mcml_spice::Waveform;
+
+/// Crate-level result alias.
+pub type Result<T> = std::result::Result<T, mcml_spice::SpiceError>;
+
+/// End-to-end flow driver with a lazily filled characterisation cache.
+///
+/// Characterising a cell runs several SPICE transients, so the flow
+/// characterises each `(cell, style)` pair at most once and reuses the
+/// result for mapping reports, event-simulation delays and power
+/// templates.
+pub struct DesignFlow {
+    /// Electrical parameters for every generated cell.
+    pub params: CellParams,
+    /// Power-template model parameters.
+    pub model: CurrentModel,
+    /// Technology-mapper options.
+    pub techmap: TechmapOptions,
+    lib: TimingLibrary,
+}
+
+impl DesignFlow {
+    /// A flow at the given cell parameters.
+    #[must_use]
+    pub fn new(params: CellParams) -> Self {
+        Self {
+            params,
+            model: CurrentModel::default(),
+            techmap: TechmapOptions::default(),
+            lib: TimingLibrary::new(),
+        }
+    }
+
+    /// Characterised timing of one cell (cached).
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator errors from characterisation.
+    pub fn timing(&mut self, kind: CellKind, style: LogicStyle) -> Result<CellTiming> {
+        if let Some(t) = self.lib.get(kind, style) {
+            return Ok(t.clone());
+        }
+        let t = characterize_cell(kind, style, &self.params)?;
+        self.lib.insert(t.clone());
+        Ok(t)
+    }
+
+    /// Ensure every cell kind used by `nl` (plus the CMOS buffer, needed
+    /// for inverter timing and sleep trees) is characterised; returns the
+    /// library.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator errors.
+    pub fn library_for(&mut self, nl: &Netlist) -> Result<&TimingLibrary> {
+        let mut kinds: Vec<CellKind> = nl
+            .gates()
+            .iter()
+            .filter_map(|g| match g.kind {
+                GateKind::Lib(k) => Some(k),
+                GateKind::Inv => None,
+            })
+            .collect();
+        kinds.sort_by_key(|k| k.table_name());
+        kinds.dedup();
+        for k in kinds {
+            self.timing(k, nl.style)?;
+        }
+        self.timing(CellKind::Buffer, LogicStyle::Cmos)?;
+        Ok(&self.lib)
+    }
+
+    /// Access the characterisation cache.
+    #[must_use]
+    pub fn library(&self) -> &TimingLibrary {
+        &self.lib
+    }
+
+    /// Map a boolean network onto the library in the given style.
+    #[must_use]
+    pub fn map(&self, bn: &BoolNetwork, style: LogicStyle) -> Netlist {
+        map_network(bn, style, &self.techmap)
+    }
+
+    /// Event-simulate a netlist (characterising its cells on demand).
+    ///
+    /// # Errors
+    ///
+    /// Propagates characterisation errors.
+    pub fn simulate(
+        &mut self,
+        nl: &Netlist,
+        stimulus: &Stimulus,
+        t_stop: f64,
+    ) -> Result<SimTrace> {
+        self.library_for(nl)?;
+        Ok(EventSim::new(nl, &self.lib).run(stimulus, t_stop))
+    }
+
+    /// Supply-current waveform for a simulated trace.
+    ///
+    /// # Errors
+    ///
+    /// Propagates characterisation errors.
+    pub fn current(
+        &mut self,
+        nl: &Netlist,
+        trace: &SimTrace,
+        sleep: Option<&SleepWave>,
+    ) -> Result<Waveform> {
+        self.library_for(nl)?;
+        Ok(circuit_current(nl, trace, &self.lib, sleep, &self.model))
+    }
+
+    /// Synthesise the sleep distribution tree for a PG-MCML netlist.
+    ///
+    /// # Errors
+    ///
+    /// Propagates characterisation errors (the tree uses the CMOS buffer
+    /// timing).
+    ///
+    /// # Panics
+    ///
+    /// Panics if called on a non-power-gated netlist.
+    pub fn sleep_tree(&mut self, nl: &Netlist) -> Result<SleepTree> {
+        assert!(
+            nl.style.is_power_gated(),
+            "sleep trees only exist for PG-MCML netlists"
+        );
+        self.timing(CellKind::Buffer, LogicStyle::Cmos)?;
+        Ok(build_sleep_tree(
+            nl.gate_count().max(1),
+            &self.lib,
+            &SleepTreeOptions::default(),
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timing_is_cached() {
+        let mut flow = DesignFlow::new(CellParams::default());
+        let t1 = flow.timing(CellKind::Buffer, LogicStyle::PgMcml).unwrap();
+        let t2 = flow.timing(CellKind::Buffer, LogicStyle::PgMcml).unwrap();
+        assert_eq!(t1, t2);
+        assert_eq!(flow.library().len(), 1);
+    }
+
+    #[test]
+    fn map_and_simulate_small_network() {
+        let mut flow = DesignFlow::new(CellParams::default());
+        let mut bn = BoolNetwork::new();
+        let a = bn.input("a");
+        let b = bn.input("b");
+        let q = bn.xor(a, b);
+        bn.set_output("q", q);
+        let nl = flow.map(&bn, LogicStyle::PgMcml);
+        let mut st = Stimulus::new();
+        st.at(0.0, "a", false).at(0.0, "b", false).at(1e-9, "a", true);
+        let trace = flow.simulate(&nl, &st, 3e-9).unwrap();
+        assert!(!trace.transitions.is_empty());
+        let i = flow.current(&nl, &trace, None).unwrap();
+        assert!(i.mean() > 0.0, "PG-MCML netlist draws bias current");
+        let tree = flow.sleep_tree(&nl).unwrap();
+        assert!(tree.buffer_count() >= 1);
+    }
+}

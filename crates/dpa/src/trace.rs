@@ -1,0 +1,153 @@
+//! Power-trace storage.
+
+use serde::{Deserialize, Serialize};
+
+/// A set of power traces with their associated known inputs
+/// (plaintexts). All traces share the same sample count.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TraceSet {
+    n_samples: usize,
+    /// Row-major samples: trace `i` occupies
+    /// `data[i*n_samples..(i+1)*n_samples]`.
+    data: Vec<f64>,
+    /// Known input (plaintext word) per trace.
+    inputs: Vec<u8>,
+}
+
+impl TraceSet {
+    /// An empty set expecting traces of `n_samples` points.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_samples == 0`.
+    #[must_use]
+    pub fn new(n_samples: usize) -> Self {
+        assert!(n_samples > 0, "traces need at least one sample");
+        Self {
+            n_samples,
+            data: Vec::new(),
+            inputs: Vec::new(),
+        }
+    }
+
+    /// Samples per trace.
+    #[must_use]
+    pub fn n_samples(&self) -> usize {
+        self.n_samples
+    }
+
+    /// Number of traces.
+    #[must_use]
+    pub fn n_traces(&self) -> usize {
+        self.inputs.len()
+    }
+
+    /// Whether the set holds no traces.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.inputs.is_empty()
+    }
+
+    /// Append a trace with its known input.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a sample-count mismatch.
+    pub fn push(&mut self, input: u8, samples: &[f64]) {
+        assert_eq!(
+            samples.len(),
+            self.n_samples,
+            "trace length {} != {}",
+            samples.len(),
+            self.n_samples
+        );
+        self.inputs.push(input);
+        self.data.extend_from_slice(samples);
+    }
+
+    /// Trace `i`'s samples.
+    #[must_use]
+    pub fn trace(&self, i: usize) -> &[f64] {
+        &self.data[i * self.n_samples..(i + 1) * self.n_samples]
+    }
+
+    /// Known input of trace `i`.
+    #[must_use]
+    pub fn input(&self, i: usize) -> u8 {
+        self.inputs[i]
+    }
+
+    /// All inputs.
+    #[must_use]
+    pub fn inputs(&self) -> &[u8] {
+        &self.inputs
+    }
+
+    /// Restrict to the first `n` traces (for MTD sweeps).
+    #[must_use]
+    pub fn truncated(&self, n: usize) -> TraceSet {
+        let n = n.min(self.n_traces());
+        TraceSet {
+            n_samples: self.n_samples,
+            data: self.data[..n * self.n_samples].to_vec(),
+            inputs: self.inputs[..n].to_vec(),
+        }
+    }
+
+    /// Per-sample mean across traces.
+    #[must_use]
+    pub fn mean_trace(&self) -> Vec<f64> {
+        let mut m = vec![0.0; self.n_samples];
+        for i in 0..self.n_traces() {
+            for (mm, s) in m.iter_mut().zip(self.trace(i)) {
+                *mm += s;
+            }
+        }
+        let n = self.n_traces().max(1) as f64;
+        m.iter_mut().for_each(|x| *x /= n);
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_access() {
+        let mut ts = TraceSet::new(3);
+        ts.push(0xab, &[1.0, 2.0, 3.0]);
+        ts.push(0xcd, &[4.0, 5.0, 6.0]);
+        assert_eq!(ts.n_traces(), 2);
+        assert_eq!(ts.trace(1), &[4.0, 5.0, 6.0]);
+        assert_eq!(ts.input(0), 0xab);
+        assert!(!ts.is_empty());
+    }
+
+    #[test]
+    fn mean_trace_averages() {
+        let mut ts = TraceSet::new(2);
+        ts.push(0, &[1.0, 3.0]);
+        ts.push(1, &[3.0, 5.0]);
+        assert_eq!(ts.mean_trace(), vec![2.0, 4.0]);
+    }
+
+    #[test]
+    fn truncation() {
+        let mut ts = TraceSet::new(1);
+        for i in 0..10 {
+            ts.push(i, &[f64::from(i)]);
+        }
+        let t = ts.truncated(4);
+        assert_eq!(t.n_traces(), 4);
+        assert_eq!(t.trace(3), &[3.0]);
+        assert_eq!(ts.truncated(99).n_traces(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "trace length")]
+    fn length_mismatch_rejected() {
+        let mut ts = TraceSet::new(3);
+        ts.push(0, &[1.0]);
+    }
+}

@@ -1,0 +1,282 @@
+//! Automatic sleep-domain insertion.
+//!
+//! The paper's closing line: *"Automatic insertion of sleep signal during
+//! synthesis will be investigated in future work."* This module is that
+//! feature: given a PG-MCML netlist and a grouping of its outputs into
+//! independently-idle functions, it partitions the gates into **sleep
+//! domains** by fan-in cone, assigns cone-shared gates to a common
+//! always-ready domain, and sizes one buffered sleep tree per domain —
+//! so that synthesis, not the designer, decides which cells share a sleep
+//! wire (the manual step §5 of the paper had to do by hand).
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use mcml_char::TimingLibrary;
+
+use crate::ir::Netlist;
+use crate::sleep_tree::{build_sleep_tree, SleepTree, SleepTreeOptions};
+
+/// One synthesised sleep domain.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SleepDomain {
+    /// Domain name (from the output group, or `"shared"`).
+    pub name: String,
+    /// Gate indices assigned to this domain.
+    pub gates: Vec<usize>,
+    /// The domain's buffered sleep distribution tree.
+    pub tree: SleepTree,
+}
+
+/// Result of the automatic insertion pass.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SleepPlan {
+    /// Domains in group order, with the shared domain (if any) last.
+    pub domains: Vec<SleepDomain>,
+    /// Per-gate domain index (parallel to the netlist's gate list).
+    pub domain_of_gate: Vec<usize>,
+}
+
+impl SleepPlan {
+    /// Total sleep-tree buffers across all domains.
+    #[must_use]
+    pub fn buffer_count(&self) -> usize {
+        self.domains.iter().map(|d| d.tree.buffer_count()).sum()
+    }
+
+    /// Estimated average power (W) of the gated netlist given each
+    /// domain's duty cycle (fraction of time awake), using per-gate awake
+    /// and asleep power from the library.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `duty` length mismatches the domain count or a gate kind
+    /// is missing from the library.
+    #[must_use]
+    pub fn average_power_w(&self, nl: &Netlist, lib: &TimingLibrary, duty: &[f64]) -> f64 {
+        assert_eq!(duty.len(), self.domains.len(), "one duty per domain");
+        let mut total = 0.0;
+        for (d, dom) in self.domains.iter().enumerate() {
+            for &gi in &dom.gates {
+                let g = &nl.gates()[gi];
+                let t = match g.kind {
+                    crate::ir::GateKind::Lib(k) => lib
+                        .get(k, nl.style)
+                        .unwrap_or_else(|| panic!("library misses {k}")),
+                    crate::ir::GateKind::Inv => continue,
+                };
+                total += duty[d] * t.static_power_w + (1.0 - duty[d]) * t.leakage_sleep_w;
+            }
+        }
+        total
+    }
+}
+
+/// Partition `nl` into sleep domains from named output groups.
+///
+/// Each group is `(name, output names)`. A gate belongs to a group's
+/// domain if it lies in the combinational fan-in cone of that group's
+/// outputs only; gates feeding more than one group land in the `shared`
+/// domain, which must stay awake whenever any group is active. Gates in
+/// no cone (dangling) also land in `shared`.
+///
+/// # Panics
+///
+/// Panics on unknown output names or a non-power-gated netlist.
+#[must_use]
+pub fn insert_sleep_domains(
+    nl: &Netlist,
+    groups: &[(&str, Vec<&str>)],
+    lib: &TimingLibrary,
+    opts: &SleepTreeOptions,
+) -> SleepPlan {
+    assert!(
+        nl.style.is_power_gated(),
+        "automatic sleep insertion targets PG-MCML netlists"
+    );
+    let driver = nl.driver_map();
+    let out_conn: HashMap<&str, crate::ir::Conn> = nl
+        .outputs()
+        .iter()
+        .map(|(n, c)| (n.as_str(), *c))
+        .collect();
+
+    // Mark each gate with the bitmask of groups whose cone contains it.
+    let n_gates = nl.gates().len();
+    let mut mask = vec![0u64; n_gates];
+    for (gid, (_, outs)) in groups.iter().enumerate() {
+        let bit = 1u64 << gid;
+        let mut stack: Vec<usize> = Vec::new();
+        for oname in outs {
+            let conn = out_conn
+                .get(*oname)
+                .unwrap_or_else(|| panic!("unknown output `{oname}`"));
+            if let Some(g) = driver[conn.net.index()] {
+                stack.push(g);
+            }
+        }
+        while let Some(g) = stack.pop() {
+            if mask[g] & bit != 0 {
+                continue;
+            }
+            mask[g] |= bit;
+            for c in &nl.gates()[g].inputs {
+                if let Some(src) = driver[c.net.index()] {
+                    stack.push(src);
+                }
+            }
+        }
+    }
+
+    // Assign: exactly one group bit → that domain; 0 or >1 bits → shared.
+    let shared_idx = groups.len();
+    let mut domain_of_gate = vec![shared_idx; n_gates];
+    let mut gates_of: Vec<Vec<usize>> = vec![Vec::new(); groups.len() + 1];
+    for (g, &m) in mask.iter().enumerate() {
+        let dom = if m.count_ones() == 1 {
+            m.trailing_zeros() as usize
+        } else {
+            shared_idx
+        };
+        domain_of_gate[g] = dom;
+        gates_of[dom].push(g);
+    }
+
+    let mut domains = Vec::new();
+    for (gid, (name, _)) in groups.iter().enumerate() {
+        let sinks = gates_of[gid].len().max(1);
+        domains.push(SleepDomain {
+            name: (*name).to_owned(),
+            gates: gates_of[gid].clone(),
+            tree: build_sleep_tree(sinks, lib, opts),
+        });
+    }
+    if !gates_of[shared_idx].is_empty() {
+        let sinks = gates_of[shared_idx].len();
+        domains.push(SleepDomain {
+            name: "shared".to_owned(),
+            gates: gates_of[shared_idx].clone(),
+            tree: build_sleep_tree(sinks, lib, opts),
+        });
+    } else {
+        // Keep indices consistent: an empty shared domain with a minimal
+        // tree.
+        domains.push(SleepDomain {
+            name: "shared".to_owned(),
+            gates: Vec::new(),
+            tree: build_sleep_tree(1, lib, opts),
+        });
+    }
+
+    SleepPlan {
+        domains,
+        domain_of_gate,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{Conn, GateKind};
+    use mcml_cells::{CellKind, DriveStrength, LogicStyle};
+    use mcml_char::CellTiming;
+
+    fn lib() -> TimingLibrary {
+        let mut lib = TimingLibrary::new();
+        for kind in CellKind::ALL {
+            for style in [LogicStyle::PgMcml, LogicStyle::Cmos] {
+                lib.insert(CellTiming {
+                    kind,
+                    style,
+                    drive: DriveStrength::X1,
+                    area_um2: 10.0,
+                    delay_fo1_ps: 30.0,
+                    delay_fo4_ps: 60.0,
+                    input_cap_ff: 1.0,
+                    static_power_w: 60e-6,
+                    leakage_sleep_w: 1e-9,
+                    toggle_energy_j: 1e-15,
+                });
+            }
+        }
+        lib
+    }
+
+    /// Two independent XOR cones plus one shared AND feeding both.
+    fn two_cone_netlist() -> Netlist {
+        let mut nl = Netlist::new("cones", LogicStyle::PgMcml);
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let c = nl.add_input("c");
+        let shared = nl.add_net("sh");
+        let q0 = nl.add_net("q0n");
+        let q1 = nl.add_net("q1n");
+        nl.add_gate(
+            "u_sh",
+            GateKind::Lib(CellKind::And2),
+            vec![Conn::plain(a), Conn::plain(b)],
+            vec![shared],
+        );
+        nl.add_gate(
+            "u_x0",
+            GateKind::Lib(CellKind::Xor2),
+            vec![Conn::plain(shared), Conn::plain(c)],
+            vec![q0],
+        );
+        nl.add_gate(
+            "u_x1",
+            GateKind::Lib(CellKind::Xor2),
+            vec![Conn::plain(shared), Conn::plain(b)],
+            vec![q1],
+        );
+        nl.set_output("q0", Conn::plain(q0));
+        nl.set_output("q1", Conn::plain(q1));
+        nl
+    }
+
+    #[test]
+    fn cones_partition_with_shared_domain() {
+        let nl = two_cone_netlist();
+        let plan = insert_sleep_domains(
+            &nl,
+            &[("f0", vec!["q0"]), ("f1", vec!["q1"])],
+            &lib(),
+            &SleepTreeOptions::default(),
+        );
+        assert_eq!(plan.domains.len(), 3);
+        assert_eq!(plan.domains[0].gates, vec![1], "x0 exclusive to f0");
+        assert_eq!(plan.domains[1].gates, vec![2], "x1 exclusive to f1");
+        assert_eq!(plan.domains[2].gates, vec![0], "the AND is shared");
+        assert_eq!(plan.domain_of_gate, vec![2, 0, 1]);
+    }
+
+    #[test]
+    fn per_domain_duty_beats_monolithic_sleep() {
+        // If only f0 is ever active (10 %), per-domain gating powers off
+        // f1's cone entirely — cheaper than waking everything at 10 %.
+        let nl = two_cone_netlist();
+        let lib = lib();
+        let plan = insert_sleep_domains(
+            &nl,
+            &[("f0", vec!["q0"]), ("f1", vec!["q1"])],
+            &lib,
+            &SleepTreeOptions::default(),
+        );
+        let per_domain = plan.average_power_w(&nl, &lib, &[0.1, 0.0, 0.1]);
+        let monolithic = plan.average_power_w(&nl, &lib, &[0.1, 0.1, 0.1]);
+        assert!(per_domain < monolithic);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown output")]
+    fn unknown_output_rejected() {
+        let nl = two_cone_netlist();
+        let _ = insert_sleep_domains(
+            &nl,
+            &[("f0", vec!["nope"])],
+            &lib(),
+            &SleepTreeOptions::default(),
+        );
+    }
+}

@@ -1,0 +1,433 @@
+//! Complemented-edge boolean network — the synthesis front-end IR.
+//!
+//! Nodes are AND2, XOR2 and MUX2 over [`Signal`] edges that carry an
+//! inversion flag, so negation is free at this level (matching both
+//! standard AIG practice and the physical reality of differential logic).
+//! A BDD-backed [`BoolNetwork::lut`] builder turns truth tables — e.g.
+//! the AES S-box — into shared MUX trees.
+
+use std::collections::HashMap;
+
+use mcml_cells::bdd::{Bdd, BddRef};
+use serde::{Deserialize, Serialize};
+
+/// Reference to a network node with an optional complement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Signal {
+    /// Node index.
+    pub node: u32,
+    /// Complement flag (free inversion).
+    pub inverted: bool,
+}
+
+impl Signal {
+    /// The complemented signal.
+    #[must_use]
+    pub fn not(self) -> Signal {
+        Signal {
+            node: self.node,
+            inverted: !self.inverted,
+        }
+    }
+}
+
+/// Network node payload.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum BNode {
+    /// Primary input with a name.
+    Input(String),
+    /// Constant FALSE (use `.not()` for TRUE).
+    False,
+    /// 2-input AND.
+    And(Signal, Signal),
+    /// 2-input XOR.
+    Xor(Signal, Signal),
+    /// 2:1 mux: `s ? hi : lo`.
+    Mux {
+        /// Select.
+        s: Signal,
+        /// Value when `s` is 0.
+        lo: Signal,
+        /// Value when `s` is 1.
+        hi: Signal,
+    },
+}
+
+/// A combinational boolean network with named inputs and outputs.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct BoolNetwork {
+    nodes: Vec<BNode>,
+    inputs: Vec<(String, u32)>,
+    outputs: Vec<(String, Signal)>,
+    false_node: Option<u32>,
+}
+
+impl BoolNetwork {
+    /// An empty network.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn push(&mut self, n: BNode) -> Signal {
+        let id = u32::try_from(self.nodes.len()).expect("network too large");
+        self.nodes.push(n);
+        Signal {
+            node: id,
+            inverted: false,
+        }
+    }
+
+    /// Node payload.
+    #[must_use]
+    pub fn node(&self, id: u32) -> &BNode {
+        &self.nodes[id as usize]
+    }
+
+    /// Total node count.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the network has no nodes.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Create (or look up) a named primary input.
+    pub fn input(&mut self, name: &str) -> Signal {
+        if let Some(&(_, id)) = self.inputs.iter().find(|(n, _)| n == name) {
+            return Signal {
+                node: id,
+                inverted: false,
+            };
+        }
+        let s = self.push(BNode::Input(name.to_owned()));
+        self.inputs.push((name.to_owned(), s.node));
+        s
+    }
+
+    /// Constant signal (the FALSE node is shared across calls).
+    pub fn constant(&mut self, value: bool) -> Signal {
+        let f = match self.false_node {
+            Some(i) => Signal {
+                node: i,
+                inverted: false,
+            },
+            None => {
+                let s = self.push(BNode::False);
+                self.false_node = Some(s.node);
+                s
+            }
+        };
+        if value {
+            f.not()
+        } else {
+            f
+        }
+    }
+
+    /// If the signal is a constant, its value.
+    #[must_use]
+    pub fn as_const(&self, s: Signal) -> Option<bool> {
+        match self.nodes[s.node as usize] {
+            BNode::False => Some(s.inverted),
+            _ => None,
+        }
+    }
+
+    /// `a ∧ b`, with constant folding.
+    pub fn and(&mut self, a: Signal, b: Signal) -> Signal {
+        match (self.as_const(a), self.as_const(b)) {
+            (Some(false), _) | (_, Some(false)) => self.constant(false),
+            (Some(true), _) => b,
+            (_, Some(true)) => a,
+            _ if a == b => a,
+            _ if a == b.not() => self.constant(false),
+            _ => self.push(BNode::And(a, b)),
+        }
+    }
+
+    /// `a ∨ b` (by De Morgan, still one AND node).
+    pub fn or(&mut self, a: Signal, b: Signal) -> Signal {
+        self.and(a.not(), b.not()).not()
+    }
+
+    /// `a ⊕ b`, with constant folding.
+    pub fn xor(&mut self, a: Signal, b: Signal) -> Signal {
+        match (self.as_const(a), self.as_const(b)) {
+            (Some(va), _) => {
+                if va {
+                    b.not()
+                } else {
+                    b
+                }
+            }
+            (_, Some(vb)) => {
+                if vb {
+                    a.not()
+                } else {
+                    a
+                }
+            }
+            _ if a == b => self.constant(false),
+            _ if a == b.not() => self.constant(true),
+            _ => self.push(BNode::Xor(a, b)),
+        }
+    }
+
+    /// `s ? hi : lo`, with constant folding (so BDD terminals never leave
+    /// constant mux legs behind).
+    pub fn mux(&mut self, s: Signal, lo: Signal, hi: Signal) -> Signal {
+        if let Some(vs) = self.as_const(s) {
+            return if vs { hi } else { lo };
+        }
+        if lo == hi {
+            return lo;
+        }
+        // Equal constants can live on distinct nodes; compare by value.
+        if let (Some(a), Some(b)) = (self.as_const(lo), self.as_const(hi)) {
+            if a == b {
+                return self.constant(a);
+            }
+        }
+        match (self.as_const(lo), self.as_const(hi)) {
+            (Some(false), Some(true)) => s,
+            (Some(true), Some(false)) => s.not(),
+            (Some(false), None) => self.and(s, hi),
+            (None, Some(false)) => self.and(s.not(), lo),
+            (Some(true), None) => self.or(s.not(), hi),
+            (None, Some(true)) => self.or(s, lo),
+            _ => self.push(BNode::Mux { s, lo, hi }),
+        }
+    }
+
+    /// Majority of three.
+    pub fn maj(&mut self, a: Signal, b: Signal, c: Signal) -> Signal {
+        let ab = self.and(a, b);
+        let o = self.or(a, b);
+        self.mux(c, ab, o)
+    }
+
+    /// Register a named output.
+    pub fn set_output(&mut self, name: &str, s: Signal) {
+        self.outputs.push((name.to_owned(), s));
+    }
+
+    /// Named outputs.
+    #[must_use]
+    pub fn outputs(&self) -> &[(String, Signal)] {
+        &self.outputs
+    }
+
+    /// Named inputs in creation order.
+    #[must_use]
+    pub fn inputs(&self) -> &[(String, u32)] {
+        &self.inputs
+    }
+
+    /// Build a LUT over the given input signals from a truth table
+    /// (`table[i]` = output for the assignment whose bit `b` is
+    /// `(i >> b) & 1`, matching `inputs[b]`). Shared BDD nodes become
+    /// shared MUX nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the table is shorter than `2^inputs.len()` or more than
+    /// 16 inputs are supplied.
+    pub fn lut(&mut self, inputs: &[Signal], table: &[bool]) -> Signal {
+        let n = u8::try_from(inputs.len()).expect("≤16 inputs");
+        let mut bdd = Bdd::new();
+        let root = bdd.from_truth_table(n, table);
+        let mut memo: HashMap<BddRef, Signal> = HashMap::new();
+        self.emit_bdd(&bdd, root, inputs, &mut memo)
+    }
+
+    fn emit_bdd(
+        &mut self,
+        bdd: &Bdd,
+        r: BddRef,
+        inputs: &[Signal],
+        memo: &mut HashMap<BddRef, Signal>,
+    ) -> Signal {
+        if r == BddRef::ZERO {
+            return self.constant(false);
+        }
+        if r == BddRef::ONE {
+            return self.constant(true);
+        }
+        if let Some(&s) = memo.get(&r) {
+            return s;
+        }
+        let node = bdd.node(r);
+        let lo = self.emit_bdd(bdd, node.lo, inputs, memo);
+        let hi = self.emit_bdd(bdd, node.hi, inputs, memo);
+        let s = self.mux(inputs[node.var as usize], lo, hi);
+        memo.insert(r, s);
+        s
+    }
+
+    /// Evaluate the network at a named-input assignment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an input is missing from the assignment.
+    #[must_use]
+    pub fn eval(&self, assignment: &HashMap<String, bool>) -> HashMap<String, bool> {
+        let mut values: Vec<Option<bool>> = vec![None; self.nodes.len()];
+        let mut out = HashMap::new();
+        for (name, sig) in &self.outputs {
+            let v = self.eval_signal(*sig, assignment, &mut values);
+            out.insert(name.clone(), v);
+        }
+        out
+    }
+
+    fn eval_signal(
+        &self,
+        s: Signal,
+        assignment: &HashMap<String, bool>,
+        values: &mut Vec<Option<bool>>,
+    ) -> bool {
+        let raw = if let Some(v) = values[s.node as usize] {
+            v
+        } else {
+            let v = match &self.nodes[s.node as usize] {
+                BNode::Input(name) => *assignment
+                    .get(name)
+                    .unwrap_or_else(|| panic!("missing input `{name}`")),
+                BNode::False => false,
+                BNode::And(a, b) => {
+                    self.eval_signal(*a, assignment, values)
+                        && self.eval_signal(*b, assignment, values)
+                }
+                BNode::Xor(a, b) => {
+                    self.eval_signal(*a, assignment, values)
+                        ^ self.eval_signal(*b, assignment, values)
+                }
+                BNode::Mux { s: sel, lo, hi } => {
+                    if self.eval_signal(*sel, assignment, values) {
+                        self.eval_signal(*hi, assignment, values)
+                    } else {
+                        self.eval_signal(*lo, assignment, values)
+                    }
+                }
+            };
+            values[s.node as usize] = Some(v);
+            v
+        };
+        raw ^ s.inverted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn asg(pairs: &[(&str, bool)]) -> HashMap<String, bool> {
+        pairs.iter().map(|&(k, v)| (k.to_owned(), v)).collect()
+    }
+
+    #[test]
+    fn and_or_xor_eval() {
+        let mut bn = BoolNetwork::new();
+        let a = bn.input("a");
+        let b = bn.input("b");
+        let and = bn.and(a, b);
+        let or = bn.or(a, b);
+        let xor = bn.xor(a, b);
+        bn.set_output("and", and);
+        bn.set_output("or", or);
+        bn.set_output("xor", xor);
+        for (va, vb) in [(false, false), (false, true), (true, false), (true, true)] {
+            let r = bn.eval(&asg(&[("a", va), ("b", vb)]));
+            assert_eq!(r["and"], va && vb);
+            assert_eq!(r["or"], va || vb);
+            assert_eq!(r["xor"], va ^ vb);
+        }
+    }
+
+    #[test]
+    fn free_inversion() {
+        let mut bn = BoolNetwork::new();
+        let a = bn.input("a");
+        bn.set_output("na", a.not());
+        assert!(bn.eval(&asg(&[("a", false)]))["na"]);
+        assert!(!bn.eval(&asg(&[("a", true)]))["na"]);
+    }
+
+    #[test]
+    fn input_lookup_is_idempotent() {
+        let mut bn = BoolNetwork::new();
+        let a1 = bn.input("a");
+        let a2 = bn.input("a");
+        assert_eq!(a1, a2);
+        assert_eq!(bn.inputs().len(), 1);
+    }
+
+    #[test]
+    fn mux_and_maj() {
+        let mut bn = BoolNetwork::new();
+        let a = bn.input("a");
+        let b = bn.input("b");
+        let c = bn.input("c");
+        let m = bn.mux(c, a, b);
+        let mj = bn.maj(a, b, c);
+        bn.set_output("mux", m);
+        bn.set_output("maj", mj);
+        for p in 0..8u32 {
+            let (va, vb, vc) = (p & 1 == 1, p & 2 == 2, p & 4 == 4);
+            let r = bn.eval(&asg(&[("a", va), ("b", vb), ("c", vc)]));
+            assert_eq!(r["mux"], if vc { vb } else { va });
+            let count = [va, vb, vc].iter().filter(|&&x| x).count();
+            assert_eq!(r["maj"], count >= 2);
+        }
+    }
+
+    #[test]
+    fn constants() {
+        let mut bn = BoolNetwork::new();
+        let t = bn.constant(true);
+        let f = bn.constant(false);
+        bn.set_output("t", t);
+        bn.set_output("f", f);
+        let r = bn.eval(&HashMap::new());
+        assert!(r["t"]);
+        assert!(!r["f"]);
+    }
+
+    #[test]
+    fn lut_matches_table() {
+        // 3-input LUT of an arbitrary function.
+        let table: Vec<bool> = (0..8).map(|i| [true, false, false, true, true, true, false, false][i]).collect();
+        let mut bn = BoolNetwork::new();
+        let ins: Vec<Signal> = ["a", "b", "c"].iter().map(|n| bn.input(n)).collect();
+        let q = bn.lut(&ins, &table);
+        bn.set_output("q", q);
+        for p in 0..8usize {
+            let r = bn.eval(&asg(&[
+                ("a", p & 1 == 1),
+                ("b", p & 2 == 2),
+                ("c", p & 4 == 4),
+            ]));
+            assert_eq!(r["q"], table[p], "pattern {p}");
+        }
+    }
+
+    #[test]
+    fn lut_shares_nodes() {
+        // XOR-of-4 truth table: the BDD is linear, so the MUX tree must be
+        // far smaller than the 15-node complete tree.
+        let table: Vec<bool> = (0..16u32).map(|i| i.count_ones() % 2 == 1).collect();
+        let mut bn = BoolNetwork::new();
+        let ins: Vec<Signal> = (0..4).map(|i| bn.input(&format!("x{i}"))).collect();
+        let q = bn.lut(&ins, &table);
+        bn.set_output("q", q);
+        // 4 inputs + 1 constant + ≤8 muxes.
+        assert!(bn.len() <= 13, "network size {}", bn.len());
+        let r = bn.eval(&asg(&[("x0", true), ("x1", true), ("x2", false), ("x3", false)]));
+        assert!(!r["q"]);
+    }
+}

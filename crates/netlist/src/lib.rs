@@ -1,0 +1,39 @@
+//! # mcml-netlist — gate-level IR, synthesis and the sleep tree
+//!
+//! The commodity-EDA slice of the paper's flow (Design Compiler +
+//! Encounter): a structural gate-level netlist over the cell library, a
+//! small synthesis front-end, and the power-gating infrastructure.
+//!
+//! * [`ir`] — netlist IR with **free differential inversion**: a
+//!   connection may be marked inverted, which MCML realises by swapping
+//!   the fat-wire rail pair (no gate needed); the CMOS back-end legalises
+//!   the same netlist by inserting real inverters.
+//! * [`bool_network`] — a complemented-edge boolean network (AND/XOR/MUX
+//!   nodes) used as the synthesis input, with a BDD-based LUT builder for
+//!   look-up-table blocks such as the AES S-box.
+//! * [`techmap`] — maps the network onto the 16-cell library, with fusion
+//!   passes (AND2 chains → AND3/AND4, XOR chains → XOR3/XOR4, MUX2 pairs →
+//!   MUX4) and high-fan-out buffering.
+//! * [`sleep_tree`] — the CTS-style balanced buffered distribution of the
+//!   sleep signal (§5: *"the sleep signal is routed and buffered as a
+//!   balanced tree"* using single-ended CMOS clock buffers), reporting
+//!   buffer count, insertion delay and skew.
+//! * [`report`] — cell counts, silicon area (cells + fat-wire routing
+//!   overhead) and static-timing critical path against a characterised
+//!   [`mcml_char::TimingLibrary`].
+
+#![deny(missing_docs)]
+
+pub mod auto_sleep;
+pub mod bool_network;
+pub mod ir;
+pub mod report;
+pub mod sleep_tree;
+pub mod techmap;
+
+pub use auto_sleep::{insert_sleep_domains, SleepDomain, SleepPlan};
+pub use bool_network::{BoolNetwork, Signal};
+pub use ir::{Conn, Gate, GateKind, NetId, Netlist};
+pub use report::{area_report, critical_path_ps, AreaReport};
+pub use sleep_tree::{build_sleep_tree, SleepTree};
+pub use techmap::{map_network, TechmapOptions};

@@ -1,0 +1,216 @@
+//! Physical reports: cell counts, silicon area with fat-wire routing
+//! overhead, and static timing (critical path).
+
+use mcml_cells::{cell_area_um2, CellKind, DriveStrength, LogicStyle};
+use mcml_char::TimingLibrary;
+use serde::{Deserialize, Serialize};
+
+use crate::ir::{GateKind, Netlist};
+
+/// Area of a legalisation inverter (µm²): two transistors of the CMOS
+/// area model.
+const INV_AREA_UM2: f64 = 2.0 * 0.28 * 2.8;
+
+/// Routing-area overhead factors. Differential styles route every signal
+/// as a **fat wire** (the paper's §5: both rails side by side with
+/// matched delay and load), doubling the routing demand; at constant
+/// router capacity the placement density drops accordingly. The factors
+/// are calibrated against the paper's Table 3 macro areas (CMOS ≈ its
+/// summed cell area; the differential macros ≈ 1.8× theirs).
+const ROUTE_FACTOR_SINGLE: f64 = 1.05;
+const ROUTE_FACTOR_FAT: f64 = 1.80;
+
+/// Physical summary of a mapped netlist.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AreaReport {
+    /// Total instances (library cells + inverters).
+    pub cells: usize,
+    /// Sum of cell areas (µm²).
+    pub cell_area_um2: f64,
+    /// Placed area including routing overhead (µm²) — the number the
+    /// paper's Table 3 reports post-P&R.
+    pub total_area_um2: f64,
+    /// Style the report was computed for.
+    pub style: LogicStyle,
+}
+
+/// Compute the area report for a netlist.
+#[must_use]
+pub fn area_report(nl: &Netlist) -> AreaReport {
+    let mut cell_area = 0.0;
+    for g in nl.gates() {
+        cell_area += match g.kind {
+            GateKind::Lib(k) => cell_area_um2(k, nl.style, DriveStrength::X1),
+            GateKind::Inv => INV_AREA_UM2,
+        };
+    }
+    let route = if nl.style.is_differential() {
+        ROUTE_FACTOR_FAT
+    } else {
+        ROUTE_FACTOR_SINGLE
+    };
+    AreaReport {
+        cells: nl.gate_count(),
+        cell_area_um2: cell_area,
+        total_area_um2: cell_area * route,
+        style: nl.style,
+    }
+}
+
+/// Static-timing critical path (ps): longest gate-delay path through the
+/// combinational network, with per-gate delay taken from the library at
+/// the gate's actual fan-out. Sequential gates act as path endpoints
+/// (clk-to-Q launches, D captures).
+///
+/// # Panics
+///
+/// Panics if a gate kind is missing from the library or the netlist is
+/// cyclic.
+#[must_use]
+pub fn critical_path_ps(nl: &Netlist, lib: &TimingLibrary) -> f64 {
+    let delay_of = |kind: GateKind, fanout: f64| -> f64 {
+        match kind {
+            GateKind::Lib(k) => lib
+                .get(k, nl.style)
+                .unwrap_or_else(|| panic!("library misses {k} in {}", nl.style))
+                .delay_ps(fanout),
+            GateKind::Inv => lib
+                .get(CellKind::Buffer, nl.style)
+                .map(|t| 0.6 * t.delay_ps(fanout))
+                .unwrap_or(10.0),
+        }
+    };
+    let fan = nl.fanout_counts();
+    let driver = nl.driver_map();
+    let order = nl.comb_topo_order().expect("acyclic netlist");
+
+    // arrival[net] = worst arrival time at the net.
+    let mut arrival = vec![0.0f64; nl.net_count()];
+    // Sequential launches: clk-to-Q at the flop's own delay.
+    for g in nl.gates() {
+        if let GateKind::Lib(k) = g.kind {
+            if k.is_sequential() {
+                let d = delay_of(g.kind, fan[g.outputs[0].index()] as f64);
+                for &o in &g.outputs {
+                    arrival[o.index()] = d;
+                }
+            }
+        }
+    }
+    let mut worst: f64 = 0.0;
+    for gi in order {
+        let g = &nl.gates()[gi];
+        let in_arr = g
+            .inputs
+            .iter()
+            .map(|c| arrival[c.net.index()])
+            .fold(0.0f64, f64::max);
+        for &o in &g.outputs {
+            let d = delay_of(g.kind, fan[o.index()] as f64);
+            arrival[o.index()] = in_arr + d;
+            worst = worst.max(arrival[o.index()]);
+        }
+    }
+    // Capture at sequential D pins and primary outputs.
+    let _ = driver;
+    for (_, c) in nl.outputs() {
+        worst = worst.max(arrival[c.net.index()]);
+    }
+    worst
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{Conn, Netlist};
+    use mcml_char::CellTiming;
+
+    fn tiny_lib(style: LogicStyle) -> TimingLibrary {
+        let mut lib = TimingLibrary::new();
+        for (kind, d) in [
+            (CellKind::Buffer, 20.0),
+            (CellKind::Xor2, 44.0),
+            (CellKind::And2, 41.0),
+            (CellKind::Dff, 53.0),
+        ] {
+            lib.insert(CellTiming {
+                kind,
+                style,
+                drive: DriveStrength::X1,
+                area_um2: cell_area_um2(kind, style, DriveStrength::X1),
+                delay_fo1_ps: d,
+                delay_fo4_ps: d * 1.8,
+                input_cap_ff: 1.0,
+                static_power_w: 60e-6,
+                leakage_sleep_w: 1e-9,
+                toggle_energy_j: 1e-15,
+            });
+        }
+        lib
+    }
+
+    fn chain_netlist(style: LogicStyle) -> Netlist {
+        let mut nl = Netlist::new("chain", style);
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let x = nl.add_net("x");
+        let y = nl.add_net("y");
+        nl.add_gate(
+            "u1",
+            GateKind::Lib(CellKind::Xor2),
+            vec![Conn::plain(a), Conn::plain(b)],
+            vec![x],
+        );
+        nl.add_gate(
+            "u2",
+            GateKind::Lib(CellKind::And2),
+            vec![Conn::plain(x), Conn::plain(b)],
+            vec![y],
+        );
+        nl.set_output("q", Conn::plain(y));
+        nl
+    }
+
+    #[test]
+    fn critical_path_sums_chain() {
+        let nl = chain_netlist(LogicStyle::PgMcml);
+        let lib = tiny_lib(LogicStyle::PgMcml);
+        let cp = critical_path_ps(&nl, &lib);
+        // XOR2 (FO1) + AND2 (FO1) = 44 + 41.
+        assert!((cp - 85.0).abs() < 1e-6, "critical path {cp}");
+    }
+
+    #[test]
+    fn sequential_launch_counts() {
+        let mut nl = Netlist::new("ff", LogicStyle::PgMcml);
+        let clk = nl.add_input("clk");
+        let d = nl.add_input("d");
+        let q = nl.add_net("q");
+        let y = nl.add_net("y");
+        nl.add_gate(
+            "ff",
+            GateKind::Lib(CellKind::Dff),
+            vec![Conn::plain(d), Conn::plain(clk)],
+            vec![q],
+        );
+        nl.add_gate(
+            "u",
+            GateKind::Lib(CellKind::And2),
+            vec![Conn::plain(q), Conn::plain(d)],
+            vec![y],
+        );
+        nl.set_output("y", Conn::plain(y));
+        let lib = tiny_lib(LogicStyle::PgMcml);
+        let cp = critical_path_ps(&nl, &lib);
+        assert!((cp - (53.0 + 41.0)).abs() < 1e-6, "clk-to-q + and: {cp}");
+    }
+
+    #[test]
+    fn differential_area_overhead() {
+        let mcml = area_report(&chain_netlist(LogicStyle::Mcml));
+        let cmos = area_report(&chain_netlist(LogicStyle::Cmos));
+        assert!(mcml.total_area_um2 > cmos.total_area_um2);
+        assert!(mcml.total_area_um2 > mcml.cell_area_um2, "routing overhead");
+        assert_eq!(mcml.cells, 2);
+    }
+}

@@ -1,0 +1,192 @@
+//! Balanced buffered distribution of the sleep signal.
+//!
+//! The paper routes the sleep signal "as a balanced tree" of
+//! **single-ended static CMOS clock buffers** sized to the PG-MCML row
+//! height, synthesised by the P&R tool's clock-tree engine; the goal is
+//! an insertion delay of ≈1 ns so the protected block can be woken in a
+//! small fraction of the 400 MHz clock period. This module sizes that
+//! tree for a given number of gated cells and reports buffer count,
+//! insertion delay and skew.
+
+use mcml_cells::{CellKind, LogicStyle};
+use mcml_char::TimingLibrary;
+use serde::{Deserialize, Serialize};
+
+/// Sleep-tree construction parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SleepTreeOptions {
+    /// Maximum sleep pins driven by one leaf buffer.
+    pub leaf_fanout: usize,
+    /// Branching factor of internal tree levels.
+    pub branching: usize,
+    /// Per-level wire delay adder (s), covering the RC of the balanced
+    /// routes between levels.
+    pub wire_delay_per_level: f64,
+    /// Relative per-buffer delay mismatch used for the skew estimate.
+    pub mismatch: f64,
+}
+
+impl Default for SleepTreeOptions {
+    fn default() -> Self {
+        Self {
+            leaf_fanout: 16,
+            branching: 4,
+            wire_delay_per_level: 25e-12,
+            mismatch: 0.05,
+        }
+    }
+}
+
+/// A synthesised sleep tree.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SleepTree {
+    /// Number of gated sleep pins served.
+    pub sinks: usize,
+    /// Buffer count per level, root first.
+    pub buffers_per_level: Vec<usize>,
+    /// Root-to-leaf insertion delay (s).
+    pub insertion_delay: f64,
+    /// Estimated leaf-to-leaf skew (s).
+    pub skew: f64,
+}
+
+impl SleepTree {
+    /// Total buffer count.
+    #[must_use]
+    pub fn buffer_count(&self) -> usize {
+        self.buffers_per_level.iter().sum()
+    }
+
+    /// Tree depth in buffer levels.
+    #[must_use]
+    pub fn levels(&self) -> usize {
+        self.buffers_per_level.len()
+    }
+
+    /// Area of the tree's buffers (µm²), using the CMOS buffer cell (one
+    /// row-height single-ended clock buffer per tree node).
+    #[must_use]
+    pub fn area_um2(&self) -> f64 {
+        self.buffer_count() as f64
+            * mcml_cells::cell_area_um2(
+                CellKind::Buffer,
+                LogicStyle::Cmos,
+                mcml_cells::DriveStrength::X1,
+            )
+    }
+}
+
+/// Build a balanced sleep tree for `sinks` gated cells.
+///
+/// The per-buffer delay comes from the characterised **CMOS** buffer
+/// (sleep distribution is single-ended, exactly like a clock tree), at
+/// the fan-out each level actually drives.
+///
+/// # Panics
+///
+/// Panics if the library lacks a CMOS buffer entry or `sinks == 0`.
+#[must_use]
+pub fn build_sleep_tree(sinks: usize, lib: &TimingLibrary, opts: &SleepTreeOptions) -> SleepTree {
+    assert!(sinks > 0, "a sleep tree needs at least one sink");
+    let buf = lib
+        .get(CellKind::Buffer, LogicStyle::Cmos)
+        .expect("CMOS buffer characterised");
+
+    // Leaves first: enough buffers to keep leaf fan-out bounded.
+    let mut levels_rev = Vec::new();
+    let mut count = sinks.div_ceil(opts.leaf_fanout);
+    levels_rev.push(count);
+    while count > 1 {
+        count = count.div_ceil(opts.branching);
+        levels_rev.push(count);
+    }
+    let buffers_per_level: Vec<usize> = levels_rev.iter().rev().copied().collect();
+
+    // Insertion delay: per-level buffer delay at its true fan-out plus
+    // the wire adder.
+    let mut insertion = 0.0;
+    for (li, &n) in buffers_per_level.iter().enumerate() {
+        let next = buffers_per_level
+            .get(li + 1)
+            .copied()
+            .unwrap_or(sinks.min(n * opts.leaf_fanout));
+        let fanout = (next as f64 / n as f64).max(1.0);
+        insertion += buf.delay_ps(fanout) * 1e-12 + opts.wire_delay_per_level;
+    }
+    let skew = insertion * opts.mismatch;
+
+    SleepTree {
+        sinks,
+        buffers_per_level,
+        insertion_delay: insertion,
+        skew,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcml_cells::DriveStrength;
+    use mcml_char::CellTiming;
+
+    fn lib_with_cmos_buffer() -> TimingLibrary {
+        let mut lib = TimingLibrary::new();
+        lib.insert(CellTiming {
+            kind: CellKind::Buffer,
+            style: LogicStyle::Cmos,
+            drive: DriveStrength::X1,
+            area_um2: 3.1,
+            delay_fo1_ps: 25.0,
+            delay_fo4_ps: 60.0,
+            input_cap_ff: 1.2,
+            static_power_w: 1e-9,
+            leakage_sleep_w: 1e-9,
+            toggle_energy_j: 2e-15,
+        });
+        lib
+    }
+
+    #[test]
+    fn small_block_single_level() {
+        let lib = lib_with_cmos_buffer();
+        let t = build_sleep_tree(10, &lib, &SleepTreeOptions::default());
+        assert_eq!(t.levels(), 1);
+        assert_eq!(t.buffer_count(), 1);
+        assert!(t.insertion_delay > 0.0);
+    }
+
+    #[test]
+    fn ise_sized_block_meets_1ns_budget() {
+        // The S-box ISE has ~3000 cells; the paper reports ≈1 ns sleep
+        // insertion delay.
+        let lib = lib_with_cmos_buffer();
+        let t = build_sleep_tree(3076, &lib, &SleepTreeOptions::default());
+        assert!(t.levels() >= 3, "needs a real tree: {:?}", t.buffers_per_level);
+        assert!(
+            t.insertion_delay > 0.1e-9 && t.insertion_delay < 1.5e-9,
+            "insertion delay {} s",
+            t.insertion_delay
+        );
+        assert!(t.skew < t.insertion_delay / 5.0);
+        // Every sink is served.
+        let leaves = *t.buffers_per_level.last().unwrap();
+        assert!(leaves * 16 >= 3076);
+    }
+
+    #[test]
+    fn deeper_tree_for_more_sinks() {
+        let lib = lib_with_cmos_buffer();
+        let small = build_sleep_tree(100, &lib, &SleepTreeOptions::default());
+        let big = build_sleep_tree(10_000, &lib, &SleepTreeOptions::default());
+        assert!(big.levels() > small.levels());
+        assert!(big.insertion_delay > small.insertion_delay);
+        assert!(big.area_um2() > small.area_um2());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one sink")]
+    fn zero_sinks_rejected() {
+        let lib = lib_with_cmos_buffer();
+        let _ = build_sleep_tree(0, &lib, &SleepTreeOptions::default());
+    }
+}

@@ -1,0 +1,546 @@
+//! Technology mapping onto the 16-cell library.
+//!
+//! Plays the role of Design Compiler in the paper's flow: the boolean
+//! network is covered with library cells (with fusion of AND/XOR chains
+//! into the 3- and 4-input cells, MUX2 pairs into MUX4, and the majority
+//! pattern into MAJ32), connection inversions are legalised (free rail
+//! swap for differential styles, real inverters for CMOS), and
+//! high-fan-out nets are buffered.
+
+use mcml_cells::{CellKind, LogicStyle};
+
+use crate::bool_network::{BNode, BoolNetwork, Signal};
+use crate::ir::{Conn, GateKind, NetId, Netlist};
+
+/// Mapper options.
+#[derive(Debug, Clone, Copy)]
+pub struct TechmapOptions {
+    /// Fuse AND2 chains into AND3/AND4.
+    pub fuse_and: bool,
+    /// Fuse XOR2 chains into XOR3/XOR4.
+    pub fuse_xor: bool,
+    /// Fuse MUX2 pairs sharing a select into MUX4.
+    pub fuse_mux4: bool,
+    /// Detect the majority pattern and use MAJ32.
+    pub fuse_maj: bool,
+    /// Insert buffers on nets driving more than this many sinks.
+    pub max_fanout: usize,
+}
+
+impl Default for TechmapOptions {
+    fn default() -> Self {
+        Self {
+            fuse_and: true,
+            fuse_xor: true,
+            fuse_mux4: true,
+            fuse_maj: true,
+            max_fanout: 8,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Plan {
+    Skip,
+    Input,
+    Emit { kind: CellKind, ins: Vec<Signal> },
+}
+
+/// Map a boolean network to a gate-level netlist in the given style.
+///
+/// # Panics
+///
+/// Panics if an output of the network is constant (fold constants before
+/// mapping) or the network is malformed.
+#[must_use]
+pub fn map_network(bn: &BoolNetwork, style: LogicStyle, opts: &TechmapOptions) -> Netlist {
+    let n = bn.len();
+    // Reference counts over nodes (edges + outputs).
+    let mut refs = vec![0usize; n];
+    let mut each_edge = |s: &Signal| refs[s.node as usize] += 1;
+    for i in 0..n {
+        match bn.node(i as u32) {
+            BNode::Input(_) | BNode::False => {}
+            BNode::And(a, b) | BNode::Xor(a, b) => {
+                each_edge(a);
+                each_edge(b);
+            }
+            BNode::Mux { s, lo, hi } => {
+                each_edge(s);
+                each_edge(lo);
+                each_edge(hi);
+            }
+        }
+    }
+    for (_, s) in bn.outputs() {
+        refs[s.node as usize] += 1;
+    }
+
+    // Fusion analysis, heads first (reverse topological order).
+    let mut consumed = vec![false; n];
+    let mut plans: Vec<Plan> = vec![Plan::Skip; n];
+    for i in (0..n).rev() {
+        if consumed[i] {
+            continue;
+        }
+        let plan = match bn.node(i as u32) {
+            BNode::Input(_) => Plan::Input,
+            BNode::False => Plan::Skip,
+            BNode::And(a, b) => {
+                if opts.fuse_and {
+                    let leaves = fuse_chain(bn, &refs, &mut consumed, *a, *b, is_and);
+                    Plan::Emit {
+                        kind: match leaves.len() {
+                            2 => CellKind::And2,
+                            3 => CellKind::And3,
+                            _ => CellKind::And4,
+                        },
+                        ins: leaves,
+                    }
+                } else {
+                    Plan::Emit {
+                        kind: CellKind::And2,
+                        ins: vec![*a, *b],
+                    }
+                }
+            }
+            BNode::Xor(a, b) => {
+                if opts.fuse_xor {
+                    let leaves = fuse_chain(bn, &refs, &mut consumed, *a, *b, is_xor);
+                    Plan::Emit {
+                        kind: match leaves.len() {
+                            2 => CellKind::Xor2,
+                            3 => CellKind::Xor3,
+                            _ => CellKind::Xor4,
+                        },
+                        ins: leaves,
+                    }
+                } else {
+                    Plan::Emit {
+                        kind: CellKind::Xor2,
+                        ins: vec![*a, *b],
+                    }
+                }
+            }
+            BNode::Mux { s, lo, hi } => {
+                if opts.fuse_maj {
+                    if let Some(ins) = match_maj(bn, &refs, *s, *lo, *hi) {
+                        consumed[lo.node as usize] = true;
+                        consumed[hi.node as usize] = true;
+                        plans[i] = Plan::Emit {
+                            kind: CellKind::Maj32,
+                            ins,
+                        };
+                        continue;
+                    }
+                }
+                if opts.fuse_mux4 {
+                    if let Some(ins) = match_mux4(bn, &refs, *s, *lo, *hi) {
+                        consumed[lo.node as usize] = true;
+                        consumed[hi.node as usize] = true;
+                        plans[i] = Plan::Emit {
+                            kind: CellKind::Mux4,
+                            ins,
+                        };
+                        continue;
+                    }
+                }
+                Plan::Emit {
+                    kind: CellKind::Mux2,
+                    ins: vec![*lo, *hi, *s],
+                }
+            }
+        };
+        plans[i] = plan;
+    }
+
+    // Emission in forward (topological) order.
+    let mut nl = Netlist::new("mapped", style);
+    let mut net_of: Vec<Option<NetId>> = vec![None; n];
+    for (name, node) in bn.inputs() {
+        net_of[*node as usize] = Some(nl.add_input(name));
+    }
+    let conn_for = |net_of: &Vec<Option<NetId>>, s: Signal| -> Conn {
+        Conn {
+            net: net_of[s.node as usize].expect("input mapped before use"),
+            inverted: s.inverted,
+        }
+    };
+    for i in 0..n {
+        match &plans[i] {
+            Plan::Skip | Plan::Input => {}
+            Plan::Emit { kind, ins } => {
+                let out = nl.add_net(&format!("n{i}"));
+                let conns: Vec<Conn> = ins.iter().map(|&s| conn_for(&net_of, s)).collect();
+                nl.add_gate(&format!("u{i}_{kind}"), GateKind::Lib(*kind), conns, vec![out]);
+                net_of[i] = Some(out);
+            }
+        }
+    }
+    for (name, s) in bn.outputs() {
+        assert!(
+            bn.as_const(*s).is_none(),
+            "constant output `{name}` — fold before mapping"
+        );
+        nl.set_output(name, conn_for(&net_of, *s));
+    }
+
+    if style == LogicStyle::Cmos {
+        legalize_inversions_cmos(&mut nl);
+    }
+    if opts.max_fanout > 0 {
+        buffer_high_fanout(&mut nl, opts.max_fanout);
+    }
+    nl
+}
+
+fn is_and(n: &BNode) -> Option<(Signal, Signal)> {
+    match n {
+        BNode::And(a, b) => Some((*a, *b)),
+        _ => None,
+    }
+}
+
+fn is_xor(n: &BNode) -> Option<(Signal, Signal)> {
+    match n {
+        BNode::Xor(a, b) => Some((*a, *b)),
+        _ => None,
+    }
+}
+
+/// Greedily expand a 2-input gate into up to 4 leaves along single-use,
+/// non-inverted edges of the same gate type.
+fn fuse_chain(
+    bn: &BoolNetwork,
+    refs: &[usize],
+    consumed: &mut [bool],
+    a: Signal,
+    b: Signal,
+    same: impl Fn(&BNode) -> Option<(Signal, Signal)>,
+) -> Vec<Signal> {
+    let mut leaves = vec![a, b];
+    loop {
+        if leaves.len() >= 4 {
+            break;
+        }
+        let expandable = leaves.iter().position(|s| {
+            !s.inverted
+                && refs[s.node as usize] == 1
+                && !consumed[s.node as usize]
+                && same(bn.node(s.node)).is_some()
+        });
+        let Some(idx) = expandable else { break };
+        let leaf = leaves.remove(idx);
+        let (x, y) = same(bn.node(leaf.node)).expect("checked");
+        consumed[leaf.node as usize] = true;
+        leaves.insert(idx, y);
+        leaves.insert(idx, x);
+    }
+    leaves
+}
+
+/// Match `mux(s1, muxA(s0, d0, d1), muxB(s0, d2, d3))` into MUX4 inputs
+/// `[d0, d1, d2, d3, s0, s1]`.
+fn match_mux4(bn: &BoolNetwork, refs: &[usize], s1: Signal, lo: Signal, hi: Signal) -> Option<Vec<Signal>> {
+    if lo.inverted || hi.inverted {
+        return None;
+    }
+    if refs[lo.node as usize] != 1 || refs[hi.node as usize] != 1 {
+        return None;
+    }
+    let (BNode::Mux { s: sa, lo: d0, hi: d1 }, BNode::Mux { s: sb, lo: d2, hi: d3 }) =
+        (bn.node(lo.node), bn.node(hi.node))
+    else {
+        return None;
+    };
+    if sa != sb {
+        return None;
+    }
+    Some(vec![*d0, *d1, *d2, *d3, *sa, s1])
+}
+
+/// Match the majority pattern `mux(c, and(a,b), or(a,b))` (the OR being a
+/// complemented AND of complements) into MAJ32 inputs `[a, b, c]`.
+fn match_maj(bn: &BoolNetwork, refs: &[usize], c: Signal, lo: Signal, hi: Signal) -> Option<Vec<Signal>> {
+    if lo.inverted || !hi.inverted {
+        return None;
+    }
+    if refs[lo.node as usize] != 1 || refs[hi.node as usize] != 1 {
+        return None;
+    }
+    let (BNode::And(a1, b1), BNode::And(a2, b2)) = (bn.node(lo.node), bn.node(hi.node)) else {
+        return None;
+    };
+    // hi = NOT(And(a', b')) = a ∨ b.
+    if *a2 == a1.not() && *b2 == b1.not() {
+        Some(vec![*a1, *b1, c])
+    } else {
+        None
+    }
+}
+
+/// Insert one inverter per net whose consumers use it inverted, rewriting
+/// those connections; differential styles never call this.
+fn legalize_inversions_cmos(nl: &mut Netlist) {
+    // Collect nets used inverted.
+    let mut needs_inv: Vec<bool> = vec![false; nl.net_count()];
+    for g in nl.gates() {
+        for c in &g.inputs {
+            if c.inverted {
+                needs_inv[c.net.index()] = true;
+            }
+        }
+    }
+    for (_, c) in nl.outputs().to_vec() {
+        if c.inverted {
+            needs_inv[c.net.index()] = true;
+        }
+    }
+    // Create inverters and a remap table.
+    let mut inv_net: Vec<Option<NetId>> = vec![None; nl.net_count()];
+    for (i, &need) in needs_inv.clone().iter().enumerate() {
+        if need {
+            let src = NetId(u32::try_from(i).expect("net index"));
+            let dst = nl.add_net(&format!("{}_b", nl.net_name(src).to_owned()));
+            nl.add_gate(
+                &format!("u_inv_{i}"),
+                GateKind::Inv,
+                vec![Conn::plain(src)],
+                vec![dst],
+            );
+            inv_net.push(None); // keep table aligned with the new net
+            inv_net[i] = Some(dst);
+        }
+    }
+    nl.rewrite_conns(|c| {
+        if c.inverted {
+            Conn::plain(inv_net[c.net.index()].expect("inverter created"))
+        } else {
+            c
+        }
+    });
+}
+
+/// Insert buffer (sub)trees on nets with more sinks than `max_fanout`.
+fn buffer_high_fanout(nl: &mut Netlist, max_fanout: usize) {
+    loop {
+        let fanout = nl.fanout_counts();
+        let Some(net) = (0..nl.net_count())
+            .map(|i| NetId(u32::try_from(i).expect("net index")))
+            .find(|n| fanout[n.index()] > max_fanout)
+        else {
+            return;
+        };
+        // Move sinks in chunks of `max_fanout` behind fresh buffers; the
+        // buffers themselves become sinks of the original net, and the
+        // loop re-runs until everything fits.
+        let mut sinks = nl.sinks_of(net);
+        // Keep the first chunk on the original net so the process
+        // terminates (the buffers added become new sinks).
+        let keep = max_fanout.saturating_sub(1).max(1);
+        let moved: Vec<_> = sinks.split_off(keep.min(sinks.len()));
+        if moved.is_empty() {
+            return;
+        }
+        for (ci, chunk) in moved.chunks(max_fanout).enumerate() {
+            let bnet = nl.add_net(&format!("{}_buf{ci}", nl.net_name(net).to_owned()));
+            nl.add_gate(
+                &format!("u_buf_{}_{ci}", net.index()),
+                GateKind::Lib(CellKind::Buffer),
+                vec![Conn::plain(net)],
+                vec![bnet],
+            );
+            for sink in chunk {
+                nl.redirect_sink(*sink, bnet);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    fn asg(bits: &[(&str, bool)]) -> HashMap<String, bool> {
+        bits.iter().map(|&(k, v)| (k.to_owned(), v)).collect()
+    }
+
+    fn equivalent(bn: &BoolNetwork, nl: &Netlist, input_names: &[&str]) {
+        let n = input_names.len();
+        let patterns: Vec<u32> = if n <= 10 {
+            (0..(1u32 << n)).collect()
+        } else {
+            (0..1024).map(|i| i * 2654435761 % (1 << n)).collect()
+        };
+        for p in patterns {
+            let a: Vec<(&str, bool)> = input_names
+                .iter()
+                .enumerate()
+                .map(|(i, &name)| (name, (p >> i) & 1 == 1))
+                .collect();
+            let want = bn.eval(&asg(&a));
+            let values = nl.evaluate(&asg(&a), &HashMap::new());
+            for (name, w) in &want {
+                assert_eq!(
+                    nl.output_value(name, &values),
+                    *w,
+                    "output {name} at pattern {p:#x}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn and_chain_fuses_to_and4() {
+        let mut bn = BoolNetwork::new();
+        let ins: Vec<Signal> = (0..4).map(|i| bn.input(&format!("i{i}"))).collect();
+        let t1 = bn.and(ins[0], ins[1]);
+        let t2 = bn.and(t1, ins[2]);
+        let t3 = bn.and(t2, ins[3]);
+        bn.set_output("q", t3);
+        let nl = map_network(&bn, LogicStyle::PgMcml, &TechmapOptions::default());
+        nl.validate().unwrap();
+        assert_eq!(nl.gate_count(), 1, "one AND4: {:?}", nl.cell_histogram());
+        assert_eq!(
+            nl.cell_histogram()[&GateKind::Lib(CellKind::And4)],
+            1
+        );
+        equivalent(&bn, &nl, &["i0", "i1", "i2", "i3"]);
+    }
+
+    #[test]
+    fn shared_and_does_not_fuse() {
+        let mut bn = BoolNetwork::new();
+        let a = bn.input("a");
+        let b = bn.input("b");
+        let c = bn.input("c");
+        let t1 = bn.and(a, b);
+        let t2 = bn.and(t1, c);
+        bn.set_output("q", t2);
+        bn.set_output("t", t1); // t1 has two uses
+        let nl = map_network(&bn, LogicStyle::PgMcml, &TechmapOptions::default());
+        assert_eq!(nl.gate_count(), 2, "shared node must stay separate");
+        equivalent(&bn, &nl, &["a", "b", "c"]);
+    }
+
+    #[test]
+    fn xor_chain_fuses_to_xor3() {
+        let mut bn = BoolNetwork::new();
+        let a = bn.input("a");
+        let b = bn.input("b");
+        let c = bn.input("c");
+        let t = bn.xor(a, b);
+        let q = bn.xor(t, c);
+        bn.set_output("q", q);
+        let nl = map_network(&bn, LogicStyle::PgMcml, &TechmapOptions::default());
+        assert_eq!(nl.cell_histogram()[&GateKind::Lib(CellKind::Xor3)], 1);
+        equivalent(&bn, &nl, &["a", "b", "c"]);
+    }
+
+    #[test]
+    fn mux_tree_fuses_to_mux4() {
+        let mut bn = BoolNetwork::new();
+        let d: Vec<Signal> = (0..4).map(|i| bn.input(&format!("d{i}"))).collect();
+        let s0 = bn.input("s0");
+        let s1 = bn.input("s1");
+        let u = bn.mux(s0, d[0], d[1]);
+        let v = bn.mux(s0, d[2], d[3]);
+        let q = bn.mux(s1, u, v);
+        bn.set_output("q", q);
+        let nl = map_network(&bn, LogicStyle::PgMcml, &TechmapOptions::default());
+        assert_eq!(nl.cell_histogram()[&GateKind::Lib(CellKind::Mux4)], 1);
+        assert_eq!(nl.gate_count(), 1);
+        equivalent(&bn, &nl, &["d0", "d1", "d2", "d3", "s0", "s1"]);
+    }
+
+    #[test]
+    fn maj_pattern_uses_maj32() {
+        let mut bn = BoolNetwork::new();
+        let a = bn.input("a");
+        let b = bn.input("b");
+        let c = bn.input("c");
+        let m = bn.maj(a, b, c);
+        bn.set_output("q", m);
+        let nl = map_network(&bn, LogicStyle::PgMcml, &TechmapOptions::default());
+        assert_eq!(nl.cell_histogram()[&GateKind::Lib(CellKind::Maj32)], 1);
+        equivalent(&bn, &nl, &["a", "b", "c"]);
+    }
+
+    #[test]
+    fn cmos_mapping_inserts_inverters() {
+        let mut bn = BoolNetwork::new();
+        let a = bn.input("a");
+        let b = bn.input("b");
+        let q = bn.or(a, b); // or = not(and(not a, not b)) — inversions!
+        bn.set_output("q", q);
+        let nl = map_network(&bn, LogicStyle::Cmos, &TechmapOptions::default());
+        nl.validate().unwrap();
+        let h = nl.cell_histogram();
+        assert!(h.get(&GateKind::Inv).copied().unwrap_or(0) >= 1);
+        equivalent(&bn, &nl, &["a", "b"]);
+        // The same network maps without inverters differentially.
+        let nld = map_network(&bn, LogicStyle::PgMcml, &TechmapOptions::default());
+        assert!(nld.cell_histogram().get(&GateKind::Inv).is_none());
+        equivalent(&bn, &nld, &["a", "b"]);
+    }
+
+    #[test]
+    fn high_fanout_gets_buffered() {
+        let mut bn = BoolNetwork::new();
+        let a = bn.input("a");
+        let b = bn.input("b");
+        let x = bn.xor(a, b);
+        for i in 0..20 {
+            let c = bn.input(&format!("c{i}"));
+            let o = bn.and(x, c);
+            bn.set_output(&format!("o{i}"), o);
+        }
+        let opts = TechmapOptions {
+            max_fanout: 4,
+            ..TechmapOptions::default()
+        };
+        let nl = map_network(&bn, LogicStyle::PgMcml, &opts);
+        nl.validate().unwrap();
+        let f = nl.fanout_counts();
+        assert!(
+            f.iter().all(|&x| x <= 4),
+            "all fanouts bounded: {:?}",
+            f.iter().max()
+        );
+        assert!(
+            nl.cell_histogram()[&GateKind::Lib(CellKind::Buffer)] >= 4,
+            "buffers inserted"
+        );
+        // Spot-check equivalence at a few patterns.
+        let names: Vec<String> = std::iter::once("a".to_owned())
+            .chain(std::iter::once("b".to_owned()))
+            .chain((0..20).map(|i| format!("c{i}")))
+            .collect();
+        for p in [0u32, 1, 3, 0x3fffff, 0x155555] {
+            let a: HashMap<String, bool> = names
+                .iter()
+                .enumerate()
+                .map(|(i, n)| (n.clone(), (p >> (i % 22)) & 1 == 1))
+                .collect();
+            let want = bn.eval(&a);
+            let values = nl.evaluate(&a, &HashMap::new());
+            for (name, w) in &want {
+                assert_eq!(nl.output_value(name, &values), *w, "{name} at {p:#x}");
+            }
+        }
+    }
+
+    #[test]
+    fn lut_maps_and_stays_equivalent() {
+        // A 4-bit S-box-like LUT mapped to MUX trees.
+        let table: Vec<bool> = (0..16u32).map(|i| (i * 7 + 3) % 5 < 2).collect();
+        let mut bn = BoolNetwork::new();
+        let ins: Vec<Signal> = (0..4).map(|i| bn.input(&format!("x{i}"))).collect();
+        let q = bn.lut(&ins, &table);
+        bn.set_output("q", q);
+        let nl = map_network(&bn, LogicStyle::PgMcml, &TechmapOptions::default());
+        nl.validate().unwrap();
+        equivalent(&bn, &nl, &["x0", "x1", "x2", "x3"]);
+    }
+}

@@ -1,0 +1,178 @@
+//! Property-based tests: technology mapping preserves boolean function
+//! for randomly generated networks, in every style and option mix.
+
+use std::collections::HashMap;
+
+use proptest::prelude::*;
+
+use mcml_cells::LogicStyle;
+use mcml_netlist::{map_network, BoolNetwork, Signal, TechmapOptions};
+
+/// Recipe for one random network node.
+#[derive(Debug, Clone)]
+enum NodeRecipe {
+    And(usize, usize, bool, bool),
+    Xor(usize, usize, bool),
+    Mux(usize, usize, usize, bool),
+    Or(usize, usize),
+}
+
+fn recipe_strategy(max_ref: usize) -> impl Strategy<Value = NodeRecipe> {
+    prop_oneof![
+        (0..max_ref, 0..max_ref, any::<bool>(), any::<bool>())
+            .prop_map(|(a, b, ia, ib)| NodeRecipe::And(a, b, ia, ib)),
+        (0..max_ref, 0..max_ref, any::<bool>())
+            .prop_map(|(a, b, i)| NodeRecipe::Xor(a, b, i)),
+        (0..max_ref, 0..max_ref, 0..max_ref, any::<bool>())
+            .prop_map(|(s, a, b, i)| NodeRecipe::Mux(s, a, b, i)),
+        (0..max_ref, 0..max_ref).prop_map(|(a, b)| NodeRecipe::Or(a, b)),
+    ]
+}
+
+/// Build a random 6-input network from recipes; returns the network and
+/// its input names.
+fn build_network(recipes: &[NodeRecipe], n_outputs: usize) -> (BoolNetwork, Vec<String>) {
+    let mut bn = BoolNetwork::new();
+    let names: Vec<String> = (0..6).map(|i| format!("i{i}")).collect();
+    let mut pool: Vec<Signal> = names.iter().map(|n| bn.input(n)).collect();
+    for r in recipes {
+        let pick = |i: usize| pool[i % pool.len()];
+        let s = match r {
+            NodeRecipe::And(a, b, ia, ib) => {
+                let (mut x, mut y) = (pick(*a), pick(*b));
+                if *ia {
+                    x = x.not();
+                }
+                if *ib {
+                    y = y.not();
+                }
+                bn.and(x, y)
+            }
+            NodeRecipe::Xor(a, b, i) => {
+                let x = pick(*a);
+                let y = if *i { pick(*b).not() } else { pick(*b) };
+                bn.xor(x, y)
+            }
+            NodeRecipe::Mux(s, a, b, i) => {
+                let sel = if *i { pick(*s).not() } else { pick(*s) };
+                bn.mux(sel, pick(*a), pick(*b))
+            }
+            NodeRecipe::Or(a, b) => bn.or(pick(*a), pick(*b)),
+        };
+        pool.push(s);
+    }
+    // Random construction can constant-fold candidates; the mapper
+    // (rightly) rejects constant outputs, so pick non-constant signals,
+    // falling back to a primary input.
+    let fallback = pool[0];
+    let mut non_const: Vec<Signal> = pool
+        .iter()
+        .rev()
+        .copied()
+        .filter(|&s| bn.as_const(s).is_none())
+        .take(4)
+        .collect();
+    if non_const.is_empty() {
+        non_const.push(fallback);
+    }
+    for o in 0..n_outputs {
+        bn.set_output(&format!("o{o}"), non_const[o % non_const.len()]);
+    }
+    (bn, names)
+}
+
+fn assignment(names: &[String], bits: u32) -> HashMap<String, bool> {
+    names
+        .iter()
+        .enumerate()
+        .map(|(i, n)| (n.clone(), (bits >> i) & 1 == 1))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Mapped netlists compute the same function as the source network,
+    /// across styles, for all 64 input patterns.
+    #[test]
+    fn mapping_preserves_function(
+        recipes in proptest::collection::vec(recipe_strategy(12), 3..25),
+        style_pick in 0usize..3,
+    ) {
+        let (bn, names) = build_network(&recipes, 3);
+        let style = [LogicStyle::Cmos, LogicStyle::Mcml, LogicStyle::PgMcml][style_pick];
+        let nl = map_network(&bn, style, &TechmapOptions::default());
+        prop_assert!(nl.validate().is_ok(), "{:?}", nl.validate());
+        for bits in 0..64u32 {
+            let asg = assignment(&names, bits);
+            let want = bn.eval(&asg);
+            // Constant-folded outputs may disappear; skip networks whose
+            // outputs became constants (the mapper asserts on them).
+            let values = nl.evaluate(&asg, &HashMap::new());
+            for (name, w) in &want {
+                prop_assert_eq!(nl.output_value(name, &values), *w,
+                    "{} at {:#x} in {}", name, bits, style);
+            }
+        }
+    }
+
+    /// Fusion options never change the function, only the gate count.
+    #[test]
+    fn fusion_is_semantics_preserving(
+        recipes in proptest::collection::vec(recipe_strategy(10), 4..20),
+    ) {
+        let (bn, names) = build_network(&recipes, 2);
+        let fused = map_network(
+            &bn,
+            LogicStyle::PgMcml,
+            &TechmapOptions {
+                max_fanout: 0, // compare pure fusion, no buffering
+                ..TechmapOptions::default()
+            },
+        );
+        let plain = map_network(
+            &bn,
+            LogicStyle::PgMcml,
+            &TechmapOptions {
+                fuse_and: false,
+                fuse_xor: false,
+                fuse_mux4: false,
+                fuse_maj: false,
+                max_fanout: 0,
+                ..TechmapOptions::default()
+            },
+        );
+        prop_assert!(fused.gate_count() <= plain.gate_count(),
+            "fusion cannot add gates: {} vs {}", fused.gate_count(), plain.gate_count());
+        for bits in (0..64u32).step_by(5) {
+            let asg = assignment(&names, bits);
+            let vf = fused.evaluate(&asg, &HashMap::new());
+            let vp = plain.evaluate(&asg, &HashMap::new());
+            for (name, _) in bn.outputs() {
+                prop_assert_eq!(
+                    fused.output_value(name, &vf),
+                    plain.output_value(name, &vp)
+                );
+            }
+        }
+    }
+
+    /// Buffering respects the fan-out bound without changing semantics.
+    #[test]
+    fn buffering_bounds_fanout(
+        recipes in proptest::collection::vec(recipe_strategy(8), 8..24),
+        max_fo in 2usize..6,
+    ) {
+        let (bn, names) = build_network(&recipes, 4);
+        let opts = TechmapOptions { max_fanout: max_fo, ..TechmapOptions::default() };
+        let nl = map_network(&bn, LogicStyle::Mcml, &opts);
+        let fo = nl.fanout_counts();
+        prop_assert!(fo.iter().all(|&f| f <= max_fo), "max fanout {:?}", fo.iter().max());
+        let asg = assignment(&names, 0b101010);
+        let want = bn.eval(&asg);
+        let values = nl.evaluate(&asg, &HashMap::new());
+        for (name, w) in &want {
+            prop_assert_eq!(nl.output_value(name, &values), *w);
+        }
+    }
+}

@@ -1,0 +1,391 @@
+//! Generated OR1K assembly for AES-128 using the S-box ISE.
+//!
+//! This is the paper's benchmark program: AES-128 executed repeatedly
+//! with (software-)random plaintexts, SubBytes done by the `l.cust1`
+//! custom instruction (four S-boxes in one cycle), everything else —
+//! ShiftRows gathering, word-sliced MixColumns, AddRoundKey, the
+//! plaintext PRNG and the block loop — in plain software, which is what
+//! dilutes the ISE activity to a small fraction of total cycles.
+//!
+//! Round keys are precomputed (the key schedule runs once per key in the
+//! paper's benchmark too) and embedded as `.word` data.
+
+use mcml_aes::Aes128;
+
+use crate::asm::{assemble, Program};
+use crate::cpu::{Cpu, ExecutionTrace, Stop};
+
+/// Parameters of the generated benchmark.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AesBenchParams {
+    /// AES key.
+    pub key: [u8; 16],
+    /// Number of blocks to encrypt (each with a fresh PRNG plaintext).
+    pub blocks: u16,
+    /// PRNG seed (must be non-zero).
+    pub seed: u32,
+    /// Idle-loop iterations between blocks, modelling the non-crypto
+    /// work of the surrounding application (each iteration is a few
+    /// cycles). 0 disables the idle loop.
+    pub idle_loops: u32,
+}
+
+impl Default for AesBenchParams {
+    fn default() -> Self {
+        Self {
+            key: [0u8; 16],
+            blocks: 4,
+            seed: 0x1234_5678,
+            idle_loops: 0,
+        }
+    }
+}
+
+/// ShiftRows byte-gather offsets for column `c`: source state indices of
+/// the four rows after the row rotations.
+fn shiftrow_offsets(c: usize) -> [usize; 4] {
+    [
+        4 * c,
+        1 + 4 * ((c + 1) % 4),
+        2 + 4 * ((c + 2) % 4),
+        3 + 4 * ((c + 3) % 4),
+    ]
+}
+
+/// The xorshift32 PRNG the program uses for plaintexts (one step per
+/// 32-bit word).
+#[must_use]
+pub fn xorshift32(mut x: u32) -> u32 {
+    x ^= x << 13;
+    x ^= x >> 17;
+    x ^= x << 5;
+    x
+}
+
+/// The plaintext the program generates for block `b` (0-based).
+#[must_use]
+pub fn plaintext_for_block(seed: u32, b: usize) -> [u8; 16] {
+    let mut x = seed;
+    // Skip the words of earlier blocks.
+    for _ in 0..4 * b {
+        x = xorshift32(x);
+    }
+    let mut out = [0u8; 16];
+    for w in 0..4 {
+        x = xorshift32(x);
+        out[4 * w..4 * w + 4].copy_from_slice(&x.to_be_bytes());
+    }
+    out
+}
+
+/// Emit the MixColumns + AddRoundKey word recipe for the column held in
+/// `col` (e.g. `"r10"`), with the round-key word at `off(r3)`.
+fn emit_mix_ark(asm: &mut String, col: &str, rk_off: usize) {
+    use std::fmt::Write as _;
+    let w = col;
+    let _ = write!(
+        asm,
+        "    # MixColumns({w}) + AddRoundKey
+    l.slli r20, {w}, 8
+    l.srli r21, {w}, 24
+    l.or   r20, r20, r21      # rotl8(w)
+    l.xor  r22, {w}, r20
+    l.slli r21, {w}, 16
+    l.srli r5,  {w}, 16
+    l.or   r21, r21, r5       # rotl16(w)
+    l.xor  r22, r22, r21
+    l.slli r5, {w}, 24
+    l.srli r6, {w}, 8
+    l.or   r5, r5, r6         # rotl24(w)
+    l.xor  r22, r22, r5       # T = w^r8^r16^r24 (bytewise t)
+    l.xor  r21, {w}, r20      # U = w ^ rotl8(w)
+    l.and  r5, r21, r14
+    l.slli r5, r5, 1
+    l.and  r6, r21, r15
+    l.srli r6, r6, 7
+    l.slli r7, r6, 4
+    l.xor  r7, r7, r6
+    l.slli r8, r6, 3
+    l.xor  r7, r7, r8
+    l.slli r8, r6, 1
+    l.xor  r7, r7, r8         # carry bytes * 0x1b
+    l.xor  r5, r5, r7         # xtime(U)
+    l.xor  {w}, {w}, r22
+    l.xor  {w}, {w}, r5       # B = w ^ T ^ xtime(U)
+    l.lwz  r20, {rk_off}(r3)
+    l.xor  {w}, {w}, r20
+"
+    );
+}
+
+/// Emit the SubBytes+ShiftRows gather of column `c` into `col` followed
+/// by the ISE call.
+fn emit_gather_sub(asm: &mut String, c: usize, col: &str) {
+    use std::fmt::Write as _;
+    let off = shiftrow_offsets(c);
+    let _ = write!(
+        asm,
+        "    l.lbz  r5, {o0}(r2)
+    l.slli {col}, r5, 24
+    l.lbz  r5, {o1}(r2)
+    l.slli r5, r5, 16
+    l.or   {col}, {col}, r5
+    l.lbz  r5, {o2}(r2)
+    l.slli r5, r5, 8
+    l.or   {col}, {col}, r5
+    l.lbz  r5, {o3}(r2)
+    l.or   {col}, {col}, r5
+    l.cust1 {col}, {col}      # SubBytes via the S-box ISE
+",
+        o0 = off[0],
+        o1 = off[1],
+        o2 = off[2],
+        o3 = off[3],
+    );
+}
+
+/// Generate the benchmark's assembly source.
+#[must_use]
+pub fn generate_aes_asm(params: &AesBenchParams) -> String {
+    use std::fmt::Write as _;
+    let aes = Aes128::new(&params.key);
+    let mut asm = String::new();
+    let _ = writeln!(asm, "# AES-128 with S-box ISE — generated benchmark");
+    let _ = writeln!(asm, "    l.movhi r2, hi(state)");
+    let _ = writeln!(asm, "    l.ori   r2, r2, lo(state)");
+    let _ = writeln!(asm, "    l.movhi r14, 0x7f7f");
+    let _ = writeln!(asm, "    l.ori   r14, r14, 0x7f7f");
+    let _ = writeln!(asm, "    l.movhi r15, 0x8080");
+    let _ = writeln!(asm, "    l.ori   r15, r15, 0x8080");
+    let _ = writeln!(asm, "    l.movhi r16, {}", params.seed >> 16);
+    let _ = writeln!(asm, "    l.ori   r16, r16, {}", params.seed & 0xffff);
+    let _ = writeln!(asm, "    l.addi  r18, r0, {}", params.blocks);
+    let _ = writeln!(asm, "    l.movhi r19, hi(out)");
+    let _ = writeln!(asm, "    l.ori   r19, r19, lo(out)");
+    let _ = writeln!(asm, "blocks_loop:");
+    // Plaintext from xorshift32, one word at a time.
+    for wi in 0..4 {
+        let _ = write!(
+            asm,
+            "    l.slli r20, r16, 13
+    l.xor  r16, r16, r20
+    l.srli r20, r16, 17
+    l.xor  r16, r16, r20
+    l.slli r20, r16, 5
+    l.xor  r16, r16, r20
+    l.sw   {off}(r2), r16
+",
+            off = 4 * wi
+        );
+    }
+    // Round-key pointer and initial AddRoundKey.
+    let _ = writeln!(asm, "    l.movhi r3, hi(rks)");
+    let _ = writeln!(asm, "    l.ori   r3, r3, lo(rks)");
+    for c in 0..4 {
+        let _ = write!(
+            asm,
+            "    l.lwz  r5, {o}(r2)
+    l.lwz  r6, {o}(r3)
+    l.xor  r5, r5, r6
+    l.sw   {o}(r2), r5
+",
+            o = 4 * c
+        );
+    }
+    let _ = writeln!(asm, "    l.addi r3, r3, 16");
+    let _ = writeln!(asm, "    l.addi r4, r0, 9");
+    let _ = writeln!(asm, "round_loop:");
+    for (c, col) in ["r10", "r11", "r12", "r13"].iter().enumerate() {
+        emit_gather_sub(&mut asm, c, col);
+    }
+    for (c, col) in ["r10", "r11", "r12", "r13"].iter().enumerate() {
+        emit_mix_ark(&mut asm, col, 4 * c);
+    }
+    for (c, col) in ["r10", "r11", "r12", "r13"].iter().enumerate() {
+        let _ = writeln!(asm, "    l.sw   {}(r2), {col}", 4 * c);
+    }
+    let _ = writeln!(asm, "    l.addi r3, r3, 16");
+    let _ = writeln!(asm, "    l.addi r4, r4, -1");
+    let _ = writeln!(asm, "    l.sfeq r4, r0");
+    let _ = writeln!(asm, "    l.bnf  round_loop");
+    // Final round: SubBytes+ShiftRows and AddRoundKey, no MixColumns.
+    for (c, col) in ["r10", "r11", "r12", "r13"].iter().enumerate() {
+        emit_gather_sub(&mut asm, c, col);
+    }
+    for (c, col) in ["r10", "r11", "r12", "r13"].iter().enumerate() {
+        let _ = write!(
+            asm,
+            "    l.lwz  r20, {o}(r3)
+    l.xor  {col}, {col}, r20
+    l.sw   {o}(r2), {col}
+",
+            o = 4 * c
+        );
+    }
+    // Copy ciphertext to the output buffer.
+    for c in 0..4 {
+        let _ = writeln!(asm, "    l.lwz  r5, {}(r2)", 4 * c);
+        let _ = writeln!(asm, "    l.sw   {}(r19), r5", 4 * c);
+    }
+    let _ = writeln!(asm, "    l.addi r19, r19, 16");
+    // Idle loop modelling the surrounding application.
+    if params.idle_loops > 0 {
+        let _ = writeln!(asm, "    l.movhi r17, {}", params.idle_loops >> 16);
+        let _ = writeln!(asm, "    l.ori   r17, r17, {}", params.idle_loops & 0xffff);
+        let _ = writeln!(asm, "idle_loop:");
+        let _ = writeln!(asm, "    l.addi r17, r17, -1");
+        let _ = writeln!(asm, "    l.sfeq r17, r0");
+        let _ = writeln!(asm, "    l.bnf  idle_loop");
+    }
+    let _ = writeln!(asm, "    l.addi r18, r18, -1");
+    let _ = writeln!(asm, "    l.sfeq r18, r0");
+    let _ = writeln!(asm, "    l.bnf  blocks_loop");
+    let _ = writeln!(asm, "    l.halt");
+    // Data.
+    let _ = writeln!(asm, "state: .space 16");
+    let _ = writeln!(asm, "rks:");
+    for rk in aes.round_keys() {
+        let words: Vec<String> = rk
+            .chunks(4)
+            .map(|c| format!("0x{:08x}", u32::from_be_bytes(c.try_into().expect("4 bytes"))))
+            .collect();
+        let _ = writeln!(asm, "    .word {}", words.join(", "));
+    }
+    let _ = writeln!(asm, "out: .space {}", 16 * usize::from(params.blocks));
+    asm
+}
+
+/// Result of running the benchmark.
+#[derive(Debug, Clone)]
+pub struct AesBenchRun {
+    /// Execution trace (cycles + ISE activity).
+    pub trace: ExecutionTrace,
+    /// Ciphertexts produced, one per block.
+    pub ciphertexts: Vec<[u8; 16]>,
+    /// The assembled program (for inspection).
+    pub program: Program,
+}
+
+/// Assemble and run the benchmark, returning the trace and ciphertexts.
+///
+/// # Panics
+///
+/// Panics if the generated program fails to assemble or does not halt
+/// within the cycle budget — both are generator bugs.
+#[must_use]
+pub fn run_aes_benchmark(params: &AesBenchParams) -> AesBenchRun {
+    let asm = generate_aes_asm(params);
+    let program = assemble(&asm).unwrap_or_else(|e| panic!("generated asm invalid: {e}"));
+    let mut cpu = Cpu::new(&program, 256 * 1024);
+    let mut trace = ExecutionTrace::default();
+    let budget = 10_000u64
+        .saturating_add(u64::from(params.blocks) * (6_000 + 6 * u64::from(params.idle_loops)));
+    let stop = cpu.run(budget, &mut trace);
+    assert_eq!(stop, Stop::Halted, "benchmark did not halt in {budget} cycles");
+    let out = program.symbol("out");
+    let ciphertexts = (0..params.blocks)
+        .map(|b| {
+            let mut block = [0u8; 16];
+            for (i, byte) in block.iter_mut().enumerate() {
+                *byte = cpu.load_byte(out + 16 * u32::from(b) + i as u32);
+            }
+            block
+        })
+        .collect();
+    AesBenchRun {
+        trace,
+        ciphertexts,
+        program,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ciphertexts_match_software_aes() {
+        let params = AesBenchParams {
+            key: [
+                0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6, 0xab, 0xf7, 0x15, 0x88, 0x09,
+                0xcf, 0x4f, 0x3c,
+            ],
+            blocks: 3,
+            seed: 0xdead_beef,
+            idle_loops: 0,
+        };
+        let run = run_aes_benchmark(&params);
+        let aes = Aes128::new(&params.key);
+        for b in 0..3usize {
+            let plain = plaintext_for_block(params.seed, b);
+            assert_eq!(
+                run.ciphertexts[b],
+                aes.encrypt_block(&plain),
+                "block {b} (plain {plain:02x?})"
+            );
+        }
+    }
+
+    #[test]
+    fn ise_called_40_times_per_block() {
+        // 4 columns × 10 rounds.
+        let params = AesBenchParams {
+            blocks: 2,
+            ..AesBenchParams::default()
+        };
+        let run = run_aes_benchmark(&params);
+        assert_eq!(run.trace.ise_events.len(), 80);
+    }
+
+    #[test]
+    fn ise_operands_recorded_faithfully() {
+        let params = AesBenchParams::default();
+        let run = run_aes_benchmark(&params);
+        for ev in &run.trace.ise_events {
+            assert_eq!(ev.output, mcml_aes::sbox_ise::sbox_word(ev.input));
+        }
+    }
+
+    #[test]
+    fn idle_loops_dilute_ise_duty() {
+        let busy = run_aes_benchmark(&AesBenchParams {
+            idle_loops: 0,
+            ..AesBenchParams::default()
+        });
+        let idle = run_aes_benchmark(&AesBenchParams {
+            idle_loops: 5000,
+            ..AesBenchParams::default()
+        });
+        assert!(busy.trace.ise_duty() > 0.01, "busy duty {}", busy.trace.ise_duty());
+        assert!(
+            idle.trace.ise_duty() < busy.trace.ise_duty() / 10.0,
+            "idle duty {} vs busy {}",
+            idle.trace.ise_duty(),
+            busy.trace.ise_duty()
+        );
+    }
+
+    #[test]
+    fn prng_model_matches_program() {
+        // plaintext_for_block must predict exactly what the asm produces;
+        // covered indirectly by ciphertexts_match_software_aes, but also
+        // check the word chaining here.
+        let p0 = plaintext_for_block(1, 0);
+        let p1 = plaintext_for_block(1, 1);
+        assert_ne!(p0, p1);
+        let mut x = 1u32;
+        for w in 0..4 {
+            x = xorshift32(x);
+            assert_eq!(&p0[4 * w..4 * w + 4], &x.to_be_bytes());
+        }
+    }
+
+    #[test]
+    fn generated_asm_is_well_formed() {
+        let asm = generate_aes_asm(&AesBenchParams::default());
+        assert!(asm.contains("l.cust1"));
+        assert!(asm.contains("rks:"));
+        let p = assemble(&asm).unwrap();
+        assert!(p.image.len() > 400);
+    }
+}

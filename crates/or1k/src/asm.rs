@@ -1,0 +1,490 @@
+//! A two-pass assembler for the OR1K subset.
+//!
+//! Supported syntax (one statement per line, `#` or `;` comments):
+//!
+//! ```text
+//! loop:                      # label
+//!     l.addi  r3, r0, 42
+//!     l.movhi r4, hi(table)  # relocations against labels
+//!     l.ori   r4, r4, lo(table)
+//!     l.lwz   r5, 0(r4)
+//!     l.sw    4(r4), r5
+//!     l.sfeq  r3, r5
+//!     l.bf    loop
+//!     l.cust1 r6, r5         # the S-box ISE
+//!     l.halt
+//! table:
+//!     .word 0xdeadbeef, 42
+//!     .space 16              # zero-filled bytes
+//! ```
+
+use std::collections::HashMap;
+
+use crate::isa::{AluOp, CmpOp, Instr};
+
+/// Assembler error with line information.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsmError {
+    /// 1-based source line.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for AsmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+/// Assembled program: flat image loaded at address 0 plus the symbol
+/// table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Program {
+    /// Big-endian byte image.
+    pub image: Vec<u8>,
+    /// Label → byte address.
+    pub symbols: HashMap<String, u32>,
+}
+
+impl Program {
+    /// Address of a label.
+    ///
+    /// # Panics
+    ///
+    /// Panics for unknown labels.
+    #[must_use]
+    pub fn symbol(&self, name: &str) -> u32 {
+        *self
+            .symbols
+            .get(name)
+            .unwrap_or_else(|| panic!("unknown symbol `{name}`"))
+    }
+}
+
+enum Stmt {
+    Instr(String, Vec<String>),
+    Word(Vec<String>),
+    Space(#[allow(dead_code)] u32),
+}
+
+fn err(line: usize, message: impl Into<String>) -> AsmError {
+    AsmError {
+        line,
+        message: message.into(),
+    }
+}
+
+fn strip_comment(s: &str) -> &str {
+    match s.find(['#', ';']) {
+        Some(i) => &s[..i],
+        None => s,
+    }
+}
+
+/// Assemble a source text into a program image.
+///
+/// # Errors
+///
+/// Returns an [`AsmError`] pointing at the offending line.
+pub fn assemble(src: &str) -> Result<Program, AsmError> {
+    // Pass 1: statement list + symbol table.
+    let mut symbols: HashMap<String, u32> = HashMap::new();
+    let mut stmts: Vec<(usize, u32, Stmt)> = Vec::new();
+    let mut addr: u32 = 0;
+    for (li, raw) in src.lines().enumerate() {
+        let line_no = li + 1;
+        let mut rest = strip_comment(raw).trim();
+        // Labels (possibly several on one line).
+        while let Some(colon) = rest.find(':') {
+            let (label, after) = rest.split_at(colon);
+            let label = label.trim();
+            if label.is_empty() || !label.chars().all(|c| c.is_alphanumeric() || c == '_') {
+                break;
+            }
+            if symbols.insert(label.to_owned(), addr).is_some() {
+                return Err(err(line_no, format!("duplicate label `{label}`")));
+            }
+            rest = after[1..].trim();
+        }
+        if rest.is_empty() {
+            continue;
+        }
+        if let Some(args) = rest.strip_prefix(".word") {
+            let items: Vec<String> = args
+                .split(',')
+                .map(|s| s.trim().to_owned())
+                .filter(|s| !s.is_empty())
+                .collect();
+            if items.is_empty() {
+                return Err(err(line_no, ".word needs at least one value"));
+            }
+            addr += 4 * items.len() as u32;
+            stmts.push((line_no, addr - 4 * items.len() as u32, Stmt::Word(items)));
+        } else if let Some(args) = rest.strip_prefix(".space") {
+            let n: u32 = args
+                .trim()
+                .parse()
+                .map_err(|_| err(line_no, "invalid .space size"))?;
+            stmts.push((line_no, addr, Stmt::Space(n)));
+            addr += n;
+        } else {
+            let (mn, args) = match rest.find(char::is_whitespace) {
+                Some(i) => (&rest[..i], rest[i..].trim()),
+                None => (rest, ""),
+            };
+            let args: Vec<String> = if args.is_empty() {
+                Vec::new()
+            } else {
+                args.split(',').map(|s| s.trim().to_owned()).collect()
+            };
+            stmts.push((line_no, addr, Stmt::Instr(mn.to_owned(), args)));
+            addr += 4;
+        }
+    }
+    let total = addr as usize;
+
+    // Pass 2: encode.
+    let mut image = vec![0u8; total];
+    for (line_no, at, stmt) in stmts {
+        match stmt {
+            Stmt::Space(_) => {}
+            Stmt::Word(items) => {
+                for (i, item) in items.iter().enumerate() {
+                    let v = eval_value(item, &symbols).map_err(|m| err(line_no, m))?;
+                    image[at as usize + 4 * i..at as usize + 4 * i + 4]
+                        .copy_from_slice(&v.to_be_bytes());
+                }
+            }
+            Stmt::Instr(mn, args) => {
+                let instr =
+                    parse_instr(&mn, &args, at, &symbols).map_err(|m| err(line_no, m))?;
+                image[at as usize..at as usize + 4].copy_from_slice(&instr.encode().to_be_bytes());
+            }
+        }
+    }
+    Ok(Program { image, symbols })
+}
+
+fn eval_value(s: &str, symbols: &HashMap<String, u32>) -> Result<u32, String> {
+    let s = s.trim();
+    if let Some(inner) = s.strip_prefix("hi(").and_then(|x| x.strip_suffix(')')) {
+        return Ok(eval_value(inner, symbols)? >> 16);
+    }
+    if let Some(inner) = s.strip_prefix("lo(").and_then(|x| x.strip_suffix(')')) {
+        return Ok(eval_value(inner, symbols)? & 0xffff);
+    }
+    if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        return u32::from_str_radix(hex, 16).map_err(|_| format!("bad hex literal `{s}`"));
+    }
+    if let Some(neg) = s.strip_prefix('-') {
+        let v: u32 = neg.parse().map_err(|_| format!("bad literal `{s}`"))?;
+        return Ok((v as i64).wrapping_neg() as u32);
+    }
+    if s.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+        return s.parse().map_err(|_| format!("bad literal `{s}`"));
+    }
+    symbols
+        .get(s)
+        .copied()
+        .ok_or_else(|| format!("unknown symbol `{s}`"))
+}
+
+fn parse_reg(s: &str) -> Result<u8, String> {
+    let s = s.trim();
+    let n = s
+        .strip_prefix('r')
+        .ok_or_else(|| format!("expected register, got `{s}`"))?;
+    let v: u8 = n.parse().map_err(|_| format!("bad register `{s}`"))?;
+    if v > 31 {
+        return Err(format!("register out of range `{s}`"));
+    }
+    Ok(v)
+}
+
+fn parse_imm16s(s: &str, symbols: &HashMap<String, u32>) -> Result<i16, String> {
+    let v = eval_value(s, symbols)?;
+    let vi = v as i32;
+    if vi > 0xffff || (vi as i64) < -(1 << 15) {
+        // Allow 0..0xffff and negative range after wrap.
+    }
+    Ok(v as u16 as i16)
+}
+
+fn parse_mem(arg: &str, symbols: &HashMap<String, u32>) -> Result<(i16, u8), String> {
+    // off(rA)
+    let open = arg.find('(').ok_or_else(|| format!("expected off(rA), got `{arg}`"))?;
+    let close = arg.rfind(')').ok_or_else(|| format!("missing ) in `{arg}`"))?;
+    let off_str = arg[..open].trim();
+    let off = if off_str.is_empty() {
+        0
+    } else {
+        parse_imm16s(off_str, symbols)?
+    };
+    let reg = parse_reg(&arg[open + 1..close])?;
+    Ok((off, reg))
+}
+
+fn branch_off(target: &str, at: u32, symbols: &HashMap<String, u32>) -> Result<i32, String> {
+    let dest = eval_value(target, symbols)?;
+    let diff = (i64::from(dest) - i64::from(at)) / 4;
+    if diff > (1 << 25) - 1 || diff < -(1 << 25) {
+        return Err(format!("branch target `{target}` out of range"));
+    }
+    Ok(diff as i32)
+}
+
+#[allow(clippy::too_many_lines)]
+fn parse_instr(
+    mn: &str,
+    args: &[String],
+    at: u32,
+    symbols: &HashMap<String, u32>,
+) -> Result<Instr, String> {
+    let need = |n: usize| -> Result<(), String> {
+        if args.len() == n {
+            Ok(())
+        } else {
+            Err(format!("`{mn}` expects {n} operands, got {}", args.len()))
+        }
+    };
+    let mn = mn
+        .strip_prefix("l.")
+        .ok_or_else(|| format!("unknown mnemonic `{mn}` (expected l.*)"))?;
+    Ok(match mn {
+        "nop" => Instr::Nop,
+        "halt" => Instr::Halt,
+        "j" => {
+            need(1)?;
+            Instr::J(branch_off(&args[0], at, symbols)?)
+        }
+        "jal" => {
+            need(1)?;
+            Instr::Jal(branch_off(&args[0], at, symbols)?)
+        }
+        "jr" => {
+            need(1)?;
+            Instr::Jr(parse_reg(&args[0])?)
+        }
+        "bf" => {
+            need(1)?;
+            Instr::Bf(branch_off(&args[0], at, symbols)?)
+        }
+        "bnf" => {
+            need(1)?;
+            Instr::Bnf(branch_off(&args[0], at, symbols)?)
+        }
+        "movhi" => {
+            need(2)?;
+            Instr::Movhi(parse_reg(&args[0])?, eval_value(&args[1], symbols)? as u16)
+        }
+        "lwz" => {
+            need(2)?;
+            let (off, ra) = parse_mem(&args[1], symbols)?;
+            Instr::Lwz(parse_reg(&args[0])?, ra, off)
+        }
+        "lbz" => {
+            need(2)?;
+            let (off, ra) = parse_mem(&args[1], symbols)?;
+            Instr::Lbz(parse_reg(&args[0])?, ra, off)
+        }
+        "sw" => {
+            need(2)?;
+            let (off, ra) = parse_mem(&args[0], symbols)?;
+            Instr::Sw(ra, parse_reg(&args[1])?, off)
+        }
+        "sb" => {
+            need(2)?;
+            let (off, ra) = parse_mem(&args[0], symbols)?;
+            Instr::Sb(ra, parse_reg(&args[1])?, off)
+        }
+        "addi" => {
+            need(3)?;
+            Instr::Addi(
+                parse_reg(&args[0])?,
+                parse_reg(&args[1])?,
+                parse_imm16s(&args[2], symbols)?,
+            )
+        }
+        "andi" => {
+            need(3)?;
+            Instr::Andi(
+                parse_reg(&args[0])?,
+                parse_reg(&args[1])?,
+                eval_value(&args[2], symbols)? as u16,
+            )
+        }
+        "ori" => {
+            need(3)?;
+            Instr::Ori(
+                parse_reg(&args[0])?,
+                parse_reg(&args[1])?,
+                eval_value(&args[2], symbols)? as u16,
+            )
+        }
+        "xori" => {
+            need(3)?;
+            Instr::Xori(
+                parse_reg(&args[0])?,
+                parse_reg(&args[1])?,
+                parse_imm16s(&args[2], symbols)?,
+            )
+        }
+        "slli" => {
+            need(3)?;
+            Instr::ShiftI(
+                AluOp::Sll,
+                parse_reg(&args[0])?,
+                parse_reg(&args[1])?,
+                eval_value(&args[2], symbols)? as u8,
+            )
+        }
+        "srli" => {
+            need(3)?;
+            Instr::ShiftI(
+                AluOp::Srl,
+                parse_reg(&args[0])?,
+                parse_reg(&args[1])?,
+                eval_value(&args[2], symbols)? as u8,
+            )
+        }
+        "srai" => {
+            need(3)?;
+            Instr::ShiftI(
+                AluOp::Sra,
+                parse_reg(&args[0])?,
+                parse_reg(&args[1])?,
+                eval_value(&args[2], symbols)? as u8,
+            )
+        }
+        "add" | "sub" | "and" | "or" | "xor" | "mul" | "sll" | "srl" | "sra" => {
+            need(3)?;
+            let op = match mn {
+                "add" => AluOp::Add,
+                "sub" => AluOp::Sub,
+                "and" => AluOp::And,
+                "or" => AluOp::Or,
+                "xor" => AluOp::Xor,
+                "mul" => AluOp::Mul,
+                "sll" => AluOp::Sll,
+                "srl" => AluOp::Srl,
+                _ => AluOp::Sra,
+            };
+            Instr::Alu(
+                op,
+                parse_reg(&args[0])?,
+                parse_reg(&args[1])?,
+                parse_reg(&args[2])?,
+            )
+        }
+        "sfeq" | "sfne" | "sfgtu" | "sfgeu" | "sfltu" | "sfleu" => {
+            need(2)?;
+            let op = match mn {
+                "sfeq" => CmpOp::Eq,
+                "sfne" => CmpOp::Ne,
+                "sfgtu" => CmpOp::Gtu,
+                "sfgeu" => CmpOp::Geu,
+                "sfltu" => CmpOp::Ltu,
+                _ => CmpOp::Leu,
+            };
+            Instr::Sf(op, parse_reg(&args[0])?, parse_reg(&args[1])?)
+        }
+        "cust1" => {
+            need(2)?;
+            Instr::Cust1(parse_reg(&args[0])?, parse_reg(&args[1])?)
+        }
+        other => return Err(format!("unknown mnemonic `l.{other}`")),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_program_assembles() {
+        let p = assemble(
+            "start:\n    l.addi r3, r0, 5\n    l.addi r3, r3, -1\n    l.sfeq r3, r0\n    l.bnf start\n    l.halt\n",
+        )
+        .unwrap();
+        assert_eq!(p.image.len(), 5 * 4);
+        assert_eq!(p.symbol("start"), 0);
+        let w0 = u32::from_be_bytes(p.image[0..4].try_into().unwrap());
+        assert_eq!(Instr::decode(w0), Some(Instr::Addi(3, 0, 5)));
+    }
+
+    #[test]
+    fn backward_branch_offset() {
+        let p = assemble("a: l.nop\n l.j a\n").unwrap();
+        let w = u32::from_be_bytes(p.image[4..8].try_into().unwrap());
+        assert_eq!(Instr::decode(w), Some(Instr::J(-1)));
+    }
+
+    #[test]
+    fn forward_branch_and_labels() {
+        let p = assemble("l.bf done\nl.nop\ndone: l.halt\n").unwrap();
+        let w = u32::from_be_bytes(p.image[0..4].try_into().unwrap());
+        assert_eq!(Instr::decode(w), Some(Instr::Bf(2)));
+    }
+
+    #[test]
+    fn word_data_and_relocations() {
+        let src = "\
+l.movhi r4, hi(table)
+l.ori r4, r4, lo(table)
+l.halt
+table: .word 0xdeadbeef, 42
+";
+        let p = assemble(src).unwrap();
+        let t = p.symbol("table") as usize;
+        assert_eq!(t, 12);
+        assert_eq!(&p.image[t..t + 4], &0xdead_beefu32.to_be_bytes());
+        assert_eq!(&p.image[t + 4..t + 8], &42u32.to_be_bytes());
+        let w0 = u32::from_be_bytes(p.image[0..4].try_into().unwrap());
+        assert_eq!(Instr::decode(w0), Some(Instr::Movhi(4, 0)));
+        let w1 = u32::from_be_bytes(p.image[4..8].try_into().unwrap());
+        assert_eq!(Instr::decode(w1), Some(Instr::Ori(4, 4, 12)));
+    }
+
+    #[test]
+    fn space_reserves_zeroed_bytes() {
+        let p = assemble("l.halt\nbuf: .space 8\nafter: .word 1\n").unwrap();
+        assert_eq!(p.symbol("buf"), 4);
+        assert_eq!(p.symbol("after"), 12);
+        assert_eq!(&p.image[4..12], &[0u8; 8]);
+    }
+
+    #[test]
+    fn memory_operands() {
+        let p = assemble("l.lwz r5, 8(r2)\nl.sw -4(r3), r5\n").unwrap();
+        let w0 = u32::from_be_bytes(p.image[0..4].try_into().unwrap());
+        assert_eq!(Instr::decode(w0), Some(Instr::Lwz(5, 2, 8)));
+        let w1 = u32::from_be_bytes(p.image[4..8].try_into().unwrap());
+        assert_eq!(Instr::decode(w1), Some(Instr::Sw(3, 5, -4)));
+    }
+
+    #[test]
+    fn comments_ignored() {
+        let p = assemble("# header\nl.nop ; trailing\n").unwrap();
+        assert_eq!(p.image.len(), 4);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = assemble("l.nop\nl.bogus r1\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("bogus"));
+        let e = assemble("l.addi r99, r0, 1\n").unwrap_err();
+        assert!(e.message.contains("register"));
+        let e = assemble("l.j nowhere\n").unwrap_err();
+        assert!(e.message.contains("unknown symbol"));
+    }
+
+    #[test]
+    fn duplicate_label_rejected() {
+        let e = assemble("a: l.nop\na: l.nop\n").unwrap_err();
+        assert!(e.message.contains("duplicate"));
+    }
+}

@@ -1,0 +1,363 @@
+//! The instruction-set simulator with a pipeline cycle model and ISE
+//! activity trace.
+
+use serde::{Deserialize, Serialize};
+
+use crate::asm::Program;
+use crate::isa::{AluOp, CmpOp, Instr};
+
+/// One activation of the S-box ISE.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IseEvent {
+    /// Cycle at which `l.cust1` executed.
+    pub cycle: u64,
+    /// Operand word (the four S-box inputs).
+    pub input: u32,
+    /// Result word (the four S-box outputs).
+    pub output: u32,
+}
+
+/// Execution statistics and ISE activity.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ExecutionTrace {
+    /// Total cycles consumed.
+    pub cycles: u64,
+    /// Retired instruction count.
+    pub instructions: u64,
+    /// Every S-box ISE activation in order.
+    pub ise_events: Vec<IseEvent>,
+}
+
+impl ExecutionTrace {
+    /// Fraction of cycles in which the ISE was active — the quantity the
+    /// paper reports as 0.01 % for its full benchmark.
+    #[must_use]
+    pub fn ise_duty(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.ise_events.len() as f64 / self.cycles as f64
+        }
+    }
+}
+
+/// Why execution stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Stop {
+    /// `l.halt` retired.
+    Halted,
+    /// The cycle budget was exhausted first.
+    CycleLimit,
+}
+
+/// The processor: 32 GPRs, flag, PC and flat big-endian RAM.
+#[derive(Debug, Clone)]
+pub struct Cpu {
+    /// General-purpose registers (r0 hardwired to zero).
+    pub regs: [u32; 32],
+    /// Program counter (byte address).
+    pub pc: u32,
+    /// Compare flag.
+    pub flag: bool,
+    mem: Vec<u8>,
+    /// Branch-taken flush penalty (cycles), modelling the OR1200-style
+    /// pipeline refill.
+    pub branch_penalty: u64,
+}
+
+impl Cpu {
+    /// Create a CPU with `mem_size` bytes of RAM and load the program at
+    /// address 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the image does not fit.
+    #[must_use]
+    pub fn new(program: &Program, mem_size: usize) -> Self {
+        assert!(program.image.len() <= mem_size, "program larger than RAM");
+        let mut mem = vec![0u8; mem_size];
+        mem[..program.image.len()].copy_from_slice(&program.image);
+        Self {
+            regs: [0; 32],
+            pc: 0,
+            flag: false,
+            mem,
+            branch_penalty: 2,
+        }
+    }
+
+    /// Read a 32-bit big-endian word.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range addresses (there is no MMU).
+    #[must_use]
+    pub fn load_word(&self, addr: u32) -> u32 {
+        let a = addr as usize;
+        u32::from_be_bytes(self.mem[a..a + 4].try_into().expect("aligned load"))
+    }
+
+    /// Write a 32-bit big-endian word.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range addresses.
+    pub fn store_word(&mut self, addr: u32, value: u32) {
+        let a = addr as usize;
+        self.mem[a..a + 4].copy_from_slice(&value.to_be_bytes());
+    }
+
+    /// Read a byte.
+    #[must_use]
+    pub fn load_byte(&self, addr: u32) -> u8 {
+        self.mem[addr as usize]
+    }
+
+    /// Write a byte.
+    pub fn store_byte(&mut self, addr: u32, value: u8) {
+        self.mem[addr as usize] = value;
+    }
+
+    fn reg(&self, r: u8) -> u32 {
+        if r == 0 {
+            0
+        } else {
+            self.regs[r as usize]
+        }
+    }
+
+    fn set_reg(&mut self, r: u8, v: u32) {
+        if r != 0 {
+            self.regs[r as usize] = v;
+        }
+    }
+
+    /// Run until `l.halt` or the cycle budget is exhausted, recording ISE
+    /// activity.
+    ///
+    /// # Panics
+    ///
+    /// Panics on undecodable instructions or out-of-range memory access —
+    /// program bugs, not runtime conditions.
+    pub fn run(&mut self, max_cycles: u64, trace: &mut ExecutionTrace) -> Stop {
+        while trace.cycles < max_cycles {
+            let word = self.load_word(self.pc);
+            let instr = Instr::decode(word)
+                .unwrap_or_else(|| panic!("undecodable instruction {word:#010x} at {:#x}", self.pc));
+            let mut next_pc = self.pc.wrapping_add(4);
+            let mut cycles = instr.base_cycles();
+            match instr {
+                Instr::Nop => {}
+                Instr::Halt => {
+                    trace.cycles += 1;
+                    trace.instructions += 1;
+                    return Stop::Halted;
+                }
+                Instr::J(off) => {
+                    next_pc = self.pc.wrapping_add((off * 4) as u32);
+                    cycles += self.branch_penalty;
+                }
+                Instr::Jal(off) => {
+                    self.set_reg(9, self.pc.wrapping_add(4));
+                    next_pc = self.pc.wrapping_add((off * 4) as u32);
+                    cycles += self.branch_penalty;
+                }
+                Instr::Jr(rb) => {
+                    next_pc = self.reg(rb);
+                    cycles += self.branch_penalty;
+                }
+                Instr::Bf(off) => {
+                    if self.flag {
+                        next_pc = self.pc.wrapping_add((off * 4) as u32);
+                        cycles += self.branch_penalty;
+                    }
+                }
+                Instr::Bnf(off) => {
+                    if !self.flag {
+                        next_pc = self.pc.wrapping_add((off * 4) as u32);
+                        cycles += self.branch_penalty;
+                    }
+                }
+                Instr::Movhi(rd, imm) => self.set_reg(rd, u32::from(imm) << 16),
+                Instr::Lwz(rd, ra, off) => {
+                    let addr = self.reg(ra).wrapping_add(off as u32);
+                    let v = self.load_word(addr);
+                    self.set_reg(rd, v);
+                }
+                Instr::Lbz(rd, ra, off) => {
+                    let addr = self.reg(ra).wrapping_add(off as u32);
+                    let v = u32::from(self.load_byte(addr));
+                    self.set_reg(rd, v);
+                }
+                Instr::Sw(ra, rb, off) => {
+                    let addr = self.reg(ra).wrapping_add(off as u32);
+                    self.store_word(addr, self.reg(rb));
+                }
+                Instr::Sb(ra, rb, off) => {
+                    let addr = self.reg(ra).wrapping_add(off as u32);
+                    self.store_byte(addr, self.reg(rb) as u8);
+                }
+                Instr::Addi(rd, ra, imm) => {
+                    self.set_reg(rd, self.reg(ra).wrapping_add(imm as u32));
+                }
+                Instr::Andi(rd, ra, imm) => self.set_reg(rd, self.reg(ra) & u32::from(imm)),
+                Instr::Ori(rd, ra, imm) => self.set_reg(rd, self.reg(ra) | u32::from(imm)),
+                Instr::Xori(rd, ra, imm) => self.set_reg(rd, self.reg(ra) ^ (imm as u32)),
+                Instr::ShiftI(op, rd, ra, sh) => {
+                    let a = self.reg(ra);
+                    let v = match op {
+                        AluOp::Sll => a << sh,
+                        AluOp::Srl => a >> sh,
+                        _ => ((a as i32) >> sh) as u32,
+                    };
+                    self.set_reg(rd, v);
+                }
+                Instr::Alu(op, rd, ra, rb) => {
+                    let (a, b) = (self.reg(ra), self.reg(rb));
+                    let v = match op {
+                        AluOp::Add => a.wrapping_add(b),
+                        AluOp::Sub => a.wrapping_sub(b),
+                        AluOp::And => a & b,
+                        AluOp::Or => a | b,
+                        AluOp::Xor => a ^ b,
+                        AluOp::Mul => a.wrapping_mul(b),
+                        AluOp::Sll => a << (b & 31),
+                        AluOp::Srl => a >> (b & 31),
+                        AluOp::Sra => ((a as i32) >> (b & 31)) as u32,
+                    };
+                    self.set_reg(rd, v);
+                }
+                Instr::Sf(op, ra, rb) => {
+                    let (a, b) = (self.reg(ra), self.reg(rb));
+                    self.flag = match op {
+                        CmpOp::Eq => a == b,
+                        CmpOp::Ne => a != b,
+                        CmpOp::Gtu => a > b,
+                        CmpOp::Geu => a >= b,
+                        CmpOp::Ltu => a < b,
+                        CmpOp::Leu => a <= b,
+                    };
+                }
+                Instr::Cust1(rd, ra) => {
+                    let input = self.reg(ra);
+                    let output = mcml_aes::sbox_ise::sbox_word(input);
+                    self.set_reg(rd, output);
+                    trace.ise_events.push(IseEvent {
+                        cycle: trace.cycles,
+                        input,
+                        output,
+                    });
+                }
+            }
+            trace.cycles += cycles;
+            trace.instructions += 1;
+            self.pc = next_pc;
+        }
+        Stop::CycleLimit
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::assemble;
+
+    fn run_src(src: &str, max: u64) -> (Cpu, ExecutionTrace, Stop) {
+        let p = assemble(src).unwrap();
+        let mut cpu = Cpu::new(&p, 64 * 1024);
+        let mut trace = ExecutionTrace::default();
+        let stop = cpu.run(max, &mut trace);
+        (cpu, trace, stop)
+    }
+
+    #[test]
+    fn arithmetic_loop() {
+        // Sum 1..=10 into r3.
+        let src = "\
+    l.addi r3, r0, 0
+    l.addi r4, r0, 10
+loop:
+    l.add  r3, r3, r4
+    l.addi r4, r4, -1
+    l.sfeq r4, r0
+    l.bnf  loop
+    l.halt
+";
+        let (cpu, trace, stop) = run_src(src, 10_000);
+        assert_eq!(stop, Stop::Halted);
+        assert_eq!(cpu.regs[3], 55);
+        assert!(trace.instructions > 40);
+    }
+
+    #[test]
+    fn r0_is_hardwired_zero() {
+        let (cpu, _, _) = run_src("l.addi r0, r0, 5\nl.add r3, r0, r0\nl.halt\n", 100);
+        assert_eq!(cpu.regs[3], 0);
+    }
+
+    #[test]
+    fn memory_round_trip() {
+        let src = "\
+    l.movhi r2, 0
+    l.ori  r2, r2, 0x100
+    l.movhi r3, 0xdead
+    l.ori  r3, r3, 0xbeef
+    l.sw   0(r2), r3
+    l.lwz  r4, 0(r2)
+    l.lbz  r5, 0(r2)
+    l.lbz  r6, 3(r2)
+    l.halt
+";
+        let (cpu, _, _) = run_src(src, 100);
+        assert_eq!(cpu.regs[4], 0xdead_beef);
+        assert_eq!(cpu.regs[5], 0xde, "big-endian byte 0");
+        assert_eq!(cpu.regs[6], 0xef);
+    }
+
+    #[test]
+    fn jal_links_and_jr_returns() {
+        let src = "\
+    l.jal sub
+    l.addi r3, r3, 100
+    l.halt
+sub:
+    l.addi r3, r0, 1
+    l.jr r9
+";
+        let (cpu, _, stop) = run_src(src, 1000);
+        assert_eq!(stop, Stop::Halted);
+        assert_eq!(cpu.regs[3], 101);
+    }
+
+    #[test]
+    fn cust1_records_ise_event() {
+        let src = "\
+    l.movhi r5, 0x0011
+    l.ori  r5, r5, 0x2233
+    l.cust1 r6, r5
+    l.halt
+";
+        let (cpu, trace, _) = run_src(src, 100);
+        assert_eq!(trace.ise_events.len(), 1);
+        let ev = trace.ise_events[0];
+        assert_eq!(ev.input, 0x0011_2233);
+        assert_eq!(ev.output, cpu.regs[6]);
+        assert_eq!(ev.output, mcml_aes::sbox_ise::sbox_word(0x0011_2233));
+        assert!(trace.ise_duty() > 0.0 && trace.ise_duty() < 1.0);
+    }
+
+    #[test]
+    fn branch_penalty_counted() {
+        // Taken branch costs more than fall-through.
+        let taken = run_src("l.sfeq r0, r0\nl.bf t\nl.nop\nt: l.halt\n", 100).1.cycles;
+        let nottaken = run_src("l.sfne r0, r0\nl.bf t\nl.nop\nt: l.halt\n", 100).1.cycles;
+        assert!(taken > nottaken, "taken {taken} vs fall-through {nottaken}");
+    }
+
+    #[test]
+    fn cycle_limit_stops() {
+        let (_, trace, stop) = run_src("x: l.j x\n", 50);
+        assert_eq!(stop, Stop::CycleLimit);
+        assert!(trace.cycles >= 50);
+    }
+}

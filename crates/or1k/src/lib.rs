@@ -1,0 +1,33 @@
+//! # mcml-or1k — an OpenRISC-1000-subset processor model with the S-box
+//! ISE
+//!
+//! The host-processor substrate of the paper's Table 3 experiment: an
+//! instruction-set simulator for a practical subset of the OR1K
+//! architecture, augmented with the custom `l.cust1` instruction that
+//! drives the four-S-box functional unit. Includes:
+//!
+//! * [`isa`] — instruction set, binary encoding and decoding;
+//! * [`asm`] — a two-pass assembler (labels, branches, `.word` data,
+//!   `hi()`/`lo()` relocations);
+//! * [`cpu`] — the ISS with a simple pipeline cycle model and an
+//!   execution trace recording every ISE activation (cycle + operand +
+//!   result), which downstream power simulation turns into sleep windows
+//!   and S-box activity;
+//! * [`aes_prog`] — a generated OR1K assembly implementation of AES-128
+//!   using the ISE for SubBytes, validated against the software
+//!   [`mcml_aes::Aes128`].
+//!
+//! Simplifications vs real OR1K (documented per DESIGN.md): no branch
+//! delay slots, no exceptions/MMU, flat RAM. Neither affects the measured
+//! quantity — the ISE duty cycle and per-activation operands.
+
+#![deny(missing_docs)]
+
+pub mod aes_prog;
+pub mod asm;
+pub mod cpu;
+pub mod isa;
+
+pub use asm::assemble;
+pub use cpu::{Cpu, ExecutionTrace, IseEvent};
+pub use isa::Instr;

@@ -1,0 +1,201 @@
+//! DC sweep analysis: solve the operating point along a swept source
+//! value (the SPICE `.DC` card), used for transfer curves, noise margins
+//! and bias-point exploration.
+
+use crate::analysis::dc::{dc_op, DcOptions, OpPoint};
+use crate::circuit::{Circuit, ElementId};
+use crate::element::Element;
+use crate::source::SourceWave;
+use crate::waveform::Waveform;
+use crate::Result;
+
+/// Result of a DC sweep: one operating point per swept value.
+#[derive(Debug, Clone)]
+pub struct DcSweepResult {
+    /// Swept source values.
+    pub values: Vec<f64>,
+    /// Operating point at each value.
+    pub points: Vec<OpPoint>,
+}
+
+impl DcSweepResult {
+    /// Transfer curve of a node voltage vs the swept value.
+    #[must_use]
+    pub fn transfer(&self, node: crate::circuit::NodeId) -> Waveform {
+        self.values
+            .iter()
+            .zip(&self.points)
+            .map(|(&x, op)| (x, op.voltage(node)))
+            .collect()
+    }
+
+    /// Supply-current curve of a voltage source vs the swept value.
+    #[must_use]
+    pub fn supply_current(&self, elem: ElementId) -> Waveform {
+        self.values
+            .iter()
+            .zip(&self.points)
+            .map(|(&x, op)| (x, op.supply_current(elem).unwrap_or(0.0)))
+            .collect()
+    }
+
+    /// Largest |dV(node)/dx| along the sweep — the small-signal gain at
+    /// the steepest point of a transfer curve.
+    #[must_use]
+    pub fn peak_gain(&self, node: crate::circuit::NodeId) -> f64 {
+        let w = self.transfer(node);
+        let (t, v) = (w.times(), w.values());
+        let mut g: f64 = 0.0;
+        for i in 1..t.len() {
+            let dx = t[i] - t[i - 1];
+            if dx > 0.0 {
+                g = g.max(((v[i] - v[i - 1]) / dx).abs());
+            }
+        }
+        g
+    }
+}
+
+/// Sweep the DC value of the named voltage source over `[from, to]` in
+/// `steps` increments, warm-starting each point from the previous
+/// solution.
+///
+/// # Errors
+///
+/// Propagates DC convergence failures; returns
+/// [`crate::SpiceError::InvalidCircuit`] if `source` is not a voltage
+/// source.
+///
+/// # Panics
+///
+/// Panics unless `steps >= 2` and the span is finite.
+pub fn dc_sweep(
+    ckt: &Circuit,
+    source: ElementId,
+    from: f64,
+    to: f64,
+    steps: usize,
+    opts: &DcOptions,
+) -> Result<DcSweepResult> {
+    assert!(steps >= 2, "a sweep needs at least two points");
+    assert!(from.is_finite() && to.is_finite(), "finite sweep span");
+    let Element::Vsource { .. } = ckt.element(source) else {
+        return Err(crate::SpiceError::InvalidCircuit(
+            "dc_sweep target must be a voltage source".to_owned(),
+        ));
+    };
+
+    let mut values = Vec::with_capacity(steps);
+    let mut points = Vec::with_capacity(steps);
+    for k in 0..steps {
+        let x = from + (to - from) * k as f64 / (steps - 1) as f64;
+        // Clone the circuit with the source pinned at x. (Cloning per
+        // point is simple and cheap relative to the Newton solve.)
+        let mut c = ckt.clone();
+        c.set_vsource_wave(source, SourceWave::dc(x));
+        points.push(dc_op(&c, opts)?);
+        values.push(x);
+    }
+    Ok(DcSweepResult { values, points })
+}
+
+impl Circuit {
+    /// Replace the waveform of an existing voltage source (used by the
+    /// DC sweep; handy for testbench reconfiguration generally).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `source` is not a voltage source of this circuit.
+    pub fn set_vsource_wave(&mut self, source: ElementId, wave: SourceWave) {
+        match self.element_mut(source) {
+            Element::Vsource { wave: w, .. } => *w = wave,
+            other => panic!("set_vsource_wave on a {}", other.kind()),
+        }
+    }
+
+    /// Run a DC sweep with default options (see [`dc_sweep`]).
+    ///
+    /// # Errors
+    ///
+    /// See [`dc_sweep`].
+    pub fn dc_sweep(
+        &self,
+        source: ElementId,
+        from: f64,
+        to: f64,
+        steps: usize,
+    ) -> Result<DcSweepResult> {
+        dc_sweep(self, source, from, to, steps, &DcOptions::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcml_device::{MosParams, Mosfet};
+
+    #[test]
+    fn resistor_divider_sweep_is_linear() {
+        let mut c = Circuit::new();
+        let vin = c.node("in");
+        let mid = c.node("mid");
+        let v = c.vsource("V", vin, Circuit::GND, SourceWave::dc(0.0));
+        c.resistor("R1", vin, mid, 1e3);
+        c.resistor("R2", mid, Circuit::GND, 1e3);
+        let sweep = c.dc_sweep(v, 0.0, 2.0, 5).unwrap();
+        let w = sweep.transfer(mid);
+        assert!((w.sample(0.0) - 0.0).abs() < 1e-9);
+        assert!((w.sample(1.0) - 0.5).abs() < 1e-6);
+        assert!((w.sample(2.0) - 1.0).abs() < 1e-6);
+        assert!((sweep.peak_gain(mid) - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn inverter_vtc_has_gain_above_one() {
+        // Static CMOS inverter: the voltage transfer curve must swing
+        // rail to rail with |gain| > 1 at the switching threshold.
+        let mut c = Circuit::new();
+        let vdd = c.node("vdd");
+        let vin = c.node("in");
+        let out = c.node("out");
+        c.vsource("VDD", vdd, Circuit::GND, SourceWave::dc(1.2));
+        let v = c.vsource("VIN", vin, Circuit::GND, SourceWave::dc(0.0));
+        c.mosfet(
+            "MN",
+            out,
+            vin,
+            Circuit::GND,
+            Circuit::GND,
+            Mosfet::nmos(MosParams::nmos_lvt_90(), 1e-6, 0.1e-6),
+        );
+        c.mosfet(
+            "MP",
+            out,
+            vin,
+            vdd,
+            vdd,
+            Mosfet::pmos(MosParams::pmos_lvt_90(), 2e-6, 0.1e-6),
+        );
+        let sweep = c.dc_sweep(v, 0.0, 1.2, 49).unwrap();
+        let w = sweep.transfer(out);
+        assert!(w.sample(0.0) > 1.1, "output high at Vin=0");
+        assert!(w.sample(1.2) < 0.1, "output low at Vin=Vdd");
+        assert!(
+            sweep.peak_gain(out) > 1.5,
+            "regenerative gain {}",
+            sweep.peak_gain(out)
+        );
+        // Monotone falling VTC.
+        let vals = w.values();
+        assert!(vals.windows(2).all(|p| p[1] <= p[0] + 1e-6));
+    }
+
+    #[test]
+    fn sweep_rejects_non_source() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        let r = c.resistor("R", a, Circuit::GND, 1e3);
+        c.vsource("V", a, Circuit::GND, SourceWave::dc(1.0));
+        assert!(c.dc_sweep(r, 0.0, 1.0, 3).is_err());
+    }
+}

@@ -1,0 +1,308 @@
+//! Shared MNA assembly and damped Newton–Raphson iteration.
+
+use crate::circuit::{Circuit, NodeId};
+use crate::element::Element;
+use crate::error::SpiceError;
+use crate::matrix::{SolverKind, SystemMatrix};
+use crate::Result;
+
+/// Per-capacitor companion-model state for transient analysis.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct CapState {
+    /// Capacitance (F), cached from the element.
+    pub c: f64,
+    /// Voltage across the capacitor at the previous accepted time point.
+    pub prev_v: f64,
+    /// Current through the capacitor at the previous accepted time point
+    /// (used by the trapezoidal rule).
+    pub prev_i: f64,
+}
+
+/// Companion-model context handed to assembly during transient steps.
+#[derive(Debug, Clone)]
+pub(crate) struct CompanionCtx {
+    /// Current step size (s).
+    pub h: f64,
+    /// True for trapezoidal, false for backward Euler.
+    pub trapezoidal: bool,
+    /// Parallel to the circuit's element list; `Some` for capacitors.
+    pub caps: Vec<Option<CapState>>,
+}
+
+/// Newton–Raphson tuning knobs shared by DC and transient.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct NrOptions {
+    pub max_iter: usize,
+    pub vtol: f64,
+    pub itol: f64,
+    pub vstep_limit: f64,
+    pub solver: SolverKind,
+}
+
+impl Default for NrOptions {
+    fn default() -> Self {
+        Self {
+            max_iter: 150,
+            vtol: 1e-6,
+            itol: 1e-9,
+            vstep_limit: 0.4,
+            solver: SolverKind::Auto,
+        }
+    }
+}
+
+pub(crate) struct Engine<'a> {
+    pub ckt: &'a Circuit,
+    pub n_node_unk: usize,
+    pub n_unk: usize,
+}
+
+impl<'a> Engine<'a> {
+    pub fn new(ckt: &'a Circuit) -> Self {
+        let n_node_unk = ckt.node_count() - 1;
+        Self {
+            ckt,
+            n_node_unk,
+            n_unk: n_node_unk + ckt.branch_count(),
+        }
+    }
+
+    #[inline]
+    fn unk(node: NodeId) -> Option<usize> {
+        if node.is_ground() {
+            None
+        } else {
+            Some(node.index() - 1)
+        }
+    }
+
+    #[inline]
+    fn v(x: &[f64], node: NodeId) -> f64 {
+        match Self::unk(node) {
+            Some(i) => x[i],
+            None => 0.0,
+        }
+    }
+
+    /// Assemble Jacobian `mat` and residual `f` (KCL: sum of currents
+    /// leaving each node; KVL rows for voltage-source branches) at state
+    /// `x`, time `t`.
+    #[allow(clippy::too_many_arguments)]
+    fn assemble(
+        &self,
+        x: &[f64],
+        t: f64,
+        companion: Option<&CompanionCtx>,
+        gmin: f64,
+        src_scale: f64,
+        mat: &mut SystemMatrix,
+        f: &mut [f64],
+    ) {
+        mat.clear();
+        f.iter_mut().for_each(|v| *v = 0.0);
+
+        // gmin from every non-ground node to ground keeps the matrix
+        // non-singular for floating subcircuits.
+        for i in 0..self.n_node_unk {
+            mat.add(i, i, gmin);
+            f[i] += gmin * x[i];
+        }
+
+        for (idx, (_, elem)) in self.ckt.elements().map(|(id, n, e)| (id.index(), (n, e))) {
+            match elem {
+                Element::Resistor { a, b, ohms } => {
+                    let g = 1.0 / ohms;
+                    let i = g * (Self::v(x, *a) - Self::v(x, *b));
+                    self.stamp_conductance(mat, f, *a, *b, g, i);
+                }
+                Element::Capacitor { a, b, .. } => {
+                    let Some(ctx) = companion else { continue };
+                    let Some(state) = ctx.caps[idx] else { continue };
+                    let (geq, hist) = companion_terms(&state, ctx.h, ctx.trapezoidal);
+                    let v_now = Self::v(x, *a) - Self::v(x, *b);
+                    let i = geq * v_now + hist;
+                    self.stamp_conductance(mat, f, *a, *b, geq, i);
+                }
+                Element::Vsource {
+                    p, n, wave, branch, ..
+                } => {
+                    let br = self.n_node_unk + branch;
+                    let i_br = x[br];
+                    // KCL contributions of the branch current.
+                    if let Some(pi) = Self::unk(*p) {
+                        f[pi] += i_br;
+                        mat.add(pi, br, 1.0);
+                    }
+                    if let Some(ni) = Self::unk(*n) {
+                        f[ni] -= i_br;
+                        mat.add(ni, br, -1.0);
+                    }
+                    // KVL row: v_p − v_n = V(t)·scale.
+                    let target = wave.value(t) * src_scale;
+                    f[br] = Self::v(x, *p) - Self::v(x, *n) - target;
+                    if let Some(pi) = Self::unk(*p) {
+                        mat.add(br, pi, 1.0);
+                    }
+                    if let Some(ni) = Self::unk(*n) {
+                        mat.add(br, ni, -1.0);
+                    }
+                }
+                Element::Isource { p, n, wave } => {
+                    let i = wave.value(t) * src_scale;
+                    if let Some(pi) = Self::unk(*p) {
+                        f[pi] += i;
+                    }
+                    if let Some(ni) = Self::unk(*n) {
+                        f[ni] -= i;
+                    }
+                }
+                Element::Mos { d, g, s, b, dev } => {
+                    let e = dev.eval(Self::v(x, *g), Self::v(x, *d), Self::v(x, *s), Self::v(x, *b));
+                    // Current enters the drain, leaves the source.
+                    if let Some(di) = Self::unk(*d) {
+                        f[di] += e.id;
+                        if let Some(gi) = Self::unk(*g) {
+                            mat.add(di, gi, e.gm);
+                        }
+                        mat.add(di, di, e.gds);
+                        if let Some(si) = Self::unk(*s) {
+                            mat.add(di, si, e.gms);
+                        }
+                        if let Some(bi) = Self::unk(*b) {
+                            mat.add(di, bi, e.gmb);
+                        }
+                    }
+                    if let Some(si) = Self::unk(*s) {
+                        f[si] -= e.id;
+                        if let Some(gi) = Self::unk(*g) {
+                            mat.add(si, gi, -e.gm);
+                        }
+                        if let Some(di) = Self::unk(*d) {
+                            mat.add(si, di, -e.gds);
+                        }
+                        mat.add(si, si, -e.gms);
+                        if let Some(bi) = Self::unk(*b) {
+                            mat.add(si, bi, -e.gmb);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn stamp_conductance(
+        &self,
+        mat: &mut SystemMatrix,
+        f: &mut [f64],
+        a: NodeId,
+        b: NodeId,
+        g: f64,
+        i_ab: f64,
+    ) {
+        if let Some(ai) = Self::unk(a) {
+            f[ai] += i_ab;
+            mat.add(ai, ai, g);
+            if let Some(bi) = Self::unk(b) {
+                mat.add(ai, bi, -g);
+            }
+        }
+        if let Some(bi) = Self::unk(b) {
+            f[bi] -= i_ab;
+            mat.add(bi, bi, g);
+            if let Some(ai) = Self::unk(a) {
+                mat.add(bi, ai, -g);
+            }
+        }
+    }
+
+    /// Damped Newton–Raphson from the warm start in `x`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn solve_nr(
+        &self,
+        x: &mut [f64],
+        t: f64,
+        companion: Option<&CompanionCtx>,
+        gmin: f64,
+        src_scale: f64,
+        opts: &NrOptions,
+        analysis: &'static str,
+    ) -> Result<()> {
+        let mut mat = SystemMatrix::new(self.n_unk);
+        let mut f = vec![0.0; self.n_unk];
+        for iter in 0..opts.max_iter {
+            self.assemble(x, t, companion, gmin, src_scale, &mut mat, &mut f);
+            let rhs: Vec<f64> = f.iter().map(|v| -v).collect();
+            let dx = mat.solve(&rhs, opts.solver)?;
+
+            // Damping: cap the largest node-voltage update.
+            let max_dv = dx[..self.n_node_unk]
+                .iter()
+                .fold(0.0f64, |m, v| m.max(v.abs()));
+            let damp = if max_dv > opts.vstep_limit {
+                opts.vstep_limit / max_dv
+            } else {
+                1.0
+            };
+            for (xi, di) in x.iter_mut().zip(dx.iter()) {
+                *xi += damp * di;
+            }
+            if !x.iter().all(|v| v.is_finite()) {
+                return Err(SpiceError::NoConvergence {
+                    analysis,
+                    time: t,
+                    iterations: iter,
+                });
+            }
+
+            let max_f = f[..self.n_node_unk]
+                .iter()
+                .fold(0.0f64, |m, v| m.max(v.abs()));
+            if damp == 1.0 && max_dv < opts.vtol && max_f < opts.itol {
+                return Ok(());
+            }
+        }
+        Err(SpiceError::NoConvergence {
+            analysis,
+            time: t,
+            iterations: opts.max_iter,
+        })
+    }
+}
+
+/// Companion conductance and history current for a capacitor.
+pub(crate) fn companion_terms(state: &CapState, h: f64, trapezoidal: bool) -> (f64, f64) {
+    if trapezoidal {
+        let geq = 2.0 * state.c / h;
+        (geq, -geq * state.prev_v - state.prev_i)
+    } else {
+        let geq = state.c / h;
+        (geq, -geq * state.prev_v)
+    }
+}
+
+/// Initialise companion states (capacitor voltages) from a solved state.
+pub(crate) fn init_cap_states(ckt: &Circuit, x: &[f64]) -> Vec<Option<CapState>> {
+    ckt.elements()
+        .map(|(_, _, e)| match e {
+            Element::Capacitor { a, b, farads } => Some(CapState {
+                c: *farads,
+                prev_v: Engine::v_pub(x, *a) - Engine::v_pub(x, *b),
+                prev_i: 0.0,
+            }),
+            _ => None,
+        })
+        .collect()
+}
+
+impl Engine<'_> {
+    /// Public voltage accessor used by the analyses when mapping states to
+    /// waveforms.
+    #[inline]
+    pub(crate) fn v_pub(x: &[f64], node: NodeId) -> f64 {
+        if node.is_ground() {
+            0.0
+        } else {
+            x[node.index() - 1]
+        }
+    }
+}

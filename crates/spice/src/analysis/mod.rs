@@ -1,0 +1,6 @@
+//! Circuit analyses: DC operating point and transient.
+
+pub mod dc;
+pub mod dcsweep;
+pub(crate) mod engine;
+pub mod tran;

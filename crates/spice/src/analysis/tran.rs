@@ -1,0 +1,418 @@
+//! Transient analysis with backward-Euler / trapezoidal companion models.
+
+use crate::analysis::dc::{branch_map, DcOptions, OpPoint};
+use crate::analysis::engine::{companion_terms, init_cap_states, CompanionCtx, Engine, NrOptions};
+use crate::circuit::{Circuit, ElementId, NodeId};
+use crate::element::Element;
+use crate::error::SpiceError;
+use crate::matrix::SolverKind;
+use crate::waveform::Waveform;
+use crate::Result;
+
+/// Numerical integration method for capacitor companion models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Integrator {
+    /// Backward Euler: L-stable, slightly dissipative — the robust
+    /// default.
+    #[default]
+    BackwardEuler,
+    /// Trapezoidal rule: second-order accurate, preferred for energy
+    /// measurements.
+    Trapezoidal,
+}
+
+/// Options for [`Circuit::transient`].
+#[derive(Debug, Clone, Copy)]
+pub struct TranOptions {
+    /// End time (s).
+    pub t_stop: f64,
+    /// Base time step (s); steps are subdivided locally when Newton fails.
+    pub dt: f64,
+    /// Integration method.
+    pub integrator: Integrator,
+    /// Record every `record_stride`-th accepted base step (1 = all).
+    pub record_stride: usize,
+    /// Newton iteration budget per step.
+    pub max_iter: usize,
+    /// Node-voltage convergence tolerance (V).
+    pub vtol: f64,
+    /// KCL residual tolerance (A).
+    pub itol: f64,
+    /// Largest node-voltage Newton update (V).
+    pub vstep_limit: f64,
+    /// Linear-solver selection.
+    pub solver: SolverKind,
+    /// Maximum binary step subdivisions on non-convergence.
+    pub max_subdiv: u32,
+}
+
+impl TranOptions {
+    /// Options with the given end time and base step, defaults elsewhere.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < dt <= t_stop`.
+    #[must_use]
+    pub fn new(t_stop: f64, dt: f64) -> Self {
+        assert!(dt > 0.0 && t_stop >= dt, "need 0 < dt <= t_stop");
+        let nr = NrOptions::default();
+        Self {
+            t_stop,
+            dt,
+            integrator: Integrator::default(),
+            record_stride: 1,
+            max_iter: nr.max_iter,
+            vtol: nr.vtol,
+            itol: nr.itol,
+            vstep_limit: nr.vstep_limit,
+            solver: SolverKind::Auto,
+            max_subdiv: 8,
+        }
+    }
+
+    /// Builder-style integrator selection.
+    #[must_use]
+    pub fn with_integrator(mut self, integrator: Integrator) -> Self {
+        self.integrator = integrator;
+        self
+    }
+
+    fn nr(&self) -> NrOptions {
+        NrOptions {
+            max_iter: self.max_iter,
+            vtol: self.vtol,
+            itol: self.itol,
+            vstep_limit: self.vstep_limit,
+            solver: self.solver,
+        }
+    }
+}
+
+/// Recorded transient simulation results.
+#[derive(Debug, Clone)]
+pub struct TranResult {
+    times: Vec<f64>,
+    states: Vec<Vec<f64>>,
+    n_node_unk: usize,
+    branch_of_elem: Vec<Option<usize>>,
+    op0: OpPoint,
+}
+
+impl TranResult {
+    /// Recorded time points (s).
+    #[must_use]
+    pub fn times(&self) -> &[f64] {
+        &self.times
+    }
+
+    /// Number of recorded points.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.times.len()
+    }
+
+    /// True when nothing was recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.times.is_empty()
+    }
+
+    /// Initial operating point (t = 0).
+    #[must_use]
+    pub fn initial_op(&self) -> &OpPoint {
+        &self.op0
+    }
+
+    /// Node-voltage waveform.
+    #[must_use]
+    pub fn voltage(&self, node: NodeId) -> Waveform {
+        if node.is_ground() {
+            return self
+                .times
+                .iter()
+                .map(|&t| (t, 0.0))
+                .collect();
+        }
+        let idx = node.index() - 1;
+        self.times
+            .iter()
+            .zip(self.states.iter())
+            .map(|(&t, s)| (t, s[idx]))
+            .collect()
+    }
+
+    /// Branch-current waveform of a voltage source (A, from the positive
+    /// terminal through the source); `None` for other elements.
+    #[must_use]
+    pub fn branch_current(&self, elem: ElementId) -> Option<Waveform> {
+        let b = self.branch_of_elem.get(elem.index()).copied().flatten()?;
+        let idx = self.n_node_unk + b;
+        Some(
+            self.times
+                .iter()
+                .zip(self.states.iter())
+                .map(|(&t, s)| (t, s[idx]))
+                .collect(),
+        )
+    }
+
+    /// Current delivered into the circuit by a voltage source (A): the
+    /// negated branch current. For the Vdd rail this is the supply-current
+    /// waveform of the paper's Fig. 5.
+    #[must_use]
+    pub fn supply_current(&self, elem: ElementId) -> Option<Waveform> {
+        self.branch_current(elem).map(|w| w.scaled(-1.0))
+    }
+}
+
+/// Run a transient analysis.
+///
+/// The initial condition is the DC operating point with sources evaluated
+/// at `t = 0`. When a time step fails to converge it is halved, up to
+/// `max_subdiv` times.
+///
+/// # Errors
+///
+/// Returns [`SpiceError::NoConvergence`] when a step fails at the smallest
+/// subdivision, or the DC errors for the initial point.
+pub fn transient(ckt: &Circuit, opts: &TranOptions) -> Result<TranResult> {
+    let dc_opts = DcOptions {
+        solver: opts.solver,
+        ..DcOptions::default()
+    };
+    let op0 = ckt.dc_op_with(&dc_opts)?;
+    let engine = Engine::new(ckt);
+    let nr = opts.nr();
+    let trapezoidal = opts.integrator == Integrator::Trapezoidal;
+
+    let mut x = op0.state().to_vec();
+    let mut caps = init_cap_states(ckt, &x);
+
+    let n_steps = (opts.t_stop / opts.dt).round() as usize;
+    let mut times = Vec::with_capacity(n_steps + 1);
+    let mut states = Vec::with_capacity(n_steps + 1);
+    times.push(0.0);
+    states.push(x.clone());
+
+    let mut t = 0.0;
+    for step in 1..=n_steps {
+        let t_target = opts.dt * step as f64;
+        // March to the grid point, subdividing on failure.
+        while t < t_target - opts.dt * 1e-9 {
+            let mut h = t_target - t;
+            let mut level = 0u32;
+            loop {
+                let ctx = CompanionCtx {
+                    h,
+                    trapezoidal,
+                    caps: caps.clone(),
+                };
+                let mut x_try = x.clone();
+                match engine.solve_nr(&mut x_try, t + h, Some(&ctx), ckt.gmin, 1.0, &nr, "tran") {
+                    Ok(()) => {
+                        // Accept: update companion states.
+                        update_caps(ckt, &mut caps, &x_try, h, trapezoidal);
+                        x = x_try;
+                        t += h;
+                        break;
+                    }
+                    Err(e) => {
+                        level += 1;
+                        if level > opts.max_subdiv {
+                            return Err(match e {
+                                SpiceError::NoConvergence { iterations, .. } => {
+                                    SpiceError::NoConvergence {
+                                        analysis: "tran",
+                                        time: t + h,
+                                        iterations,
+                                    }
+                                }
+                                other => other,
+                            });
+                        }
+                        h /= 2.0;
+                    }
+                }
+            }
+        }
+        if step % opts.record_stride == 0 || step == n_steps {
+            times.push(t_target);
+            states.push(x.clone());
+        }
+    }
+
+    Ok(TranResult {
+        times,
+        states,
+        n_node_unk: engine.n_node_unk,
+        branch_of_elem: branch_map(ckt),
+        op0,
+    })
+}
+
+fn update_caps(
+    ckt: &Circuit,
+    caps: &mut [Option<crate::analysis::engine::CapState>],
+    x: &[f64],
+    h: f64,
+    trapezoidal: bool,
+) {
+    for (idx, (_, e)) in ckt.elements().map(|(id, n, e)| (id.index(), (n, e))) {
+        if let (Element::Capacitor { a, b, .. }, Some(state)) = (e, caps[idx].as_mut()) {
+            let v_new = Engine::v_pub(x, *a) - Engine::v_pub(x, *b);
+            let (geq, hist) = companion_terms(state, h, trapezoidal);
+            let i_new = geq * v_new + hist;
+            state.prev_v = v_new;
+            state.prev_i = i_new;
+        }
+    }
+}
+
+impl Circuit {
+    /// Run a transient analysis (see [`transient`]).
+    ///
+    /// # Errors
+    ///
+    /// See [`transient`].
+    pub fn transient(&self, opts: &TranOptions) -> Result<TranResult> {
+        transient(self, opts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::SourceWave;
+
+    fn rc_circuit() -> (Circuit, NodeId, ElementId) {
+        let mut c = Circuit::new();
+        let vin = c.node("in");
+        let out = c.node("out");
+        let v = c.vsource("V", vin, Circuit::GND, SourceWave::step(0.0, 1.0, 1e-9));
+        c.resistor("R", vin, out, 1.0e3);
+        c.capacitor("C", out, Circuit::GND, 1.0e-12);
+        (c, out, v)
+    }
+
+    #[test]
+    fn rc_step_time_constant() {
+        let (c, out, _) = rc_circuit();
+        let res = c.transient(&TranOptions::new(8e-9, 5e-12)).unwrap();
+        let w = res.voltage(out);
+        // tau = 1 ns; at t = 1 ns after the step, v = 1 - 1/e ≈ 0.632.
+        let v_tau = w.sample(2e-9);
+        assert!((v_tau - 0.632).abs() < 0.02, "v(tau) = {v_tau}");
+        assert!((w.last_value() - 1.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn trapezoidal_matches_analytic_better() {
+        // Sine-driven RC low-pass: smooth waveform where the second-order
+        // trapezoidal rule should clearly beat backward Euler at a coarse
+        // step. (On discontinuous steps trapezoidal rings — that is
+        // expected and why BE is the default.)
+        let build = || {
+            let mut c = Circuit::new();
+            let vin = c.node("in");
+            let out = c.node("out");
+            c.vsource(
+                "V",
+                vin,
+                Circuit::GND,
+                SourceWave::Sine {
+                    offset: 0.0,
+                    ampl: 1.0,
+                    freq: 100e6,
+                    delay: 0.0,
+                },
+            );
+            c.resistor("R", vin, out, 1.0e3);
+            c.capacitor("C", out, Circuit::GND, 1.0e-12);
+            (c, out)
+        };
+        let (c, out) = build();
+        let dt = 100e-12;
+        let be = c.transient(&TranOptions::new(40e-9, dt)).unwrap().voltage(out);
+        let tr = c
+            .transient(&TranOptions::new(40e-9, dt).with_integrator(Integrator::Trapezoidal))
+            .unwrap()
+            .voltage(out);
+        // Analytic steady state of RC low-pass driven by sin(wt):
+        // vout = A·sin(wt − φ), A = 1/√(1+(wRC)²), φ = atan(wRC).
+        let w_ang = 2.0 * std::f64::consts::PI * 100e6;
+        let wrc = w_ang * 1.0e3 * 1.0e-12;
+        let amp = 1.0 / (1.0 + wrc * wrc).sqrt();
+        let phi = wrc.atan();
+        let analytic = |t: f64| amp * (w_ang * t - phi).sin();
+        // Compare after the transient has died (t > 10 RC = 10 ns).
+        let err = |w: &Waveform| {
+            w.iter()
+                .filter(|&(t, _)| t > 10e-9)
+                .map(|(t, v)| (v - analytic(t)).abs())
+                .fold(0.0f64, f64::max)
+        };
+        assert!(
+            err(&tr) < err(&be),
+            "trap err {} vs BE err {}",
+            err(&tr),
+            err(&be)
+        );
+    }
+
+    #[test]
+    fn capacitor_blocks_dc_supply_current_decays() {
+        let (c, _, v) = rc_circuit();
+        let res = c.transient(&TranOptions::new(10e-9, 10e-12)).unwrap();
+        let i = res.supply_current(v).unwrap();
+        // After many time constants the capacitor is charged; current ~ 0.
+        assert!(i.last_value().abs() < 1e-6);
+        // Peak current just after the step ≈ V/R = 1 mA.
+        assert!(i.max() > 0.8e-3, "peak {}", i.max());
+    }
+
+    #[test]
+    fn sine_source_propagates() {
+        let mut c = Circuit::new();
+        let vin = c.node("in");
+        c.vsource(
+            "V",
+            vin,
+            Circuit::GND,
+            SourceWave::Sine {
+                offset: 0.0,
+                ampl: 1.0,
+                freq: 1e9,
+                delay: 0.0,
+            },
+        );
+        c.resistor("R", vin, Circuit::GND, 1e3);
+        let res = c.transient(&TranOptions::new(2e-9, 10e-12)).unwrap();
+        let w = res.voltage(vin);
+        assert!((w.max() - 1.0).abs() < 0.01);
+        assert!((w.min() + 1.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn record_stride_thins_output() {
+        let (c, _, _) = rc_circuit();
+        let mut opts = TranOptions::new(4e-9, 10e-12);
+        opts.record_stride = 4;
+        let res = c.transient(&opts).unwrap();
+        let full = c.transient(&TranOptions::new(4e-9, 10e-12)).unwrap();
+        assert!(res.len() < full.len());
+        assert!(!res.is_empty());
+    }
+
+    #[test]
+    fn ground_voltage_is_zero() {
+        let (c, _, _) = rc_circuit();
+        let res = c.transient(&TranOptions::new(2e-9, 20e-12)).unwrap();
+        assert_eq!(res.voltage(Circuit::GND).max(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "need 0 < dt <= t_stop")]
+    fn bad_options_panic() {
+        let _ = TranOptions::new(1e-9, 0.0);
+    }
+}

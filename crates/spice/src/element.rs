@@ -1,0 +1,110 @@
+//! Circuit element definitions.
+
+use mcml_device::Mosfet;
+
+use crate::circuit::NodeId;
+use crate::source::SourceWave;
+
+/// A circuit element. Constructed through the [`crate::Circuit`] builder
+/// methods, which validate parameters and allocate branch unknowns.
+#[derive(Debug, Clone)]
+#[non_exhaustive]
+pub enum Element {
+    /// Linear resistor between `a` and `b`.
+    Resistor {
+        /// First terminal.
+        a: NodeId,
+        /// Second terminal.
+        b: NodeId,
+        /// Resistance (Ω), strictly positive.
+        ohms: f64,
+    },
+    /// Linear capacitor between `a` and `b`.
+    Capacitor {
+        /// First terminal.
+        a: NodeId,
+        /// Second terminal.
+        b: NodeId,
+        /// Capacitance (F), strictly positive.
+        farads: f64,
+    },
+    /// Independent voltage source; contributes one MNA branch unknown. The
+    /// branch current is defined flowing from `p` through the source to
+    /// `n`, so a battery powering a load carries a *negative* branch
+    /// current (see [`crate::TranResult::supply_current`]).
+    Vsource {
+        /// Positive terminal.
+        p: NodeId,
+        /// Negative terminal.
+        n: NodeId,
+        /// Source waveform.
+        wave: SourceWave,
+        /// Index of the MNA branch unknown (assigned by the builder).
+        branch: usize,
+    },
+    /// Independent current source pushing `wave` amperes from `p` through
+    /// the element to `n`.
+    Isource {
+        /// Terminal the defined current leaves the circuit at.
+        p: NodeId,
+        /// Terminal the defined current re-enters the circuit at.
+        n: NodeId,
+        /// Source waveform.
+        wave: SourceWave,
+    },
+    /// MOSFET (drain, gate, source, bulk) using the smooth
+    /// [`mcml_device`] model.
+    Mos {
+        /// Drain terminal.
+        d: NodeId,
+        /// Gate terminal.
+        g: NodeId,
+        /// Source terminal.
+        s: NodeId,
+        /// Bulk terminal.
+        b: NodeId,
+        /// Device instance (parameters + geometry).
+        dev: Mosfet,
+    },
+}
+
+impl Element {
+    /// Short type tag used in diagnostics.
+    #[must_use]
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Element::Resistor { .. } => "resistor",
+            Element::Capacitor { .. } => "capacitor",
+            Element::Vsource { .. } => "vsource",
+            Element::Isource { .. } => "isource",
+            Element::Mos { .. } => "mosfet",
+        }
+    }
+
+    /// Nodes this element touches.
+    #[must_use]
+    pub fn nodes(&self) -> Vec<NodeId> {
+        match self {
+            Element::Resistor { a, b, .. } | Element::Capacitor { a, b, .. } => vec![*a, *b],
+            Element::Vsource { p, n, .. } | Element::Isource { p, n, .. } => vec![*p, *n],
+            Element::Mos { d, g, s, b, .. } => vec![*d, *g, *s, *b],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::circuit::Circuit;
+
+    #[test]
+    fn kind_tags() {
+        let r = Element::Resistor {
+            a: Circuit::GND,
+            b: Circuit::GND,
+            ohms: 1.0,
+        };
+        assert_eq!(r.kind(), "resistor");
+        assert_eq!(r.nodes().len(), 2);
+    }
+}

@@ -1,0 +1,86 @@
+//! Error types for the simulator.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by circuit construction and analysis.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SpiceError {
+    /// Newton–Raphson failed to converge within the iteration budget.
+    NoConvergence {
+        /// Analysis that failed (`"dc"` or `"tran"`).
+        analysis: &'static str,
+        /// Simulation time at the failure (seconds; 0 for DC).
+        time: f64,
+        /// Iterations spent.
+        iterations: usize,
+    },
+    /// The system matrix became numerically singular.
+    SingularMatrix {
+        /// Row/column of the zero (or tiny) pivot.
+        index: usize,
+    },
+    /// An element parameter was rejected (non-finite, non-positive where
+    /// positivity is required, …).
+    InvalidParameter {
+        /// Element name.
+        element: String,
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// A circuit-level inconsistency, e.g. no elements or no ground path.
+    InvalidCircuit(
+        /// Human-readable reason.
+        String,
+    ),
+}
+
+impl fmt::Display for SpiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpiceError::NoConvergence {
+                analysis,
+                time,
+                iterations,
+            } => write!(
+                f,
+                "{analysis} analysis failed to converge after {iterations} iterations at t = {time:.3e} s"
+            ),
+            SpiceError::SingularMatrix { index } => {
+                write!(f, "singular system matrix at pivot {index}")
+            }
+            SpiceError::InvalidParameter { element, reason } => {
+                write!(f, "invalid parameter on element `{element}`: {reason}")
+            }
+            SpiceError::InvalidCircuit(reason) => write!(f, "invalid circuit: {reason}"),
+        }
+    }
+}
+
+impl Error for SpiceError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = SpiceError::NoConvergence {
+            analysis: "dc",
+            time: 0.0,
+            iterations: 120,
+        };
+        assert!(e.to_string().contains("dc"));
+        assert!(e.to_string().contains("120"));
+
+        let s = SpiceError::SingularMatrix { index: 7 };
+        assert!(s.to_string().contains('7'));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SpiceError>();
+    }
+}

@@ -1,0 +1,55 @@
+//! # mcml-spice — a small analog circuit simulator
+//!
+//! Transistor-level simulation substrate for the PG-MCML reproduction. The
+//! paper characterises its cells and measures the S-box current waveforms
+//! with commercial SPICE-class tools (Synopsys Nanosim); this crate is the
+//! open replacement: a modified-nodal-analysis (MNA) engine with
+//!
+//! * Newton–Raphson DC operating-point analysis with **gmin stepping** and
+//!   **source stepping** continuation,
+//! * transient analysis with **backward-Euler** and **trapezoidal**
+//!   companion models and automatic step subdivision on non-convergence,
+//! * dense and sparse (Gilbert–Peierls left-looking) LU factorisation,
+//! * elements: resistors, capacitors, independent V/I sources (DC, pulse,
+//!   PWL, sine), and the smooth MOSFET model from [`mcml_device`],
+//! * branch-current probing (supply-current measurement comes for free from
+//!   the MNA voltage-source branch unknowns).
+//!
+//! # Example: RC step response
+//!
+//! ```
+//! use mcml_spice::{Circuit, SourceWave, TranOptions};
+//!
+//! let mut c = Circuit::new();
+//! let vin = c.node("in");
+//! let out = c.node("out");
+//! c.vsource("VIN", vin, Circuit::GND, SourceWave::step(0.0, 1.0, 1e-9));
+//! c.resistor("R", vin, out, 1.0e3);
+//! c.capacitor("C", out, Circuit::GND, 1.0e-12);
+//!
+//! let res = c.transient(&TranOptions::new(10e-9, 10e-12)).unwrap();
+//! let v_end = res.voltage(out).last_value();
+//! assert!((v_end - 1.0).abs() < 0.01, "cap charges to the step level");
+//! ```
+
+#![deny(missing_docs)]
+
+pub mod analysis;
+pub mod circuit;
+pub mod element;
+pub mod error;
+pub mod matrix;
+pub mod source;
+pub mod waveform;
+
+pub use analysis::dc::{DcOptions, OpPoint};
+pub use analysis::dcsweep::{dc_sweep, DcSweepResult};
+pub use analysis::tran::{Integrator, TranOptions, TranResult};
+pub use circuit::{Circuit, ElementId, NodeId};
+pub use element::Element;
+pub use error::SpiceError;
+pub use source::SourceWave;
+pub use waveform::Waveform;
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, SpiceError>;

@@ -1,0 +1,187 @@
+//! Linear-system assembly and LU solvers.
+//!
+//! The MNA Jacobian is assembled into a row-wise sparse [`SystemMatrix`];
+//! depending on size (or an explicit [`SolverKind`] choice) it is solved by
+//! dense partial-pivoting LU or by a left-looking Gilbert–Peierls sparse LU.
+
+pub mod dense;
+pub mod sparse;
+
+use crate::error::SpiceError;
+
+/// Which factorisation backend to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SolverKind {
+    /// Pick dense below [`AUTO_DENSE_LIMIT`] unknowns, sparse above.
+    #[default]
+    Auto,
+    /// Always dense.
+    Dense,
+    /// Always sparse.
+    Sparse,
+}
+
+/// Unknown-count threshold for the automatic dense/sparse switch.
+pub const AUTO_DENSE_LIMIT: usize = 96;
+
+/// Row-wise sparse accumulator for the MNA Jacobian.
+///
+/// Stamps are appended (duplicates allowed) and consolidated on demand.
+#[derive(Debug, Clone)]
+pub struct SystemMatrix {
+    n: usize,
+    rows: Vec<Vec<(usize, f64)>>,
+}
+
+impl SystemMatrix {
+    /// An `n × n` zero matrix.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        Self {
+            n,
+            rows: vec![Vec::new(); n],
+        }
+    }
+
+    /// Matrix dimension.
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// Clear all entries, keeping allocations.
+    pub fn clear(&mut self) {
+        for r in &mut self.rows {
+            r.clear();
+        }
+    }
+
+    /// Add `v` at `(r, c)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` or `c` is out of range.
+    #[inline]
+    pub fn add(&mut self, r: usize, c: usize, v: f64) {
+        assert!(r < self.n && c < self.n, "stamp ({r},{c}) out of range {}", self.n);
+        if v != 0.0 {
+            self.rows[r].push((c, v));
+        }
+    }
+
+    /// Merge duplicate column entries within each row (sorted by column).
+    pub fn consolidate(&mut self) {
+        for row in &mut self.rows {
+            if row.len() < 2 {
+                continue;
+            }
+            row.sort_unstable_by_key(|&(c, _)| c);
+            let mut w = 0;
+            for i in 1..row.len() {
+                if row[i].0 == row[w].0 {
+                    row[w].1 += row[i].1;
+                } else {
+                    w += 1;
+                    row[w] = row[i];
+                }
+            }
+            row.truncate(w + 1);
+        }
+    }
+
+    /// Consolidated rows (call [`SystemMatrix::consolidate`] first for
+    /// duplicate-free access).
+    #[must_use]
+    pub fn rows(&self) -> &[Vec<(usize, f64)>] {
+        &self.rows
+    }
+
+    /// Number of stored (possibly duplicate) entries.
+    #[must_use]
+    pub fn nnz(&self) -> usize {
+        self.rows.iter().map(Vec::len).sum()
+    }
+
+    /// Solve `A·x = b` with the requested backend, consuming neither.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpiceError::SingularMatrix`] when a pivot vanishes.
+    pub fn solve(&mut self, b: &[f64], kind: SolverKind) -> Result<Vec<f64>, SpiceError> {
+        assert_eq!(b.len(), self.n, "rhs length mismatch");
+        self.consolidate();
+        let use_dense = match kind {
+            SolverKind::Dense => true,
+            SolverKind::Sparse => false,
+            SolverKind::Auto => self.n <= AUTO_DENSE_LIMIT,
+        };
+        if use_dense {
+            dense::solve_dense(self, b)
+        } else {
+            sparse::solve_sparse(self, b)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn consolidate_merges_duplicates() {
+        let mut m = SystemMatrix::new(2);
+        m.add(0, 0, 1.0);
+        m.add(0, 0, 2.0);
+        m.add(0, 1, -1.0);
+        m.consolidate();
+        assert_eq!(m.rows()[0], vec![(0, 3.0), (1, -1.0)]);
+    }
+
+    #[test]
+    fn zero_stamps_are_skipped() {
+        let mut m = SystemMatrix::new(2);
+        m.add(0, 0, 0.0);
+        assert_eq!(m.nnz(), 0);
+    }
+
+    #[test]
+    fn dense_and_sparse_agree_on_small_system() {
+        // 2x2: [2 1; 1 3] x = [3; 5] -> x = [0.8, 1.4]
+        let build = || {
+            let mut m = SystemMatrix::new(2);
+            m.add(0, 0, 2.0);
+            m.add(0, 1, 1.0);
+            m.add(1, 0, 1.0);
+            m.add(1, 1, 3.0);
+            m
+        };
+        let b = vec![3.0, 5.0];
+        let xd = build().solve(&b, SolverKind::Dense).unwrap();
+        let xs = build().solve(&b, SolverKind::Sparse).unwrap();
+        for (a, b) in xd.iter().zip(xs.iter()) {
+            assert!((a - b).abs() < 1e-12);
+        }
+        assert!((xd[0] - 0.8).abs() < 1e-12);
+        assert!((xd[1] - 1.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn singular_matrix_reported() {
+        let mut m = SystemMatrix::new(2);
+        m.add(0, 0, 1.0);
+        // row 1 empty -> singular
+        let err = m.solve(&[1.0, 1.0], SolverKind::Dense).unwrap_err();
+        assert!(matches!(err, SpiceError::SingularMatrix { .. }));
+        let mut m2 = SystemMatrix::new(2);
+        m2.add(0, 0, 1.0);
+        let err2 = m2.solve(&[1.0, 1.0], SolverKind::Sparse).unwrap_err();
+        assert!(matches!(err2, SpiceError::SingularMatrix { .. }));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_stamp_panics() {
+        let mut m = SystemMatrix::new(2);
+        m.add(2, 0, 1.0);
+    }
+}

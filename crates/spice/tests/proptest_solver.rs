@@ -1,0 +1,122 @@
+//! Property-based tests of the linear solvers and waveform utilities.
+
+use proptest::prelude::*;
+
+use mcml_spice::matrix::{SolverKind, SystemMatrix};
+use mcml_spice::{Circuit, SourceWave, TranOptions, Waveform};
+
+/// A strictly diagonally dominant random system (guaranteed solvable).
+fn dominant_system(n: usize) -> impl Strategy<Value = (Vec<(usize, usize, f64)>, Vec<f64>)> {
+    let entries = proptest::collection::vec(
+        (0..n, 0..n, -1.0f64..1.0),
+        n..(4 * n),
+    );
+    let rhs = proptest::collection::vec(-10.0f64..10.0, n);
+    (entries, rhs).prop_map(move |(mut es, b)| {
+        // Strong diagonal on top of whatever landed there.
+        for i in 0..n {
+            es.push((i, i, 8.0));
+        }
+        (es, b)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Sparse Gilbert–Peierls LU and dense partial-pivot LU agree.
+    #[test]
+    fn sparse_equals_dense((entries, b) in dominant_system(24)) {
+        let build = || {
+            let mut m = SystemMatrix::new(24);
+            for &(r, c, v) in &entries {
+                m.add(r, c, v);
+            }
+            m
+        };
+        let xd = build().solve(&b, SolverKind::Dense).unwrap();
+        let xs = build().solve(&b, SolverKind::Sparse).unwrap();
+        for (d, s) in xd.iter().zip(&xs) {
+            prop_assert!((d - s).abs() < 1e-8, "dense {d} vs sparse {s}");
+        }
+    }
+
+    /// The solution actually satisfies A·x = b.
+    #[test]
+    fn residual_is_small((entries, b) in dominant_system(16)) {
+        let mut m = SystemMatrix::new(16);
+        let mut dense = vec![0.0f64; 16 * 16];
+        for &(r, c, v) in &entries {
+            m.add(r, c, v);
+            dense[r * 16 + c] += v;
+        }
+        let x = m.solve(&b, SolverKind::Auto).unwrap();
+        for r in 0..16 {
+            let acc: f64 = (0..16).map(|c| dense[r * 16 + c] * x[c]).sum();
+            prop_assert!((acc - b[r]).abs() < 1e-7, "row {r}: {acc} vs {}", b[r]);
+        }
+    }
+
+    /// Waveform sampling stays within the sample extremes, and the
+    /// integral over [a,c] splits additively at any interior b.
+    #[test]
+    fn waveform_invariants(values in proptest::collection::vec(-5.0f64..5.0, 3..40),
+                           split in 0.1f64..0.9) {
+        let n = values.len();
+        let t: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        let w = Waveform::new(t, values.clone());
+        let lo = values.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        for k in 0..20 {
+            let ts = (n - 1) as f64 * k as f64 / 19.0;
+            let v = w.sample(ts);
+            prop_assert!(v >= lo - 1e-12 && v <= hi + 1e-12);
+        }
+        let b = (n - 1) as f64 * split;
+        let total = w.integral_between(0.0, (n - 1) as f64);
+        let parts = w.integral_between(0.0, b) + w.integral_between(b, (n - 1) as f64);
+        prop_assert!((total - parts).abs() < 1e-9 * (1.0 + total.abs()));
+    }
+
+    /// RC transient matches the analytic exponential for random R, C.
+    #[test]
+    fn rc_matches_analytic(r_kohm in 0.5f64..20.0, c_ff in 100.0f64..5000.0) {
+        let r = r_kohm * 1e3;
+        let c = c_ff * 1e-15;
+        let tau = r * c;
+        let mut ckt = Circuit::new();
+        let vin = ckt.node("in");
+        let out = ckt.node("out");
+        ckt.vsource("V", vin, Circuit::GND, SourceWave::step(0.0, 1.0, 0.0));
+        ckt.resistor("R", vin, out, r);
+        ckt.capacitor("C", out, Circuit::GND, c);
+        let t_stop = 5.0 * tau;
+        let res = ckt.transient(&TranOptions::new(t_stop, tau / 200.0)).unwrap();
+        let w = res.voltage(out);
+        for frac in [0.5, 1.0, 2.0, 4.0] {
+            let t = frac * tau;
+            let expect = 1.0 - (-t / tau).exp();
+            let got = w.sample(t);
+            prop_assert!((got - expect).abs() < 0.02, "v({frac}·tau) = {got} vs {expect}");
+        }
+    }
+
+    /// Superposition: doubling every independent source doubles every
+    /// node voltage of a linear (R-only) network.
+    #[test]
+    fn linear_superposition(r1 in 1.0f64..100.0, r2 in 1.0f64..100.0, v in 0.1f64..5.0) {
+        let build = |scale: f64| {
+            let mut ckt = Circuit::new();
+            let a = ckt.node("a");
+            let b = ckt.node("b");
+            ckt.vsource("V", a, Circuit::GND, SourceWave::dc(v * scale));
+            ckt.resistor("R1", a, b, r1 * 1e3);
+            ckt.resistor("R2", b, Circuit::GND, r2 * 1e3);
+            let op = ckt.dc_op().unwrap();
+            op.voltage(b)
+        };
+        let v1 = build(1.0);
+        let v2 = build(2.0);
+        prop_assert!((v2 - 2.0 * v1).abs() < 1e-9 * (1.0 + v2.abs()));
+    }
+}

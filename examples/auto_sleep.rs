@@ -1,0 +1,72 @@
+//! The paper's future work, demonstrated: automatic insertion of sleep
+//! domains during synthesis. The S-box ISE is partitioned into four
+//! independently-gated S-box domains, and the power of fine-grain
+//! per-domain duty cycles is compared against a single monolithic sleep
+//! signal.
+//!
+//! Run with: `cargo run --release --example auto_sleep`
+
+use mcml_netlist::sleep_tree::SleepTreeOptions;
+use pg_mcml::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut flow = DesignFlow::new(CellParams::default());
+    let nl = mcml_aes::build_sbox_ise(
+        LogicStyle::PgMcml,
+        &mcml_aes::sbox_ise::SboxIseOptions {
+            n_sboxes: 4,
+            output_regs: false,
+        },
+    );
+    flow.library_for(&nl)?;
+    println!(
+        "S-box ISE: {} PG-MCML cells — partitioning by output cone...\n",
+        nl.gate_count()
+    );
+
+    let groups: Vec<(String, Vec<String>)> = (0..4)
+        .map(|s| {
+            (
+                format!("sbox{s}"),
+                (0..8).map(|b| format!("y{}", s * 8 + b)).collect(),
+            )
+        })
+        .collect();
+    let groups_ref: Vec<(&str, Vec<&str>)> = groups
+        .iter()
+        .map(|(n, o)| (n.as_str(), o.iter().map(String::as_str).collect()))
+        .collect();
+    let plan = mcml_netlist::insert_sleep_domains(
+        &nl,
+        &groups_ref,
+        flow.library(),
+        &SleepTreeOptions::default(),
+    );
+
+    println!("{:<10} {:>8} {:>10} {:>16}", "domain", "gates", "buffers", "insertion delay");
+    for d in &plan.domains {
+        println!(
+            "{:<10} {:>8} {:>10} {:>13.2} ns",
+            d.name,
+            d.gates.len(),
+            d.tree.buffer_count(),
+            d.tree.insertion_delay * 1e9
+        );
+    }
+
+    // Scenario: a byte-serial workload keeps only one S-box busy at a
+    // time (e.g. an 8-bit datapath reusing the ISE lane by lane).
+    let lib = flow.library();
+    let one_lane = plan.average_power_w(&nl, lib, &[0.10, 0.0, 0.0, 0.0, 0.10]);
+    let monolithic = plan.average_power_w(&nl, lib, &[0.10; 5]);
+    let always_on = plan.average_power_w(&nl, lib, &[1.0; 5]);
+    println!("\nbyte-serial workload (one lane busy 10% of the time):");
+    println!("  always-on (conventional MCML): {:10.3} mW", always_on * 1e3);
+    println!("  monolithic sleep (paper's manual wiring): {:7.3} mW", monolithic * 1e3);
+    println!("  per-domain sleep (automatic insertion):   {:7.3} mW", one_lane * 1e3);
+    println!(
+        "\nautomatic fine-grain domains save a further {:.1}x over one shared sleep wire",
+        monolithic / one_lane
+    );
+    Ok(())
+}

@@ -1,0 +1,184 @@
+//! Cross-crate integration: boolean spec → mapped netlist → characterised
+//! delays → event simulation → transistor elaboration, end to end.
+
+use std::collections::HashMap;
+
+use pg_mcml::prelude::*;
+
+/// A 4-bit ripple-carry adder as the integration workload: big enough to
+/// exercise fusion, buffering and multi-output cells.
+fn adder_network() -> BoolNetwork {
+    let mut bn = BoolNetwork::new();
+    let a: Vec<_> = (0..4).map(|i| bn.input(&format!("a{i}"))).collect();
+    let b: Vec<_> = (0..4).map(|i| bn.input(&format!("b{i}"))).collect();
+    let mut carry = bn.constant(false);
+    for i in 0..4 {
+        let x = bn.xor(a[i], b[i]);
+        let s = bn.xor(x, carry);
+        let maj = bn.maj(a[i], b[i], carry);
+        bn.set_output(&format!("s{i}"), s);
+        carry = maj;
+    }
+    bn.set_output("cout", carry);
+    bn
+}
+
+fn eval_adder(nl: &mcml_netlist::Netlist, a: u8, b: u8) -> u8 {
+    let mut asg = HashMap::new();
+    for i in 0..4 {
+        asg.insert(format!("a{i}"), (a >> i) & 1 == 1);
+        asg.insert(format!("b{i}"), (b >> i) & 1 == 1);
+    }
+    let values = nl.evaluate(&asg, &HashMap::new());
+    let mut out = 0u8;
+    for i in 0..4 {
+        if nl.output_value(&format!("s{i}"), &values) {
+            out |= 1 << i;
+        }
+    }
+    if nl.output_value("cout", &values) {
+        out |= 1 << 4;
+    }
+    out
+}
+
+#[test]
+fn adder_maps_correctly_in_all_styles() {
+    let bn = adder_network();
+    for style in [LogicStyle::Cmos, LogicStyle::Mcml, LogicStyle::PgMcml] {
+        let nl = map_network(&bn, style, &TechmapOptions::default());
+        nl.validate().unwrap();
+        for (a, b) in [(0u8, 0u8), (15, 1), (7, 8), (15, 15), (9, 6), (5, 5)] {
+            assert_eq!(eval_adder(&nl, a, b), a + b, "{style}: {a}+{b}");
+        }
+    }
+}
+
+#[test]
+fn adder_event_simulation_settles_to_correct_sum() {
+    let bn = adder_network();
+    let mut flow = DesignFlow::new(CellParams::default());
+    let nl = flow.map(&bn, LogicStyle::PgMcml);
+    let mut st = Stimulus::new();
+    // Apply 9 + 6 at t = 0, then 15 + 15 at 3 ns.
+    for i in 0..4 {
+        st.at(0.0, &format!("a{i}"), (9 >> i) & 1 == 1);
+        st.at(0.0, &format!("b{i}"), (6 >> i) & 1 == 1);
+        st.at(3e-9, &format!("a{i}"), true);
+        st.at(3e-9, &format!("b{i}"), true);
+    }
+    let trace = flow.simulate(&nl, &st, 6e-9).unwrap();
+    let out_net = |name: &str| {
+        nl.outputs()
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, c)| (c.net, c.inverted))
+            .unwrap()
+    };
+    let read_sum = |t: f64| -> u8 {
+        let mut v = 0u8;
+        for i in 0..5 {
+            let name = if i == 4 { "cout".to_owned() } else { format!("s{i}") };
+            let (net, inv) = out_net(&name);
+            let bit = trace.value_at(net, t).to_bool().unwrap() ^ inv;
+            if bit {
+                v |= 1 << i;
+            }
+        }
+        v
+    };
+    assert_eq!(read_sum(2.5e-9), 15, "9+6 settled");
+    assert_eq!(read_sum(5.9e-9), 30, "15+15 settled");
+}
+
+#[test]
+fn adder_elaborates_to_spice_and_computes() {
+    let bn = adder_network();
+    let params = CellParams::default();
+    let nl = map_network(&bn, LogicStyle::PgMcml, &TechmapOptions::default());
+    let el = elaborate(&nl, &params);
+    let mut ckt = el.circuit.clone();
+    let (v_lo, v_hi) = (params.v_low(), params.tech.vdd);
+    let (a, b) = (0b1010u8, 0b0110u8); // 10 + 6 = 16 -> s=0, cout=1
+    for i in 0..4 {
+        for (pfx, word) in [("a", a), ("b", b)] {
+            let bit = (word >> i) & 1 == 1;
+            let (p, n) = el.inputs[&format!("{pfx}{i}")];
+            let (vp, vn) = if bit { (v_hi, v_lo) } else { (v_lo, v_hi) };
+            ckt.vsource(&format!("V{pfx}{i}"), p, Circuit::GND, SourceWave::dc(vp));
+            ckt.vsource(&format!("V{pfx}{i}n"), n.unwrap(), Circuit::GND, SourceWave::dc(vn));
+        }
+    }
+    let op = ckt.dc_op().expect("elaborated adder converges");
+    let read = |name: &str| {
+        let (p, n) = el.outputs[name];
+        op.voltage(p) - op.voltage(n.unwrap())
+    };
+    for i in 0..4 {
+        assert!(read(&format!("s{i}")) < -0.1, "sum bit {i} low");
+    }
+    assert!(read("cout") > 0.1, "carry out high");
+}
+
+#[test]
+fn netlist_reports_are_consistent() {
+    let bn = adder_network();
+    let mut flow = DesignFlow::new(CellParams::default());
+    let nl = flow.map(&bn, LogicStyle::PgMcml);
+    flow.library_for(&nl).unwrap();
+    let report = mcml_netlist::area_report(&nl);
+    assert_eq!(report.cells, nl.gate_count());
+    assert!(report.total_area_um2 > report.cell_area_um2);
+    let cp = mcml_netlist::critical_path_ps(&nl, flow.library());
+    // 4-bit ripple carry: at least three stages of majority + xor.
+    assert!(cp > 100.0 && cp < 3000.0, "critical path {cp} ps");
+    let tree = flow.sleep_tree(&nl).unwrap();
+    assert!(tree.insertion_delay < 1.5e-9);
+}
+
+#[test]
+fn automatic_sleep_insertion_partitions_the_ise() {
+    // The paper's future work, implemented: the four S-boxes of the ISE
+    // are independent cones, so automatic insertion must produce four
+    // clean domains and an empty shared one.
+    let mut flow = DesignFlow::new(CellParams::default());
+    let nl = mcml_aes::build_sbox_ise(
+        LogicStyle::PgMcml,
+        &mcml_aes::sbox_ise::SboxIseOptions {
+            n_sboxes: 4,
+            output_regs: false,
+        },
+    );
+    flow.library_for(&nl).unwrap();
+    let groups: Vec<(String, Vec<String>)> = (0..4)
+        .map(|s| {
+            (
+                format!("sbox{s}"),
+                (0..8).map(|b| format!("y{}", s * 8 + b)).collect::<Vec<_>>(),
+            )
+        })
+        .collect();
+    let groups_ref: Vec<(&str, Vec<&str>)> = groups
+        .iter()
+        .map(|(n, outs)| (n.as_str(), outs.iter().map(String::as_str).collect()))
+        .collect();
+    let plan = mcml_netlist::insert_sleep_domains(
+        &nl,
+        &groups_ref,
+        flow.library(),
+        &mcml_netlist::sleep_tree::SleepTreeOptions::default(),
+    );
+    assert_eq!(plan.domains.len(), 5);
+    for d in &plan.domains[..4] {
+        assert!(d.gates.len() > 100, "{}: {} gates", d.name, d.gates.len());
+    }
+    assert!(plan.domains[4].gates.is_empty(), "no shared logic");
+    let covered: usize = plan.domains.iter().map(|d| d.gates.len()).sum();
+    assert_eq!(covered, nl.gate_count());
+
+    // Per-domain duty (one S-box busy) beats waking the whole macro.
+    let lib = flow.library();
+    let fine = plan.average_power_w(&nl, lib, &[0.1, 0.0, 0.0, 0.0, 0.1]);
+    let coarse = plan.average_power_w(&nl, lib, &[0.1; 5]);
+    assert!(fine < 0.5 * coarse, "fine {fine} vs coarse {coarse}");
+}

@@ -1,0 +1,126 @@
+//! Cross-crate power integration: the Fig. 5 and Table 3 pipelines end
+//! to end (OR1K software run → ISE activity → style-dependent power).
+
+use mcml_or1k::aes_prog::AesBenchParams;
+use pg_mcml::experiments::{fig5, table3};
+use pg_mcml::prelude::*;
+
+#[test]
+fn fig5_shape_mcml_flat_pg_gated() {
+    let mut flow = DesignFlow::new(CellParams::default());
+    let data = fig5(&mut flow).unwrap();
+
+    // MCML: flat — spread within a few percent after startup.
+    let settled: Vec<f64> = data
+        .time
+        .iter()
+        .zip(&data.i_mcml)
+        .filter(|&(&t, _)| t > 4e-9)
+        .map(|(_, &i)| i)
+        .collect();
+    let mean = settled.iter().sum::<f64>() / settled.len() as f64;
+    let max_dev = settled
+        .iter()
+        .map(|&i| (i - mean).abs())
+        .fold(0.0f64, f64::max);
+    assert!(mean > 1e-3, "MCML macro draws substantial current: {mean}");
+    assert!(
+        max_dev / mean < 0.15,
+        "MCML current flat: dev {max_dev} vs mean {mean}"
+    );
+
+    // PG-MCML: negligible while asleep, MCML-like while awake.
+    let asleep_i = data
+        .time
+        .iter()
+        .zip(&data.i_pg)
+        .filter(|&(&t, _)| t > 4e-9 && t < 12e-9)
+        .map(|(_, &i)| i)
+        .fold(0.0f64, f64::max);
+    let awake_i = data
+        .time
+        .iter()
+        .zip(&data.i_pg)
+        .filter(|&(&t, _)| t > 15e-9 && t < 16.4e-9)
+        .map(|(_, &i)| i)
+        .fold(0.0f64, f64::max);
+    assert!(
+        asleep_i < mean / 100.0,
+        "asleep current {asleep_i} vs MCML {mean}"
+    );
+    assert!(
+        awake_i > 0.5 * mean,
+        "awake current {awake_i} comparable to MCML {mean}"
+    );
+    // Wake-up within the ~1 ns insertion budget.
+    assert!(
+        data.wake_latency > 0.0 && data.wake_latency < 1.5e-9,
+        "wake latency {}",
+        data.wake_latency
+    );
+}
+
+#[test]
+fn table3_power_ordering_and_magnitudes() {
+    let mut flow = DesignFlow::new(CellParams::default());
+    let bench = AesBenchParams {
+        blocks: 2,
+        idle_loops: 1500,
+        ..AesBenchParams::default()
+    };
+    let rows = table3(&mut flow, &bench, 400e6).unwrap();
+    assert_eq!(rows.len(), 3);
+    let find = |style: LogicStyle| rows.iter().find(|r| r.style == style).unwrap();
+    let cmos = find(LogicStyle::Cmos);
+    let mcml = find(LogicStyle::Mcml);
+    let pg = find(LogicStyle::PgMcml);
+
+    // Cell counts: MCML fewer cells than CMOS (wider cell functions, no
+    // legalisation inverters); PG adds the sleep-tree buffers.
+    assert!(pg.cells > mcml.cells, "sleep tree adds cells");
+    assert!(cmos.cells > 100 && mcml.cells > 100);
+
+    // Area: differential macros much larger than CMOS (paper: 2.5x).
+    assert!(mcml.area_um2 > 1.5 * cmos.area_um2, "area {mcml:?} vs {cmos:?}");
+    assert!(pg.area_um2 > mcml.area_um2, "PG slightly larger than MCML");
+    assert!(
+        pg.area_um2 < 1.1 * mcml.area_um2,
+        "sleep overhead small: {} vs {}",
+        pg.area_um2,
+        mcml.area_um2
+    );
+
+    // The headline: MCML power huge, PG-MCML orders of magnitude lower,
+    // within reach of CMOS.
+    assert!(
+        mcml.avg_power_w > 100.0 * pg.avg_power_w,
+        "power gating wins back orders of magnitude: MCML {} vs PG {}",
+        mcml.avg_power_w,
+        pg.avg_power_w
+    );
+    assert!(
+        mcml.avg_power_w > 10.0 * cmos.avg_power_w,
+        "ungated MCML far above CMOS"
+    );
+    assert!(
+        pg.avg_power_w < 10.0 * cmos.avg_power_w,
+        "PG-MCML comparable to CMOS: PG {} vs CMOS {}",
+        pg.avg_power_w,
+        cmos.avg_power_w
+    );
+
+    // Delay: the sleep transistor must not cost performance — PG-MCML
+    // within a few percent of MCML (paper: 0.698 vs 0.717 ns), and
+    // everything sub-5 ns.
+    let ratio = pg.delay_ns / mcml.delay_ns;
+    assert!(
+        (0.90..=1.15).contains(&ratio),
+        "PG/MCML delay ratio {ratio}"
+    );
+    for r in &rows {
+        assert!(r.delay_ns > 0.05 && r.delay_ns < 5.0, "{:?}", r);
+    }
+
+    // Duty cycle diluted by the idle loop.
+    assert!(pg.ise_duty < 0.02, "duty {}", pg.ise_duty);
+}
