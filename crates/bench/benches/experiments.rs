@@ -104,13 +104,8 @@ fn bench_fig6(c: &mut Criterion) {
         b.iter_batched(
             || (),
             |()| {
-                pg_mcml::experiments::fig6_transistor(
-                    &params,
-                    0x5,
-                    LogicStyle::PgMcml,
-                    &[0x0, 0x9],
-                )
-                .unwrap()
+                pg_mcml::experiments::fig6_transistor(&params, 0x5, LogicStyle::PgMcml, &[0x0, 0x9])
+                    .unwrap()
             },
             BatchSize::PerIteration,
         );

@@ -10,9 +10,7 @@
 //!    the paper's device-flavour mix.
 
 use mcml_bench::fmt_power;
-use mcml_cells::{
-    build_cell, solve_bias, CellKind, CellParams, LogicStyle, SleepTopology,
-};
+use mcml_cells::{build_cell, solve_bias, CellKind, CellParams, LogicStyle, SleepTopology};
 use mcml_char::measure_wakeup;
 use mcml_netlist::{map_network, TechmapOptions};
 use mcml_spice::{Circuit, SourceWave};
@@ -32,14 +30,23 @@ fn topology_leakage(topology: SleepTopology, params: &CellParams) -> f64 {
         ckt.vsource("VS", cell.port("sleep"), Circuit::GND, SourceWave::dc(0.0));
     }
     if cell.ports.contains_key("sleep_b") {
-        ckt.vsource("VSB", cell.port("sleep_b"), Circuit::GND, SourceWave::dc(vdd_v));
+        ckt.vsource(
+            "VSB",
+            cell.port("sleep_b"),
+            Circuit::GND,
+            SourceWave::dc(vdd_v),
+        );
     }
     for name in ["a_p", "a_n"] {
         ckt.vsource(
             &format!("VI{name}"),
             cell.port(name),
             Circuit::GND,
-            SourceWave::dc(if name.ends_with("_p") { vdd_v } else { p.v_low() }),
+            SourceWave::dc(if name.ends_with("_p") {
+                vdd_v
+            } else {
+                p.v_low()
+            }),
         );
     }
     let op = ckt.dc_op().expect("asleep buffer converges");
@@ -136,7 +143,10 @@ fn run(params: &CellParams) {
     let leak_lvt = lvt.eval(0.0, 1.2, 0.0, 0.0).id;
     let leak_neg = hvt.eval(-0.15, 1.2, 0.0, 0.0).id;
     println!("sleep transistor OFF-state leakage (W = 2 µm):");
-    println!("  low-Vt device:          {}", mcml_bench::fmt_current(leak_lvt));
+    println!(
+        "  low-Vt device:          {}",
+        mcml_bench::fmt_current(leak_lvt)
+    );
     println!(
         "  high-Vt device:         {}  ({:.0}x better — the paper's choice)",
         mcml_bench::fmt_current(leak_hvt),

@@ -9,7 +9,10 @@ use pg_mcml::experiments::fig3;
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let params = CellParams::default();
     let currents = default_sweep_currents();
-    println!("Fig. 3 — bias-current design space (sweeping {} points)\n", currents.len());
+    println!(
+        "Fig. 3 — bias-current design space (sweeping {} points)\n",
+        currents.len()
+    );
     let pts = fig3(&params, &currents)?;
 
     println!(

@@ -31,7 +31,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("PG-MCML:           {}", sparkline(&d.i_pg, 64));
     println!("sleep signal:      {}", sparkline(&d.sleep, 64));
 
-    println!("\nconventional MCML draws a flat {} (paper: ≈30 mA flat)", fmt_current(max_mcml));
+    println!(
+        "\nconventional MCML draws a flat {} (paper: ≈30 mA flat)",
+        fmt_current(max_mcml)
+    );
     println!(
         "PG-MCML: {} asleep vs {} awake — a {:.0}× gate",
         fmt_current(asleep),

@@ -2,24 +2,47 @@
 //! AES in all three styles — template tier (8-bit, 256 traces) and
 //! transistor tier (4-bit, full SPICE).
 
+use std::time::Instant;
+
+use mcml_bench::speedup_line;
 use mcml_cells::{CellParams, LogicStyle};
-use pg_mcml::experiments::{fig6_template, fig6_transistor};
-use pg_mcml::DesignFlow;
+use pg_mcml::experiments::{fig6_template, fig6_transistor_par};
+use pg_mcml::{DesignFlow, Parallelism};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let params = CellParams::default();
-    let mut flow = DesignFlow::new(params.clone());
+    let styles = [LogicStyle::Cmos, LogicStyle::Mcml, LogicStyle::PgMcml];
+    let key8 = 0x3b;
+    let key4 = 0xb;
+    let plaintexts: Vec<u8> = (0..16).collect();
+    let par = Parallelism::from_env();
+
+    // Serial baseline on a cold characterisation cache: both tiers, the
+    // reference for the wall-clock comparison and for the numbers.
+    mcml_char::cache::clear();
+    let start = Instant::now();
+    let mut serial_flow = DesignFlow::new(params.clone()).with_parallelism(Parallelism::Serial);
+    let serial_template = fig6_template(&mut serial_flow, key8, 0.01, 0xFEED, &styles)?;
+    let mut serial_transistor = Vec::new();
+    for style in styles {
+        serial_transistor.push(fig6_transistor_par(
+            &params,
+            key4,
+            style,
+            &plaintexts,
+            Parallelism::Serial,
+        )?);
+    }
+    let t_serial = start.elapsed();
+
+    // The reported run: parallel per MCML_THREADS, cold cache again.
+    mcml_char::cache::clear();
+    let mut flow = DesignFlow::new(params.clone()).with_parallelism(par);
 
     println!("Fig. 6 — CPA with the Hamming weight of the S-box output\n");
     println!("== tier 2: 8-bit reduced AES, current templates, 256 plaintexts ==");
-    let key8 = 0x3b;
-    let rows = fig6_template(
-        &mut flow,
-        key8,
-        0.01,
-        0xFEED,
-        &[LogicStyle::Cmos, LogicStyle::Mcml, LogicStyle::PgMcml],
-    )?;
+    let start = Instant::now();
+    let rows = fig6_template(&mut flow, key8, 0.01, 0xFEED, &styles)?;
     println!(
         "{:<10} {:>6} {:>9} {:>10} {:>12}  verdict",
         "style", "rank", "margin", "corr(key)", "corr(wrong)"
@@ -41,10 +64,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     println!("\n== tier 1: 4-bit reduced AES, transistor-level SPICE, all 16 plaintexts ==");
-    let key4 = 0xb;
-    let plaintexts: Vec<u8> = (0..16).collect();
-    for style in [LogicStyle::Cmos, LogicStyle::Mcml, LogicStyle::PgMcml] {
-        let (row, _) = fig6_transistor(&params, key4, style, &plaintexts)?;
+    let mut transistor = Vec::new();
+    for style in styles {
+        let (row, r) = fig6_transistor_par(&params, key4, style, &plaintexts, par)?;
         println!(
             "{:<10} rank {:>2}  margin {:>6.3}  corr(key) {:.4}  {}",
             style.to_string(),
@@ -57,7 +79,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 "secure (key indistinguishable)"
             }
         );
+        transistor.push((row, r));
     }
+    let t_par = start.elapsed();
+    assert_eq!(
+        serial_template, rows,
+        "parallel template tier must reproduce the serial numbers exactly"
+    );
+    assert_eq!(
+        serial_transistor, transistor,
+        "parallel transistor tier must reproduce the serial numbers exactly"
+    );
     println!("\npaper: attacks succeed on CMOS only; MCML and PG-MCML resist — reproduced.");
 
     // Measurements-to-disclosure: how many traces CPA needs before the
@@ -65,7 +97,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // (never) for the MCML styles.
     println!("\n== measurements-to-disclosure (template tier) ==");
     let ladder = [8, 16, 32, 64, 128, 192, 256];
-    for style in [LogicStyle::Cmos, LogicStyle::Mcml, LogicStyle::PgMcml] {
+    for style in styles {
         let mtd = pg_mcml::experiments::fig6_mtd(&mut flow, style, key8, 0.01, 0xFEED, &ladder)?;
         println!(
             "{:<10} MTD = {}",
@@ -73,5 +105,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             mtd.map_or("never (secure)".to_owned(), |n| format!("{n} traces"))
         );
     }
+    println!(
+        "\n{} (both tiers)",
+        speedup_line(t_serial, t_par, par.worker_count())
+    );
     Ok(())
 }

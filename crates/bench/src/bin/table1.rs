@@ -5,7 +5,10 @@ use pg_mcml::experiments::table1;
 
 fn main() {
     println!("Table 1 — MCML vs PG-MCML cell area (90 nm)\n");
-    println!("{:<10} {:>14} {:>16} {:>10}", "Cell", "MCML [µm²]", "PG-MCML [µm²]", "overhead");
+    println!(
+        "{:<10} {:>14} {:>16} {:>10}",
+        "Cell", "MCML [µm²]", "PG-MCML [µm²]", "overhead"
+    );
     // Paper values for side-by-side comparison.
     let paper = [7.056, 19.7568, 16.9344, 8.4672];
     for (row, p_mcml) in table1().iter().zip(paper) {

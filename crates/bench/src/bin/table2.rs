@@ -2,13 +2,30 @@
 //! PG-MCML library (delays measured by SPICE characterisation of the
 //! generated cells).
 
+use std::time::Instant;
+
+use mcml_bench::speedup_line;
 use mcml_cells::CellParams;
 use pg_mcml::experiments::table2;
-use pg_mcml::DesignFlow;
+use pg_mcml::{DesignFlow, Parallelism};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let mut flow = DesignFlow::new(CellParams::default());
+    // Serial baseline on a cold characterisation cache: the reference
+    // both for the wall-clock comparison and for the numbers themselves.
+    mcml_char::cache::clear();
+    let start = Instant::now();
+    let mut serial_flow =
+        DesignFlow::new(CellParams::default()).with_parallelism(Parallelism::Serial);
+    let serial_rows = table2(&mut serial_flow)?;
+    let t_serial = start.elapsed();
+
+    // The reported run: parallel per MCML_THREADS (default: all cores),
+    // again from a cold cache so the timing comparison is honest.
+    mcml_char::cache::clear();
+    let par = Parallelism::from_env();
+    let mut flow = DesignFlow::new(CellParams::default()).with_parallelism(par);
     println!("Table 2 — PG-MCML library characteristics (characterising 16 cells)\n");
+    let start = Instant::now();
     // Paper columns for comparison.
     let paper: &[(&str, f64, Option<f64>)] = &[
         ("Buffer", 23.97, Some(2.4)),
@@ -33,6 +50,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "Cell", "Area[µm²]", "Delay[ps]", "paper[ps]", "PG/CMOS", "paper ratio"
     );
     let rows = table2(&mut flow)?;
+    let t_par = start.elapsed();
+    assert_eq!(
+        serial_rows, rows,
+        "parallel characterisation must reproduce the serial numbers exactly"
+    );
     let mut ratios = Vec::new();
     for (row, (pname, pdelay, pratio)) in rows.iter().zip(paper) {
         assert_eq!(&row.cell, pname);
@@ -51,5 +73,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     let avg = ratios.iter().sum::<f64>() / ratios.len() as f64;
     println!("\naverage PG-MCML/CMOS area ratio: {avg:.2} (paper: 1.6)");
+    println!("{}", speedup_line(t_serial, t_par, par.worker_count()));
     Ok(())
 }

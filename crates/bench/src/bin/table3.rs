@@ -1,14 +1,17 @@
 //! Regenerate **Table 3**: the S-box ISE priced in CMOS, MCML and
 //! PG-MCML under the AES software workload on the OR1K model.
 
-use mcml_bench::fmt_power;
+use std::time::Instant;
+
+use mcml_bench::{fmt_power, speedup_line};
 use mcml_cells::CellParams;
 use mcml_or1k::aes_prog::AesBenchParams;
 use pg_mcml::experiments::table3;
-use pg_mcml::DesignFlow;
+use pg_mcml::{DesignFlow, Parallelism};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let mut flow = DesignFlow::new(CellParams::default());
+    let par = Parallelism::from_env();
+    let mut flow = DesignFlow::new(CellParams::default()).with_parallelism(par);
     // The paper runs 5000 encryptions inside a larger application,
     // landing at 0.01 % ISE duty; blocks/idle_loops set the same regime
     // (scaled for runtime — the averages converge per block).
@@ -22,7 +25,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "(workload: {} blocks, idle loops {} — duty diluted toward the paper's 0.01 %)\n",
         bench.blocks, bench.idle_loops
     );
+    // Serial baseline first (cold characterisation cache), then the
+    // parallel run on an equally cold cache; assert they agree exactly.
+    mcml_char::cache::clear();
+    let start = Instant::now();
+    let mut serial_flow =
+        DesignFlow::new(CellParams::default()).with_parallelism(Parallelism::Serial);
+    let serial_rows = table3(&mut serial_flow, &bench, 400e6)?;
+    let t_serial = start.elapsed();
+
+    mcml_char::cache::clear();
+    let start = Instant::now();
     let rows = table3(&mut flow, &bench, 400e6)?;
+    let t_par = start.elapsed();
+    assert_eq!(
+        serial_rows, rows,
+        "parallel run must reproduce the serial numbers exactly"
+    );
 
     let paper = [
         ("CMOS", 3865, 30_547.52, 0.630, 207.72e-6),
@@ -49,7 +68,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     let mcml = rows.iter().find(|r| r.style.to_string() == "MCML").unwrap();
-    let pg = rows.iter().find(|r| r.style.to_string() == "PG-MCML").unwrap();
+    let pg = rows
+        .iter()
+        .find(|r| r.style.to_string() == "PG-MCML")
+        .unwrap();
     let cmos = rows.iter().find(|r| r.style.to_string() == "CMOS").unwrap();
     println!(
         "\nISE duty cycle: {:.4} %  |  power gating recovers {:.0}× over MCML (paper: ≈10⁴×)",
@@ -60,5 +82,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "PG-MCML vs CMOS: {:.2}× (paper: PG-MCML ≈4× *below* ungated CMOS)",
         pg.avg_power_w / cmos.avg_power_w
     );
+    println!("{}", speedup_line(t_serial, t_par, par.worker_count()));
     Ok(())
 }

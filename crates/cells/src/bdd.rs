@@ -140,10 +140,7 @@ impl Bdd {
         if g == BddRef::ONE && h == BddRef::ZERO {
             return f;
         }
-        let var = self
-            .top_var(f)
-            .min(self.top_var(g))
-            .min(self.top_var(h));
+        let var = self.top_var(f).min(self.top_var(g)).min(self.top_var(h));
         let (f0, f1) = self.cofactors(f, var);
         let (g0, g1) = self.cofactors(g, var);
         let (h0, h1) = self.cofactors(h, var);
@@ -187,15 +184,19 @@ impl Bdd {
             table.len() >= (1usize << n_vars),
             "table too short for {n_vars} vars"
         );
-        self.from_tt_rec(n_vars, table, 0, 0)
+        self.tt_build_rec(n_vars, table, 0, 0)
     }
 
-    fn from_tt_rec(&mut self, n_vars: u8, table: &[bool], var: u8, offset: usize) -> BddRef {
+    fn tt_build_rec(&mut self, n_vars: u8, table: &[bool], var: u8, offset: usize) -> BddRef {
         if var == n_vars {
-            return if table[offset] { BddRef::ONE } else { BddRef::ZERO };
+            return if table[offset] {
+                BddRef::ONE
+            } else {
+                BddRef::ZERO
+            };
         }
-        let lo = self.from_tt_rec(n_vars, table, var + 1, offset);
-        let hi = self.from_tt_rec(n_vars, table, var + 1, offset | (1 << var));
+        let lo = self.tt_build_rec(n_vars, table, var + 1, offset);
+        let hi = self.tt_build_rec(n_vars, table, var + 1, offset | (1 << var));
         self.mk(var, lo, hi)
     }
 
@@ -204,7 +205,11 @@ impl Bdd {
     pub fn eval(&self, mut r: BddRef, assignment: &[bool]) -> bool {
         while !r.is_terminal() {
             let n = self.nodes[r.index()];
-            r = if assignment[n.var as usize] { n.hi } else { n.lo };
+            r = if assignment[n.var as usize] {
+                n.hi
+            } else {
+                n.lo
+            };
         }
         r == BddRef::ONE
     }

@@ -106,13 +106,7 @@ fn bisect_increasing(
 }
 
 /// Bisect `f(x) = target` where `f` is decreasing on `[lo, hi]`.
-fn bisect_decreasing(
-    f: impl Fn(f64) -> f64,
-    target: f64,
-    lo: f64,
-    hi: f64,
-    what: &str,
-) -> f64 {
+fn bisect_decreasing(f: impl Fn(f64) -> f64, target: f64, lo: f64, hi: f64, what: &str) -> f64 {
     // `y ↦ f(−y)` is increasing on [−hi, −lo].
     -bisect_increasing(|y| f(-y), target, -hi, -lo, what)
 }
@@ -165,10 +159,14 @@ mod tests {
     #[test]
     fn higher_iss_needs_higher_vn() {
         // At fixed W (no rescale) more current means more overdrive.
-        let mut p50 = CellParams::default();
-        p50.iss = 50e-6;
-        let mut p100 = p50.clone();
-        p100.iss = 100e-6;
+        let p50 = CellParams {
+            iss: 50e-6,
+            ..CellParams::default()
+        };
+        let p100 = CellParams {
+            iss: 100e-6,
+            ..p50.clone()
+        };
         let b50 = solve_bias(&p50);
         let b100 = solve_bias(&p100);
         assert!(b100.vn > b50.vn);

@@ -518,7 +518,10 @@ mod tests {
         let mut c = Circuit::new();
         let a = c.node("a");
         let b = c.node("b");
-        let f = SpNet::Series(vec![SpNet::T(a), SpNet::Par(vec![SpNet::T(b), SpNet::T(a)])]);
+        let f = SpNet::Series(vec![
+            SpNet::T(a),
+            SpNet::Par(vec![SpNet::T(b), SpNet::T(a)]),
+        ]);
         assert_eq!(f.size(), 3);
         match f.dual() {
             SpNet::Par(xs) => assert_eq!(xs.len(), 2),

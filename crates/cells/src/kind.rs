@@ -304,7 +304,10 @@ mod tests {
 
     #[test]
     fn xor_gates_truth() {
-        assert_eq!(CellKind::Xor3.eval_comb(&[true, true, true]), Some(vec![true]));
+        assert_eq!(
+            CellKind::Xor3.eval_comb(&[true, true, true]),
+            Some(vec![true])
+        );
         assert_eq!(
             CellKind::Xor4.eval_comb(&[true, false, true, false]),
             Some(vec![false])
@@ -314,8 +317,14 @@ mod tests {
     #[test]
     fn mux_selection() {
         // Mux2: q = s ? d1 : d0.
-        assert_eq!(CellKind::Mux2.eval_comb(&[true, false, false]), Some(vec![true]));
-        assert_eq!(CellKind::Mux2.eval_comb(&[true, false, true]), Some(vec![false]));
+        assert_eq!(
+            CellKind::Mux2.eval_comb(&[true, false, false]),
+            Some(vec![true])
+        );
+        assert_eq!(
+            CellKind::Mux2.eval_comb(&[true, false, true]),
+            Some(vec![false])
+        );
         // Mux4: inputs d0..d3, s0 (lsb), s1.
         let mut inputs = [false; 6];
         inputs[2] = true; // d2
@@ -325,8 +334,14 @@ mod tests {
 
     #[test]
     fn majority_gate() {
-        assert_eq!(CellKind::Maj32.eval_comb(&[true, true, false]), Some(vec![true]));
-        assert_eq!(CellKind::Maj32.eval_comb(&[true, false, false]), Some(vec![false]));
+        assert_eq!(
+            CellKind::Maj32.eval_comb(&[true, true, false]),
+            Some(vec![true])
+        );
+        assert_eq!(
+            CellKind::Maj32.eval_comb(&[true, false, false]),
+            Some(vec![false])
+        );
     }
 
     #[test]

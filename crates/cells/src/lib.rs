@@ -47,9 +47,9 @@ pub use area::{cell_area_um2, mcml_to_cmos_ratio};
 pub use bias::{solve_bias, BiasPoint};
 pub use cellnet::CellNetlist;
 pub use kind::{CellKind, DriveStrength};
+pub use mcml_device::Corner;
 pub use params::CellParams;
 pub use style::{LogicStyle, SleepTopology};
-pub use mcml_device::Corner;
 
 /// Build the transistor-level netlist for `kind` in `style`.
 ///

@@ -239,7 +239,8 @@ impl<'p> McmlBuilder<'p> {
         // root net is the top of the bias chain.
         let nodes = bdd.reachable(root);
         assert!(!nodes.is_empty(), "constant stage functions unsupported");
-        let mut net_of: std::collections::HashMap<BddRef, NodeId> = std::collections::HashMap::new();
+        let mut net_of: std::collections::HashMap<BddRef, NodeId> =
+            std::collections::HashMap::new();
         let root_net = self.ckt.fresh_node(&format!("{stage}_root"));
         net_of.insert(root, root_net);
         for &r in &nodes {
@@ -368,7 +369,7 @@ impl<'p> McmlBuilder<'p> {
         self.add_bias_chain(&stage, root);
 
         // Full-swing CMOS inverter: q = NOT d2, so q follows `a`.
-        let q = self.ckt.node(&format!("{q_name}"));
+        let q = self.ckt.node(q_name);
         self.ports.insert(q_name.to_owned(), q);
         let ni = Mosfet::nmos(
             MosParams::nmos_lvt_90().at_corner(self.params.corner),
@@ -609,10 +610,19 @@ mod tests {
         }
         if cell.ports.contains_key("sleep_b") {
             let v = if sleep_on { 0.0 } else { vdd_v };
-            ckt.vsource("VSLPB", cell.port("sleep_b"), Circuit::GND, SourceWave::dc(v));
+            ckt.vsource(
+                "VSLPB",
+                cell.port("sleep_b"),
+                Circuit::GND,
+                SourceWave::dc(v),
+            );
         }
         for (i, name) in kind.input_names().iter().enumerate() {
-            let (hi, lo) = if inputs[i] { (v_hi, v_lo) } else { (v_lo, v_hi) };
+            let (hi, lo) = if inputs[i] {
+                (v_hi, v_lo)
+            } else {
+                (v_lo, v_hi)
+            };
             ckt.vsource(
                 &format!("VI{name}p"),
                 cell.port(&format!("{name}_p")),
@@ -765,13 +775,22 @@ mod tests {
     fn diff2single_restores_full_swing() {
         let params = CellParams::default();
         let bias = solve_bias(&params);
-        let cell = build_mcml_cell(CellKind::Diff2Single, &params, Some(SleepTopology::SeriesSleep));
+        let cell = build_mcml_cell(
+            CellKind::Diff2Single,
+            &params,
+            Some(SleepTopology::SeriesSleep),
+        );
         let mut ckt = cell.circuit.clone();
         let vdd_v = params.tech.vdd;
         ckt.vsource("VDD", cell.port("vdd"), Circuit::GND, SourceWave::dc(vdd_v));
         ckt.vsource("VN", cell.port("vn"), Circuit::GND, SourceWave::dc(bias.vn));
         ckt.vsource("VP", cell.port("vp"), Circuit::GND, SourceWave::dc(bias.vp));
-        ckt.vsource("VSLP", cell.port("sleep"), Circuit::GND, SourceWave::dc(vdd_v));
+        ckt.vsource(
+            "VSLP",
+            cell.port("sleep"),
+            Circuit::GND,
+            SourceWave::dc(vdd_v),
+        );
         for (val, want_high) in [(true, true), (false, false)] {
             let mut c = ckt.clone();
             let (hi, lo) = if val {

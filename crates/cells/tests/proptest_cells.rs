@@ -60,8 +60,15 @@ fn cell_functional_at(kind: CellKind, iss_ua: f64, vswing: f64, pattern: u32) ->
     ckt.vsource("VDD", cell.port("vdd"), Circuit::GND, SourceWave::dc(vdd_v));
     ckt.vsource("VN", cell.port("vn"), Circuit::GND, SourceWave::dc(bias.vn));
     ckt.vsource("VP", cell.port("vp"), Circuit::GND, SourceWave::dc(bias.vp));
-    ckt.vsource("VS", cell.port("sleep"), Circuit::GND, SourceWave::dc(vdd_v));
-    let inputs: Vec<bool> = (0..kind.input_count()).map(|i| (pattern >> i) & 1 == 1).collect();
+    ckt.vsource(
+        "VS",
+        cell.port("sleep"),
+        Circuit::GND,
+        SourceWave::dc(vdd_v),
+    );
+    let inputs: Vec<bool> = (0..kind.input_count())
+        .map(|i| (pattern >> i) & 1 == 1)
+        .collect();
     for (i, name) in kind.input_names().iter().enumerate() {
         let (hi, lo) = if inputs[i] {
             (vdd_v, params.v_low())
@@ -83,11 +90,14 @@ fn cell_functional_at(kind: CellKind, iss_ua: f64, vswing: f64, pattern: u32) ->
     }
     let op = ckt.dc_op().expect("dc converges");
     let expect = kind.eval_comb(&inputs).expect("combinational");
-    kind.output_names().iter().zip(&expect).all(|(oname, &want)| {
-        let v = op.voltage(cell.port(&format!("{oname}_p")))
-            - op.voltage(cell.port(&format!("{oname}_n")));
-        (v > 0.0) == want && v.abs() > 0.08
-    })
+    kind.output_names()
+        .iter()
+        .zip(&expect)
+        .all(|(oname, &want)| {
+            let v = op.voltage(cell.port(&format!("{oname}_p")))
+                - op.voltage(cell.port(&format!("{oname}_n")));
+            (v > 0.0) == want && v.abs() > 0.08
+        })
 }
 
 proptest! {

@@ -5,9 +5,7 @@
 //! a sleep driver, and fan-out loads built from real buffer cells of the
 //! same style (so FO4 means what it means on silicon).
 
-use mcml_cells::{
-    bias::solve_bias, build_cell, BiasPoint, CellKind, CellParams, LogicStyle,
-};
+use mcml_cells::{bias::solve_bias, build_cell, BiasPoint, CellKind, CellParams, LogicStyle};
 use mcml_spice::{Circuit, ElementId, NodeId, SourceWave, TranOptions, TranResult, Waveform};
 
 use crate::Result;
@@ -302,7 +300,11 @@ impl Testbench {
         let out_is_diff =
             self.style.is_differential() && cell_ports.contains_key(&format!("{out0}_p"));
         for f in 0..self.fanout {
-            let load_style = if out_is_diff { self.style } else { LogicStyle::Cmos };
+            let load_style = if out_is_diff {
+                self.style
+            } else {
+                LogicStyle::Cmos
+            };
             let load = build_cell(CellKind::Buffer, load_style, &self.params);
             let mut conns = vec![(load.port("vdd"), ckt.node("vdd"))];
             if out_is_diff {

@@ -31,17 +31,25 @@
 
 #![deny(missing_docs)]
 
+pub mod cache;
 pub mod harness;
 pub mod liberty;
 pub mod library;
 pub mod measure;
 pub mod sweep;
 
+pub use cache::CacheStats;
 pub use harness::Testbench;
 pub use liberty::to_liberty;
-pub use library::{build_library, characterize_cell, CellTiming, TimingLibrary};
+pub use library::{
+    build_library, build_library_par, characterize_cell, characterize_cell_uncached, CellTiming,
+    TimingLibrary,
+};
 pub use measure::{measure_delay, measure_static_power, measure_wakeup, DelayMeasurement};
-pub use sweep::{bias_sweep, default_sweep_currents, BiasSweepPoint};
+pub use sweep::{
+    bias_sweep, bias_sweep_par, corner_sweep, corner_sweep_par, default_sweep_currents,
+    BiasSweepPoint,
+};
 
 /// Crate-level result alias (errors bubble up from the simulator).
 pub type Result<T> = std::result::Result<T, mcml_spice::SpiceError>;

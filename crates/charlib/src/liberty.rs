@@ -61,7 +61,11 @@ pub fn to_liberty(lib: &TimingLibrary, style: LogicStyle, name: &str) -> String 
         for pin in kind.output_names() {
             let _ = writeln!(out, "    pin ({pin}) {{");
             let _ = writeln!(out, "      direction : output;");
-            let related = if kind.is_sequential() { "clk" } else { kind.input_names()[0] };
+            let related = if kind.is_sequential() {
+                "clk"
+            } else {
+                kind.input_names()[0]
+            };
             let _ = writeln!(out, "      timing () {{");
             let _ = writeln!(out, "        related_pin : \"{related}\";");
             if kind.is_sequential() {

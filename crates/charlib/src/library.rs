@@ -1,10 +1,11 @@
 //! The characterised timing library (a `.lib` equivalent).
 
-use mcml_cells::{
-    build_cell, cell_area_um2, CellKind, CellParams, DriveStrength, LogicStyle,
-};
+use mcml_cells::{build_cell, cell_area_um2, CellKind, CellParams, DriveStrength, LogicStyle};
+use mcml_exec::Parallelism;
 use mcml_spice::Element;
 use serde::{Deserialize, Serialize};
+
+use crate::cache::{get_or_characterize, CharKey};
 
 use crate::measure::{
     measure_delay, measure_dynamic_energy, measure_sleep_leakage, measure_static_power,
@@ -131,10 +132,30 @@ pub fn input_capacitance(kind: CellKind, style: LogicStyle, params: &CellParams)
 
 /// Characterise one cell in one style (X1 drive, FO1 and FO4).
 ///
+/// Results are memoised in the process-wide [`crate::cache`]: repeated
+/// calls with a bit-identical `(kind, style, params)` triple — including
+/// the corner carried inside `params` — return the cached [`CellTiming`]
+/// without re-running any SPICE transient.
+///
 /// # Errors
 ///
 /// Propagates simulator errors from any of the measurements.
 pub fn characterize_cell(
+    kind: CellKind,
+    style: LogicStyle,
+    params: &CellParams,
+) -> Result<CellTiming> {
+    get_or_characterize(CharKey::new(kind, style, params), || {
+        characterize_cell_uncached(kind, style, params)
+    })
+}
+
+/// Characterise one cell, bypassing (and not populating) the cache.
+///
+/// # Errors
+///
+/// Propagates simulator errors from any of the measurements.
+pub fn characterize_cell_uncached(
     kind: CellKind,
     style: LogicStyle,
     params: &CellParams,
@@ -153,9 +174,11 @@ pub fn characterize_cell(
         // event-driven power model only needs an order of magnitude for
         // sequential CMOS cells.
         match style {
-            LogicStyle::Cmos => measure_dynamic_energy(CellKind::Buffer, style, params, 1)?
-                * (cell_area_um2(kind, style, DriveStrength::X1)
-                    / cell_area_um2(CellKind::Buffer, style, DriveStrength::X1)),
+            LogicStyle::Cmos => {
+                measure_dynamic_energy(CellKind::Buffer, style, params, 1)?
+                    * (cell_area_um2(kind, style, DriveStrength::X1)
+                        / cell_area_um2(CellKind::Buffer, style, DriveStrength::X1))
+            }
             _ => 0.0,
         }
     } else {
@@ -183,15 +206,42 @@ pub fn characterize_cell(
 
 /// Characterise the full library: every cell in every requested style.
 ///
+/// Uses the thread count from `MCML_THREADS` (all cores when unset); see
+/// [`build_library_par`] for an explicit knob.
+///
+/// # Errors
+///
+/// Propagates the first measurement failure (in deterministic
+/// style-major, cell-minor order, matching the serial loop).
+pub fn build_library(params: &CellParams, styles: &[LogicStyle]) -> Result<TimingLibrary> {
+    build_library_par(params, styles, Parallelism::from_env())
+}
+
+/// Characterise the full library, fanning independent cells across threads.
+///
+/// Each `(style, cell)` pair is an independent set of SPICE runs, so they
+/// are distributed over the worker pool; results are merged back in the
+/// serial loop's style-major order, so the resulting [`TimingLibrary`] is
+/// identical to [`build_library`]'s regardless of thread count.
+///
 /// # Errors
 ///
 /// Propagates the first measurement failure.
-pub fn build_library(params: &CellParams, styles: &[LogicStyle]) -> Result<TimingLibrary> {
+pub fn build_library_par(
+    params: &CellParams,
+    styles: &[LogicStyle],
+    par: Parallelism,
+) -> Result<TimingLibrary> {
+    let jobs: Vec<(LogicStyle, CellKind)> = styles
+        .iter()
+        .flat_map(|&style| CellKind::ALL.into_iter().map(move |kind| (style, kind)))
+        .collect();
+    let results = mcml_exec::parallel_map_items(par, &jobs, |&(style, kind)| {
+        characterize_cell(kind, style, params)
+    });
     let mut lib = TimingLibrary::new();
-    for &style in styles {
-        for kind in CellKind::ALL {
-            lib.insert(characterize_cell(kind, style, params)?);
-        }
+    for timing in results {
+        lib.insert(timing?);
     }
     Ok(lib)
 }

@@ -268,8 +268,8 @@ pub fn measure_dynamic_energy(
     let i = built.supply_current(&res);
     // Baseline: average current in the quiet pre-edge window.
     let baseline = i.mean_between(0.2e-9, 0.8e-9);
-    let window = i.integral_between(t_rise - 0.1e-9, t_fall - 0.1e-9)
-        - baseline * (t_fall - t_rise);
+    let window =
+        i.integral_between(t_rise - 0.1e-9, t_fall - 0.1e-9) - baseline * (t_fall - t_rise);
     Ok((window * params.tech.vdd).abs())
 }
 
@@ -413,11 +413,7 @@ mod tests {
 /// # Panics
 ///
 /// Panics if called on a combinational cell.
-pub fn measure_setup_time(
-    kind: CellKind,
-    style: LogicStyle,
-    params: &CellParams,
-) -> Result<f64> {
+pub fn measure_setup_time(kind: CellKind, style: LogicStyle, params: &CellParams) -> Result<f64> {
     assert!(kind.is_sequential(), "setup time is a flop property");
     let names = kind.input_names();
     let clk_idx = names.iter().position(|&n| n == "clk").expect("clk pin");
@@ -505,11 +501,7 @@ mod setup_tests {
 /// # Panics
 ///
 /// Panics if called on a combinational cell.
-pub fn measure_hold_time(
-    kind: CellKind,
-    style: LogicStyle,
-    params: &CellParams,
-) -> Result<f64> {
+pub fn measure_hold_time(kind: CellKind, style: LogicStyle, params: &CellParams) -> Result<f64> {
     assert!(kind.is_sequential(), "hold time is a flop property");
     let names = kind.input_names();
     let clk_idx = names.iter().position(|&n| n == "clk").expect("clk pin");

@@ -6,6 +6,7 @@
 //! minimum near 50 µA, which the library adopts as its design point.
 
 use mcml_cells::{cell_area_um2, CellKind, CellParams, DriveStrength, LogicStyle};
+use mcml_exec::Parallelism;
 use serde::{Deserialize, Serialize};
 
 use crate::measure::measure_delay;
@@ -45,23 +46,39 @@ pub fn area_vs_iss_um2(iss: f64) -> f64 {
 ///
 /// Propagates simulator errors from the delay measurements.
 pub fn bias_sweep(params: &CellParams, currents: &[f64]) -> Result<Vec<BiasSweepPoint>> {
-    let mut out = Vec::with_capacity(currents.len());
-    for &iss in currents {
+    bias_sweep_par(params, currents, Parallelism::from_env())
+}
+
+/// [`bias_sweep`] with an explicit thread-count knob. Each bias point is an
+/// independent pair of delay transients; points are computed across the
+/// worker pool and returned in the input current order, identical to the
+/// serial loop.
+///
+/// # Errors
+///
+/// Propagates simulator errors from the delay measurements.
+pub fn bias_sweep_par(
+    params: &CellParams,
+    currents: &[f64],
+    par: Parallelism,
+) -> Result<Vec<BiasSweepPoint>> {
+    mcml_exec::parallel_map_items(par, currents, |&iss| {
         let p = params.with_iss(iss);
         let d1 = measure_delay(CellKind::Buffer, LogicStyle::PgMcml, &p, 1)?;
         let d4 = measure_delay(CellKind::Buffer, LogicStyle::PgMcml, &p, 4)?;
         let power = p.tech.vdd * iss;
         let delay4 = d4.avg();
-        out.push(BiasSweepPoint {
+        Ok(BiasSweepPoint {
             iss,
             delay_fo1_ps: d1.avg_ps(),
             delay_fo4_ps: d4.avg_ps(),
             power_w: power,
             pdp_j: power * delay4,
             adp_um2_ps: area_vs_iss_um2(iss) * d4.avg_ps(),
-        });
-    }
-    Ok(out)
+        })
+    })
+    .into_iter()
+    .collect()
 }
 
 /// Default sweep currents (A) covering the paper's 10–400 µA range.
@@ -151,18 +168,34 @@ pub fn corner_sweep(
     params: &CellParams,
     style: LogicStyle,
 ) -> crate::Result<Vec<(mcml_cells::Corner, f64, f64)>> {
+    corner_sweep_par(params, style, Parallelism::from_env())
+}
+
+/// [`corner_sweep`] with an explicit thread-count knob. Corners are
+/// independent bias solves + transients; rows come back in `Corner::ALL`
+/// order regardless of scheduling.
+///
+/// # Errors
+///
+/// Propagates simulator errors.
+pub fn corner_sweep_par(
+    params: &CellParams,
+    style: LogicStyle,
+    par: Parallelism,
+) -> crate::Result<Vec<(mcml_cells::Corner, f64, f64)>> {
     use mcml_cells::Corner;
-    let mut out = Vec::new();
-    for corner in Corner::ALL {
+    let corners: Vec<Corner> = Corner::ALL.into_iter().collect();
+    mcml_exec::parallel_map_items(par, &corners, |&corner| {
         let p = CellParams {
             corner,
             ..params.clone()
         };
         let d = crate::measure::measure_delay(CellKind::Buffer, style, &p, 4)?;
         let s = crate::measure::measure_static_power(CellKind::Buffer, style, &p, &[true])?;
-        out.push((corner, d.avg_ps(), s));
-    }
-    Ok(out)
+        Ok((corner, d.avg_ps(), s))
+    })
+    .into_iter()
+    .collect()
 }
 
 #[cfg(test)]

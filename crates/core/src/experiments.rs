@@ -10,11 +10,14 @@ use mcml_cells::{
     cell_area_um2, mcml_to_cmos_ratio, CellKind, CellParams, DriveStrength, LogicStyle,
 };
 use mcml_char::{bias_sweep, BiasSweepPoint};
-use mcml_dpa::{cpa_attack, distinguishability_margin, key_rank, CpaResult, HammingWeight, TraceSet};
+use mcml_dpa::{
+    cpa_attack_par, distinguishability_margin, key_rank, CpaResult, HammingWeight, TraceSet,
+};
+use mcml_exec::Parallelism;
 use mcml_netlist::{area_report, critical_path_ps, Netlist};
 use mcml_or1k::aes_prog::{run_aes_benchmark, AesBenchParams};
 use mcml_sim::power::SleepWave;
-use mcml_sim::Stimulus;
+use mcml_sim::{circuit_current, EventSim, Stimulus};
 use mcml_spice::{Circuit, SourceWave, TranOptions, Waveform};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -41,19 +44,24 @@ pub struct Table1Row {
 /// the sleep transistor).
 #[must_use]
 pub fn table1() -> Vec<Table1Row> {
-    [CellKind::Buffer, CellKind::Mux4, CellKind::And4, CellKind::DLatch]
-        .iter()
-        .map(|&k| {
-            let mcml = cell_area_um2(k, LogicStyle::Mcml, DriveStrength::X1);
-            let pg = cell_area_um2(k, LogicStyle::PgMcml, DriveStrength::X1);
-            Table1Row {
-                cell: k.lib_name(DriveStrength::X1),
-                mcml_um2: mcml,
-                pg_um2: pg,
-                overhead: pg / mcml - 1.0,
-            }
-        })
-        .collect()
+    [
+        CellKind::Buffer,
+        CellKind::Mux4,
+        CellKind::And4,
+        CellKind::DLatch,
+    ]
+    .iter()
+    .map(|&k| {
+        let mcml = cell_area_um2(k, LogicStyle::Mcml, DriveStrength::X1);
+        let pg = cell_area_um2(k, LogicStyle::PgMcml, DriveStrength::X1);
+        Table1Row {
+            cell: k.lib_name(DriveStrength::X1),
+            mcml_um2: mcml,
+            pg_um2: pg,
+            overhead: pg / mcml - 1.0,
+        }
+    })
+    .collect()
 }
 
 // ---------------------------------------------------------------- Table 2
@@ -243,12 +251,21 @@ pub fn table3(
         }
         let tr_idle = flow.simulate(&nl, &st_idle, window)?;
         let asleep = SleepWave::awake_windows(&[]);
-        let sleep_idle = if style.is_power_gated() { Some(&asleep) } else { None };
+        let sleep_idle = if style.is_power_gated() {
+            Some(&asleep)
+        } else {
+            None
+        };
         let i_idle = flow.current(&nl, &tr_idle, sleep_idle)?;
-        // Skip the first cycle (X-resolution churn).
-        let p_idle = vdd * i_idle.mean_between(2.0 * period, window);
+        // Skip the first cycle (X-resolution churn). The typed accessor
+        // turns a degenerate current waveform into an error instead of a
+        // silent zero idle power.
+        let p_idle = vdd * i_idle.try_mean_between(2.0 * period, window)?;
 
         // --- per-activation energy, averaged over real operands -----
+        // Each activation window is an independent event simulation, so
+        // the windows fan across the worker pool; energies fold in event
+        // order, identical to the serial loop.
         let samples: Vec<(u32, u32)> = run
             .trace
             .ise_events
@@ -256,31 +273,43 @@ pub fn table3(
             .take(8)
             .map(|e| (e.input, e.output))
             .collect();
-        let mut e_op_sum = 0.0;
-        for (prev, (input, _)) in samples.iter().enumerate().map(|(i, ev)| {
-            let prev = if i == 0 { 0u32 } else { samples[i - 1].0 };
-            (prev, *ev)
-        }) {
-            let mut st = Stimulus::new();
-            st.clock("clk", period / 2.0, period, 6);
-            for b in 0..32 {
-                st.at(0.0, &format!("x{b}"), (prev >> b) & 1 == 1);
-            }
-            let t_op = 3.0 * period;
-            for b in 0..32 {
-                let nv = (input >> b) & 1 == 1;
-                if nv != ((prev >> b) & 1 == 1) {
-                    st.at(t_op, &format!("x{b}"), nv);
+        let jobs: Vec<(u32, u32)> = samples
+            .iter()
+            .enumerate()
+            .map(|(i, ev)| {
+                let prev = if i == 0 { 0u32 } else { samples[i - 1].0 };
+                (prev, ev.0)
+            })
+            .collect();
+        let lib = flow.library();
+        let model = &flow.model;
+        let energies: Vec<f64> =
+            mcml_exec::parallel_map_items(flow.parallelism, &jobs, |&(prev, input)| {
+                let mut st = Stimulus::new();
+                st.clock("clk", period / 2.0, period, 6);
+                for b in 0..32 {
+                    st.at(0.0, &format!("x{b}"), (prev >> b) & 1 == 1);
                 }
-            }
-            let tr = flow.simulate(&nl, &st, window)?;
-            let wake = SleepWave::awake_windows(&[(t_op - 1.0e-9, t_op + 1.5 * period)]);
-            let sleep = if style.is_power_gated() { Some(&wake) } else { None };
-            let i_op = flow.current(&nl, &tr, sleep)?;
-            let e_window = vdd * i_op.integral_between(2.0 * period, window);
-            let e_idle = p_idle * (window - 2.0 * period);
-            e_op_sum += (e_window - e_idle).max(0.0);
-        }
+                let t_op = 3.0 * period;
+                for b in 0..32 {
+                    let nv = (input >> b) & 1 == 1;
+                    if nv != ((prev >> b) & 1 == 1) {
+                        st.at(t_op, &format!("x{b}"), nv);
+                    }
+                }
+                let tr = EventSim::new(&nl, lib).run(&st, window);
+                let wake = SleepWave::awake_windows(&[(t_op - 1.0e-9, t_op + 1.5 * period)]);
+                let sleep = if style.is_power_gated() {
+                    Some(&wake)
+                } else {
+                    None
+                };
+                let i_op = circuit_current(&nl, &tr, lib, sleep, model);
+                let e_window = vdd * i_op.integral_between(2.0 * period, window);
+                let e_idle = p_idle * (window - 2.0 * period);
+                (e_window - e_idle).max(0.0)
+            });
+        let e_op_sum: f64 = energies.iter().sum();
         let e_op = if samples.is_empty() {
             0.0
         } else {
@@ -347,6 +376,18 @@ fn gauss(rng: &mut StdRng) -> f64 {
     (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
 }
 
+/// Independent per-trace noise stream: a SplitMix64 finalizer over
+/// `(seed, index)` seeds each trace's own `StdRng`, so trace `i` draws the
+/// same noise whether acquisitions run serially or fanned across threads.
+fn trace_rng(seed: u64, index: u64) -> StdRng {
+    let mut z = seed
+        .wrapping_add(0x9e37_79b9_7f4a_7c15)
+        .wrapping_add(index.wrapping_mul(0xd1b5_4a32_d192_ed03));
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    StdRng::seed_from_u64(z ^ (z >> 31))
+}
+
 /// Fig. 6, current-template tier: full 8-bit reduced AES attacked with
 /// CPA over all 256 plaintexts at a fixed key, per style.
 ///
@@ -369,7 +410,7 @@ pub fn fig6_template(
     for &style in styles {
         let ts = acquire_template_traces(flow, style, key, noise_rel, seed)?;
         let model = HammingWeight::new(|x| SBOX[x as usize], 8);
-        let r = cpa_attack(&ts, &model);
+        let r = cpa_attack_par(&ts, &model, flow.parallelism);
         out.push((verdict(style, key as usize, &r, ts.n_traces()), r));
     }
     Ok(out)
@@ -391,32 +432,40 @@ pub fn acquire_template_traces(
     noise_rel: f64,
     seed: u64,
 ) -> Result<TraceSet> {
-    let mut rng = StdRng::seed_from_u64(seed);
     let nl = ReducedAes::new(8).build_registered_netlist(style);
     flow.library_for(&nl)?;
+    let lib = flow.library();
+    let model = &flow.model;
     let t_edge = 2.2e-9;
     let n_samples = 60;
-    let mut ts = TraceSet::new(n_samples);
-    for p in 0..=255u8 {
-        let mut st = Stimulus::new();
-        st.at(0.0, "clk", false);
-        st.at(t_edge, "clk", true);
-        for b in 0..8 {
-            st.at(0.0, &format!("k{b}"), (key >> b) & 1 == 1);
-            st.at(0.0, &format!("p{b}"), (p >> b) & 1 == 1);
-        }
-        let trace = flow.simulate(&nl, &st, 3.6e-9)?;
-        let i = flow.current(&nl, &trace, None)?;
-        let mean = i.mean().abs().max(1e-12);
-        let w = i.resample(t_edge - 0.1e-9, t_edge + 1.0e-9, n_samples);
-        let noisy: Vec<f64> = w
-            .values()
-            .iter()
-            .map(|&v| v + gauss(&mut rng) * noise_rel * mean)
-            .collect();
-        ts.push(p, &noisy);
-    }
-    Ok(ts)
+    let inputs: Vec<u8> = (0..=255u8).collect();
+    // Per-plaintext acquisitions are independent (the library is fully
+    // characterised above, and each trace derives its own noise stream),
+    // so they fan across the worker pool; `collect_par` pushes rows in
+    // plaintext order, byte-identical to the serial loop.
+    Ok(TraceSet::collect_par(
+        n_samples,
+        &inputs,
+        flow.parallelism,
+        |i, p| {
+            let mut rng = trace_rng(seed, i as u64);
+            let mut st = Stimulus::new();
+            st.at(0.0, "clk", false);
+            st.at(t_edge, "clk", true);
+            for b in 0..8 {
+                st.at(0.0, &format!("k{b}"), (key >> b) & 1 == 1);
+                st.at(0.0, &format!("p{b}"), (p >> b) & 1 == 1);
+            }
+            let trace = EventSim::new(&nl, lib).run(&st, 3.6e-9);
+            let iw = circuit_current(&nl, &trace, lib, None, model);
+            let mean = iw.mean().abs().max(1e-12);
+            let w = iw.resample(t_edge - 0.1e-9, t_edge + 1.0e-9, n_samples);
+            w.values()
+                .iter()
+                .map(|&v| v + gauss(&mut rng) * noise_rel * mean)
+                .collect()
+        },
+    ))
 }
 
 /// Measurements-to-disclosure for one style: the smallest trace count at
@@ -458,6 +507,23 @@ pub fn fig6_transistor(
     style: LogicStyle,
     plaintexts: &[u8],
 ) -> Result<(Fig6Row, CpaResult)> {
+    fig6_transistor_par(params, key, style, plaintexts, Parallelism::from_env())
+}
+
+/// [`fig6_transistor`] with an explicit thread-count knob: each plaintext's
+/// full SPICE transient is an independent work item; traces assemble in
+/// plaintext order, so the result is identical for any thread count.
+///
+/// # Errors
+///
+/// Propagates simulator errors.
+pub fn fig6_transistor_par(
+    params: &CellParams,
+    key: u8,
+    style: LogicStyle,
+    plaintexts: &[u8],
+    par: Parallelism,
+) -> Result<(Fig6Row, CpaResult)> {
     let reduced = ReducedAes::new(4);
     // The registered design, like the paper's synthesised block: the
     // plaintext/key pair settles combinationally, then the output
@@ -472,8 +538,10 @@ pub fn fig6_transistor(
     let t_edge = 2.0e-9;
     let t_stop = 3.6e-9;
     let n_samples = 60;
-    let mut ts = TraceSet::new(n_samples);
-    for &p in plaintexts {
+    // Every plaintext gets its own clone of the elaborated circuit and a
+    // full transistor-level transient — the expensive, perfectly
+    // independent work items of this tier.
+    let rows = mcml_exec::parallel_map_items(par, plaintexts, |&p| {
         let mut ckt: Circuit = el.circuit.clone();
         let drive_const = |ckt: &mut Circuit, name: &str, v: bool| {
             let (np, nn) = el.inputs[name];
@@ -489,19 +557,101 @@ pub fn fig6_transistor(
         }
         // Clock: one rising edge after the combinational logic settles.
         let (cp, cn) = el.inputs["clk"];
-        let edge = |a: f64, b: f64| SourceWave::Pwl(vec![(0.0, a), (t_edge, a), (t_edge + 50e-12, b)]);
+        let edge =
+            |a: f64, b: f64| SourceWave::Pwl(vec![(0.0, a), (t_edge, a), (t_edge + 50e-12, b)]);
         ckt.vsource("VCLK", cp, Circuit::GND, edge(v_lo, v_hi));
         if let Some(cn) = cn {
             ckt.vsource("VCLKn", cn, Circuit::GND, edge(v_hi, v_lo));
         }
         let res = ckt.transient(&TranOptions::new(t_stop, 10e-12))?;
-        let i: Waveform = res.supply_current(el.vdd_src).expect("vdd probed");
-        let w = i.resample(t_edge - 0.1e-9, t_stop - 0.1e-9, n_samples);
-        ts.push(p, w.values());
+        let i: Waveform =
+            res.supply_current(el.vdd_src)
+                .ok_or(mcml_spice::SpiceError::EmptyWaveform {
+                    op: "supply current",
+                    len: 0,
+                })?;
+        let w = i.try_resample(t_edge - 0.1e-9, t_stop - 0.1e-9, n_samples)?;
+        Ok(w.values().to_vec())
+    });
+    let mut ts = TraceSet::new(n_samples);
+    for (&p, row) in plaintexts.iter().zip(rows) {
+        ts.push(p, &row?);
     }
     let model = HammingWeight::new(|x| reduced.sbox(x), 4);
-    let r = cpa_attack(&ts, &model);
+    let r = cpa_attack_par(&ts, &model, par);
     Ok((verdict(style, usize::from(key), &r, ts.n_traces()), r))
+}
+
+/// TVLA extension (beyond the paper): fixed-vs-random Welch t-test on the
+/// registered reduced AES in one style — a model-free leakage assessment
+/// complementing the CPA verdicts.
+///
+/// # Errors
+///
+/// Propagates simulator errors.
+pub fn tvla_assessment(
+    flow: &mut DesignFlow,
+    style: LogicStyle,
+    key: u8,
+    n_per_population: usize,
+    noise_rel: f64,
+    seed: u64,
+) -> Result<mcml_dpa::TvlaResult> {
+    let nl = ReducedAes::new(8).build_registered_netlist(style);
+    flow.library_for(&nl)?;
+    let lib = flow.library();
+    let model = &flow.model;
+    let t_edge = 2.2e-9;
+    let n_samples = 60;
+    // Worst-case fixed class: the plaintext whose S-box output Hamming
+    // weight is furthest from the random-class mean (4), maximising the
+    // detectable first-order contrast.
+    let fixed_p = (0..=255u8)
+        .max_by_key(|&p| {
+            let hw = SBOX[usize::from(p ^ key)].count_ones() as i32;
+            (hw - 4).abs()
+        })
+        .expect("non-empty scan");
+    // Each acquisition derives its own RNG from (seed, index): the random
+    // class's plaintext and every trace's noise depend only on the index,
+    // so the populations are identical however the work is scheduled.
+    let rows: Vec<(u8, Vec<f64>)> =
+        mcml_exec::parallel_map(flow.parallelism, 2 * n_per_population, |i| {
+            let mut rng = trace_rng(seed, i as u64);
+            let is_fixed = i % 2 == 0;
+            let p = if is_fixed { fixed_p } else { rng.gen::<u8>() };
+            let mut st = Stimulus::new();
+            st.at(0.0, "clk", false);
+            st.at(t_edge, "clk", true);
+            for b in 0..8 {
+                st.at(0.0, &format!("k{b}"), (key >> b) & 1 == 1);
+                st.at(0.0, &format!("p{b}"), (p >> b) & 1 == 1);
+            }
+            let trace = EventSim::new(&nl, lib).run(&st, 3.6e-9);
+            let i_wave = circuit_current(&nl, &trace, lib, None, model);
+            let mean = i_wave.mean().abs().max(1e-12);
+            let w = i_wave.resample(t_edge - 0.1e-9, t_edge + 1.0e-9, n_samples);
+            let noisy: Vec<f64> = w
+                .values()
+                .iter()
+                .map(|&v| v + gauss(&mut rng) * noise_rel * mean)
+                .collect();
+            (p, noisy)
+        });
+    let mut fixed = TraceSet::new(n_samples);
+    let mut random = TraceSet::new(n_samples);
+    for (i, (p, noisy)) in rows.iter().enumerate() {
+        if i % 2 == 0 {
+            fixed.push(*p, noisy);
+        } else {
+            random.push(*p, noisy);
+        }
+    }
+    Ok(mcml_dpa::welch_t_test_par(
+        &fixed,
+        &random,
+        flow.parallelism,
+    ))
 }
 
 #[cfg(test)]
@@ -546,67 +696,4 @@ mod tests {
             "PG-MCML must not be distinguishable: {pg:?}"
         );
     }
-}
-
-/// TVLA extension (beyond the paper): fixed-vs-random Welch t-test on the
-/// registered reduced AES in one style — a model-free leakage assessment
-/// complementing the CPA verdicts.
-///
-/// # Errors
-///
-/// Propagates simulator errors.
-pub fn tvla_assessment(
-    flow: &mut DesignFlow,
-    style: LogicStyle,
-    key: u8,
-    n_per_population: usize,
-    noise_rel: f64,
-    seed: u64,
-) -> Result<mcml_dpa::TvlaResult> {
-    let mut rng = StdRng::seed_from_u64(seed);
-    let nl = ReducedAes::new(8).build_registered_netlist(style);
-    flow.library_for(&nl)?;
-    let t_edge = 2.2e-9;
-    let n_samples = 60;
-    // Worst-case fixed class: the plaintext whose S-box output Hamming
-    // weight is furthest from the random-class mean (4), maximising the
-    // detectable first-order contrast.
-    let fixed_p = (0..=255u8)
-        .max_by_key(|&p| {
-            let hw = SBOX[usize::from(p ^ key)].count_ones() as i32;
-            (hw - 4).abs()
-        })
-        .expect("non-empty scan");
-    let mut fixed = TraceSet::new(n_samples);
-    let mut random = TraceSet::new(n_samples);
-    for i in 0..2 * n_per_population {
-        let is_fixed = i % 2 == 0;
-        let p = if is_fixed {
-            fixed_p
-        } else {
-            rng.gen::<u8>()
-        };
-        let mut st = Stimulus::new();
-        st.at(0.0, "clk", false);
-        st.at(t_edge, "clk", true);
-        for b in 0..8 {
-            st.at(0.0, &format!("k{b}"), (key >> b) & 1 == 1);
-            st.at(0.0, &format!("p{b}"), (p >> b) & 1 == 1);
-        }
-        let trace = flow.simulate(&nl, &st, 3.6e-9)?;
-        let i_wave = flow.current(&nl, &trace, None)?;
-        let mean = i_wave.mean().abs().max(1e-12);
-        let w = i_wave.resample(t_edge - 0.1e-9, t_edge + 1.0e-9, n_samples);
-        let noisy: Vec<f64> = w
-            .values()
-            .iter()
-            .map(|&v| v + gauss(&mut rng) * noise_rel * mean)
-            .collect();
-        if is_fixed {
-            fixed.push(p, &noisy);
-        } else {
-            random.push(p, &noisy);
-        }
-    }
-    Ok(mcml_dpa::welch_t_test(&fixed, &random))
 }

@@ -2,12 +2,13 @@
 
 use mcml_cells::{CellKind, CellParams, LogicStyle};
 use mcml_char::{characterize_cell, CellTiming, TimingLibrary};
+use mcml_exec::Parallelism;
 use mcml_netlist::{
     build_sleep_tree, map_network, sleep_tree::SleepTreeOptions, BoolNetwork, GateKind, Netlist,
     SleepTree, TechmapOptions,
 };
-use mcml_sim::{circuit_current, CurrentModel, EventSim, SimTrace, Stimulus};
 use mcml_sim::power::SleepWave;
+use mcml_sim::{circuit_current, CurrentModel, EventSim, SimTrace, Stimulus};
 use mcml_spice::Waveform;
 
 /// Crate-level result alias.
@@ -26,6 +27,10 @@ pub struct DesignFlow {
     pub model: CurrentModel,
     /// Technology-mapper options.
     pub techmap: TechmapOptions,
+    /// Worker-pool size for characterisation and trace acquisition.
+    /// Defaults to the `MCML_THREADS` environment setting (all cores when
+    /// unset); every result is bit-identical whatever the value.
+    pub parallelism: Parallelism,
     lib: TimingLibrary,
 }
 
@@ -37,8 +42,16 @@ impl DesignFlow {
             params,
             model: CurrentModel::default(),
             techmap: TechmapOptions::default(),
+            parallelism: Parallelism::from_env(),
             lib: TimingLibrary::new(),
         }
+    }
+
+    /// The same flow restricted to the given worker-pool size.
+    #[must_use]
+    pub fn with_parallelism(mut self, par: Parallelism) -> Self {
+        self.parallelism = par;
+        self
     }
 
     /// Characterised timing of one cell (cached).
@@ -73,10 +86,21 @@ impl DesignFlow {
             .collect();
         kinds.sort_by_key(|k| k.table_name());
         kinds.dedup();
-        for k in kinds {
-            self.timing(k, nl.style)?;
+        let mut jobs: Vec<(CellKind, LogicStyle)> =
+            kinds.into_iter().map(|k| (k, nl.style)).collect();
+        jobs.push((CellKind::Buffer, LogicStyle::Cmos));
+        jobs.retain(|&(k, s)| self.lib.get(k, s).is_none());
+        // Independent cells fan out across the worker pool (each lands in
+        // the process-wide characterization cache); inserts happen back on
+        // this thread in job order, so the library contents are identical
+        // to the serial loop's.
+        let params = &self.params;
+        let timings = mcml_exec::parallel_map_items(self.parallelism, &jobs, |&(k, s)| {
+            characterize_cell(k, s, params)
+        });
+        for t in timings {
+            self.lib.insert(t?);
         }
-        self.timing(CellKind::Buffer, LogicStyle::Cmos)?;
         Ok(&self.lib)
     }
 
@@ -97,12 +121,7 @@ impl DesignFlow {
     /// # Errors
     ///
     /// Propagates characterisation errors.
-    pub fn simulate(
-        &mut self,
-        nl: &Netlist,
-        stimulus: &Stimulus,
-        t_stop: f64,
-    ) -> Result<SimTrace> {
+    pub fn simulate(&mut self, nl: &Netlist, stimulus: &Stimulus, t_stop: f64) -> Result<SimTrace> {
         self.library_for(nl)?;
         Ok(EventSim::new(nl, &self.lib).run(stimulus, t_stop))
     }
@@ -169,7 +188,9 @@ mod tests {
         bn.set_output("q", q);
         let nl = flow.map(&bn, LogicStyle::PgMcml);
         let mut st = Stimulus::new();
-        st.at(0.0, "a", false).at(0.0, "b", false).at(1e-9, "a", true);
+        st.at(0.0, "a", false)
+            .at(0.0, "b", false)
+            .at(1e-9, "a", true);
         let trace = flow.simulate(&nl, &st, 3e-9).unwrap();
         assert!(!trace.transitions.is_empty());
         let i = flow.current(&nl, &trace, None).unwrap();

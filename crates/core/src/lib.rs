@@ -49,6 +49,8 @@ pub mod prelude {
 
     pub use crate::elaborate::elaborate;
     pub use crate::flow::DesignFlow;
+    pub use mcml_exec::Parallelism;
 }
 
 pub use flow::DesignFlow;
+pub use mcml_exec::Parallelism;

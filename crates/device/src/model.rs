@@ -261,8 +261,7 @@ impl Mosfet {
         let dlmax_dvdb = dlmax_dlr * dlr_dvdb;
         let dlmax_dvsb = dlmax_dlf * dlf_dvsb;
 
-        let did_dvgb =
-            ispec * g_clm * (dcore_dvgb * fvs + core * dfvs_dlmax * dlmax_dvgb);
+        let did_dvgb = ispec * g_clm * (dcore_dvgb * fvs + core * dfvs_dlmax * dlmax_dvgb);
         let did_dvdb = ispec
             * (dcore_dvdb * g_clm * fvs
                 + core * dclm_dvds * fvs

@@ -1,5 +1,13 @@
 //! Correlation power analysis (Brier, Clavier, Olivier — CHES 2004).
+//!
+//! The Pearson accumulation is chunked (fixed [`mcml_exec::REDUCTION_CHUNK`]
+//! trace blocks, folded in chunk order) and fanned across threads one key
+//! guess per work item. Because chunk boundaries depend only on the trace
+//! count and each guess's row is accumulated by exactly one worker with the
+//! same code as the serial path, [`cpa_attack_par`] is bit-identical for
+//! every thread count.
 
+use mcml_exec::Parallelism;
 use serde::{Deserialize, Serialize};
 
 use crate::model::LeakageModel;
@@ -39,29 +47,65 @@ impl CpaResult {
 /// Run a CPA attack: correlate the model's hypothesis against every time
 /// sample for every key guess.
 ///
+/// Thread count comes from `MCML_THREADS` (all cores when unset); see
+/// [`cpa_attack_par`] for the explicit knob. Results are identical for any
+/// thread count.
+///
 /// # Panics
 ///
 /// Panics on an empty trace set (nothing to correlate).
 #[must_use]
-pub fn cpa_attack(traces: &TraceSet, model: &impl LeakageModel) -> CpaResult {
+pub fn cpa_attack(traces: &TraceSet, model: &(impl LeakageModel + Sync)) -> CpaResult {
+    cpa_attack_par(traces, model, Parallelism::from_env())
+}
+
+/// [`cpa_attack`] with an explicit thread-count knob.
+///
+/// Key guesses are independent, so each guess's correlation row is one work
+/// item; within a row the cross-product accumulation walks the trace matrix
+/// in fixed [`mcml_exec::REDUCTION_CHUNK`]-trace blocks (rows contiguous in
+/// memory, partial sums folded in chunk order). Zero-variance guards: a
+/// constant hypothesis column (`ss_h == 0`) or a constant time sample
+/// (`ss_t[j] == 0`, the flat-power MCML case) yields correlation `0.0`,
+/// never `NaN`.
+///
+/// # Panics
+///
+/// Panics on an empty trace set (nothing to correlate).
+#[must_use]
+pub fn cpa_attack_par(
+    traces: &TraceSet,
+    model: &(impl LeakageModel + Sync),
+    par: Parallelism,
+) -> CpaResult {
     assert!(traces.n_traces() >= 2, "CPA needs at least two traces");
     let n = traces.n_traces();
     let s = traces.n_samples();
     let guesses = model.key_space();
 
-    // Precompute per-sample means and deviations of the traces.
+    // Per-sample means and squared deviations of the traces, chunk-folded
+    // so the reduction order is fixed no matter who computes it.
     let mean_t = traces.mean_trace();
-    // Sum of squared deviations per sample.
+    let chunks: Vec<std::ops::Range<usize>> =
+        mcml_exec::chunk_ranges(n, mcml_exec::REDUCTION_CHUNK).collect();
+    let ss_t_partials = mcml_exec::parallel_map_items(par, &chunks, |r| {
+        let mut partial = vec![0.0f64; s];
+        for i in r.clone() {
+            for (j, (&x, &m)) in traces.trace(i).iter().zip(mean_t.iter()).enumerate() {
+                partial[j] += (x - m) * (x - m);
+            }
+        }
+        partial
+    });
     let mut ss_t = vec![0.0f64; s];
-    for i in 0..n {
-        for (j, (&x, &m)) in traces.trace(i).iter().zip(mean_t.iter()).enumerate() {
-            ss_t[j] += (x - m) * (x - m);
+    for partial in &ss_t_partials {
+        for (acc, p) in ss_t.iter_mut().zip(partial) {
+            *acc += p;
         }
     }
 
-    let mut corr = Vec::with_capacity(guesses);
-    let mut peak = Vec::with_capacity(guesses);
-    for g in 0..guesses {
+    // One work item per key guess; rows come back in guess order.
+    let rows: Vec<Vec<f64>> = mcml_exec::parallel_map(par, guesses, |g| {
         let guess = g as u8;
         let h: Vec<f64> = (0..n)
             .map(|i| model.hypothesis(traces.input(i), guess))
@@ -71,14 +115,17 @@ pub fn cpa_attack(traces: &TraceSet, model: &impl LeakageModel) -> CpaResult {
 
         let mut row = vec![0.0f64; s];
         if ss_h > 0.0 {
-            // Cross products.
-            for i in 0..n {
-                let dh = h[i] - mean_h;
-                if dh == 0.0 {
-                    continue;
-                }
-                for (j, (&x, &m)) in traces.trace(i).iter().zip(mean_t.iter()).enumerate() {
-                    row[j] += dh * (x - m);
+            // Cross products, blocked by trace chunk: the hypothesis slice
+            // and the chunk's rows stay cache-resident together.
+            for r in &chunks {
+                for i in r.clone() {
+                    let dh = h[i] - mean_h;
+                    if dh == 0.0 {
+                        continue;
+                    }
+                    for (j, (&x, &m)) in traces.trace(i).iter().zip(mean_t.iter()).enumerate() {
+                        row[j] += dh * (x - m);
+                    }
                 }
             }
             for j in 0..s {
@@ -86,11 +133,14 @@ pub fn cpa_attack(traces: &TraceSet, model: &impl LeakageModel) -> CpaResult {
                 row[j] = if denom > 0.0 { row[j] / denom } else { 0.0 };
             }
         }
-        let p = row.iter().fold(0.0f64, |m, x| m.max(x.abs()));
-        corr.push(row);
-        peak.push(p);
-    }
-    CpaResult { corr, peak }
+        row
+    });
+
+    let peak: Vec<f64> = rows
+        .iter()
+        .map(|row| row.iter().fold(0.0f64, |m, x| m.max(x.abs())))
+        .collect();
+    CpaResult { corr: rows, peak }
 }
 
 #[cfg(test)]
@@ -188,5 +238,42 @@ mod tests {
         let ts = TraceSet::new(4);
         let model = HammingWeight::new(toy_sbox, 8);
         let _ = cpa_attack(&ts, &model);
+    }
+
+    #[test]
+    fn parallel_matches_serial_bit_for_bit() {
+        let ts = leaky_traces(0x5e, 0.7, 300, toy_sbox);
+        let model = HammingWeight::new(toy_sbox, 8);
+        let serial = cpa_attack_par(&ts, &model, mcml_exec::Parallelism::Serial);
+        for threads in [2, 4, 7] {
+            let par = cpa_attack_par(&ts, &model, mcml_exec::Parallelism::Threads(threads));
+            assert_eq!(serial, par, "threads={threads}");
+            for (a, b) in serial.corr.iter().flatten().zip(par.corr.iter().flatten()) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn constant_mcml_trace_yields_zero_not_nan() {
+        // The PG-MCML headline case: every trace is the same flat
+        // constant-current waveform regardless of plaintext. Every sample
+        // column has zero variance, so every Pearson denominator is zero;
+        // the guard must return 0.0, not NaN, and the downstream metrics
+        // must stay finite.
+        let mut ts = TraceSet::new(8);
+        for i in 0..64 {
+            ts.push((i * 5 % 256) as u8, &[4.2e-5; 8]);
+        }
+        let model = HammingWeight::new(toy_sbox, 8);
+        let r = cpa_attack(&ts, &model);
+        assert!(
+            r.corr.iter().flatten().all(|c| c.is_finite()),
+            "no NaN/inf correlations"
+        );
+        assert!(r.peak.iter().all(|&p| p == 0.0), "flat traces: zero peaks");
+        assert_eq!(r.ranking().len(), 256, "ranking still well-defined");
+        let margin = crate::metrics::distinguishability_margin(&r.peak, 0x00);
+        assert!(!margin.is_nan(), "margin finite/defined, got {margin}");
     }
 }

@@ -26,9 +26,9 @@ pub mod model;
 pub mod trace;
 pub mod tvla;
 
-pub use cpa::{cpa_attack, CpaResult};
+pub use cpa::{cpa_attack, cpa_attack_par, CpaResult};
 pub use dpa::{dpa_attack, DpaResult};
 pub use metrics::{distinguishability_margin, key_rank, measurements_to_disclosure};
 pub use model::{HammingDistance, HammingWeight, LeakageModel};
 pub use trace::TraceSet;
-pub use tvla::{welch_t_test, TvlaResult, TVLA_THRESHOLD};
+pub use tvla::{welch_t_test, welch_t_test_par, TvlaResult, TVLA_THRESHOLD};

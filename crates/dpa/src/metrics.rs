@@ -59,7 +59,7 @@ pub fn distinguishability_margin(peaks: &[f64], correct_key: usize) -> f64 {
 #[must_use]
 pub fn measurements_to_disclosure(
     traces: &TraceSet,
-    model: &impl LeakageModel,
+    model: &(impl LeakageModel + Sync),
     correct_key: usize,
     ladder: &[usize],
 ) -> Option<usize> {
@@ -133,12 +133,14 @@ mod tests {
         let key = 0xa7;
         let ladder: Vec<usize> = vec![8, 16, 32, 64, 128, 256];
         let model = HammingWeight::new(toy_sbox, 8);
-        let quiet = measurements_to_disclosure(&leaky(key, 256, 0.2), &model, key as usize, &ladder);
-        let noisy = measurements_to_disclosure(&leaky(key, 256, 3.0), &model, key as usize, &ladder);
+        let quiet =
+            measurements_to_disclosure(&leaky(key, 256, 0.2), &model, key as usize, &ladder);
+        let noisy =
+            measurements_to_disclosure(&leaky(key, 256, 3.0), &model, key as usize, &ladder);
         let q = quiet.expect("quiet attack succeeds");
-        match noisy {
-            Some(n) => assert!(n >= q, "noisy MTD {n} >= quiet MTD {q}"),
-            None => {} // even better: never disclosed
+        // `None` is even better: never disclosed.
+        if let Some(n) = noisy {
+            assert!(n >= q, "noisy MTD {n} >= quiet MTD {q}");
         }
     }
 

@@ -94,6 +94,32 @@ impl TraceSet {
         }
     }
 
+    /// Collect a trace per input, fanning the acquisitions across threads.
+    ///
+    /// `acquire(i, input)` simulates/records the trace for `inputs[i]`;
+    /// acquisitions are distributed over the worker pool and pushed in
+    /// input order, so the resulting set is byte-for-byte identical to a
+    /// serial `for`-loop of `push` calls whatever the thread count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_samples == 0` or any acquired trace has the wrong
+    /// length.
+    #[must_use]
+    pub fn collect_par(
+        n_samples: usize,
+        inputs: &[u8],
+        par: mcml_exec::Parallelism,
+        acquire: impl Fn(usize, u8) -> Vec<f64> + Sync,
+    ) -> TraceSet {
+        let rows = mcml_exec::parallel_map(par, inputs.len(), |i| acquire(i, inputs[i]));
+        let mut ts = TraceSet::new(n_samples);
+        for (input, row) in inputs.iter().zip(rows) {
+            ts.push(*input, &row);
+        }
+        ts
+    }
+
     /// Per-sample mean across traces.
     #[must_use]
     pub fn mean_trace(&self) -> Vec<f64> {

@@ -6,6 +6,7 @@
 //! |t| > 4.5, the device leaks *something* about the data — no key
 //! hypothesis required. A DPA-resistant style must stay below threshold.
 
+use mcml_exec::Parallelism;
 use serde::{Deserialize, Serialize};
 
 use crate::trace::TraceSet;
@@ -31,14 +32,30 @@ impl TvlaResult {
 }
 
 /// Per-sample mean and variance of a trace population.
-fn stats(ts: &TraceSet) -> (Vec<f64>, Vec<f64>) {
+///
+/// The squared-deviation pass is blocked into fixed
+/// [`mcml_exec::REDUCTION_CHUNK`]-trace chunks fanned across the worker
+/// pool; partials fold in chunk order, so the result is bit-identical for
+/// every thread count.
+fn stats(ts: &TraceSet, par: Parallelism) -> (Vec<f64>, Vec<f64>) {
     let s = ts.n_samples();
     let n = ts.n_traces().max(1) as f64;
     let mean = ts.mean_trace();
+    let chunks: Vec<std::ops::Range<usize>> =
+        mcml_exec::chunk_ranges(ts.n_traces(), mcml_exec::REDUCTION_CHUNK).collect();
+    let partials = mcml_exec::parallel_map_items(par, &chunks, |r| {
+        let mut partial = vec![0.0f64; s];
+        for i in r.clone() {
+            for (v, (&x, &m)) in partial.iter_mut().zip(ts.trace(i).iter().zip(&mean)) {
+                *v += (x - m) * (x - m);
+            }
+        }
+        partial
+    });
     let mut var = vec![0.0f64; s];
-    for i in 0..ts.n_traces() {
-        for (v, (&x, &m)) in var.iter_mut().zip(ts.trace(i).iter().zip(&mean)) {
-            *v += (x - m) * (x - m);
+    for partial in &partials {
+        for (acc, p) in var.iter_mut().zip(partial) {
+            *acc += p;
         }
     }
     for v in &mut var {
@@ -55,6 +72,20 @@ fn stats(ts: &TraceSet) -> (Vec<f64>, Vec<f64>) {
 /// fewer than two traces.
 #[must_use]
 pub fn welch_t_test(fixed: &TraceSet, random: &TraceSet) -> TvlaResult {
+    welch_t_test_par(fixed, random, Parallelism::from_env())
+}
+
+/// [`welch_t_test`] with an explicit thread-count knob; results are
+/// bit-identical to the serial path. A zero pooled variance at a sample
+/// (constant traces in both populations, the flat MCML case) gives `t = 0`,
+/// never `NaN`.
+///
+/// # Panics
+///
+/// Panics if the populations differ in sample count or either holds
+/// fewer than two traces.
+#[must_use]
+pub fn welch_t_test_par(fixed: &TraceSet, random: &TraceSet, par: Parallelism) -> TvlaResult {
     assert_eq!(
         fixed.n_samples(),
         random.n_samples(),
@@ -64,8 +95,8 @@ pub fn welch_t_test(fixed: &TraceSet, random: &TraceSet) -> TvlaResult {
         fixed.n_traces() >= 2 && random.n_traces() >= 2,
         "need at least two traces per population"
     );
-    let (m1, v1) = stats(fixed);
-    let (m2, v2) = stats(random);
+    let (m1, v1) = stats(fixed, par);
+    let (m2, v2) = stats(random, par);
     let (n1, n2) = (fixed.n_traces() as f64, random.n_traces() as f64);
     let mut t = Vec::with_capacity(m1.len());
     let mut max_abs: f64 = 0.0;
@@ -79,7 +110,10 @@ pub fn welch_t_test(fixed: &TraceSet, random: &TraceSet) -> TvlaResult {
         max_abs = max_abs.max(tj.abs());
         t.push(tj);
     }
-    TvlaResult { t, max_abs_t: max_abs }
+    TvlaResult {
+        t,
+        max_abs_t: max_abs,
+    }
 }
 
 #[cfg(test)]
@@ -113,13 +147,12 @@ mod tests {
         let r = welch_t_test(&fixed, &random);
         assert!(r.leaks(), "max |t| = {}", r.max_abs_t);
         // The leak is at sample 2.
-        let peak = r
-            .t
-            .iter()
-            .enumerate()
-            .max_by(|a, b| a.1.abs().partial_cmp(&b.1.abs()).unwrap())
-            .unwrap()
-            .0;
+        let peak =
+            r.t.iter()
+                .enumerate()
+                .max_by(|a, b| a.1.abs().partial_cmp(&b.1.abs()).unwrap())
+                .unwrap()
+                .0;
         assert_eq!(peak, 2);
     }
 
@@ -142,6 +175,20 @@ mod tests {
         let r = welch_t_test(&a, &b);
         assert_eq!(r.max_abs_t, 0.0);
         assert!(!r.leaks());
+    }
+
+    #[test]
+    fn parallel_matches_serial_bit_for_bit() {
+        let fixed = population(0.4, 0.1, 700, 17);
+        let random = population(0.0, 0.1, 650, 23);
+        let serial = welch_t_test_par(&fixed, &random, mcml_exec::Parallelism::Serial);
+        for threads in [2, 3, 8] {
+            let par = welch_t_test_par(&fixed, &random, mcml_exec::Parallelism::Threads(threads));
+            for (a, b) in serial.t.iter().zip(par.t.iter()) {
+                assert_eq!(a.to_bits(), b.to_bits(), "threads={threads}");
+            }
+            assert_eq!(serial.max_abs_t.to_bits(), par.max_abs_t.to_bits());
+        }
     }
 
     #[test]

@@ -3,9 +3,7 @@
 
 use proptest::prelude::*;
 
-use mcml_dpa::{
-    cpa_attack, distinguishability_margin, key_rank, HammingWeight, TraceSet,
-};
+use mcml_dpa::{cpa_attack, distinguishability_margin, key_rank, HammingWeight, TraceSet};
 
 /// A strongly nonlinear 8-bit mapping (Murmur-style avalanche).
 fn avalanche(x: u8) -> u8 {

@@ -96,11 +96,8 @@ pub fn insert_sleep_domains(
         "automatic sleep insertion targets PG-MCML netlists"
     );
     let driver = nl.driver_map();
-    let out_conn: HashMap<&str, crate::ir::Conn> = nl
-        .outputs()
-        .iter()
-        .map(|(n, c)| (n.as_str(), *c))
-        .collect();
+    let out_conn: HashMap<&str, crate::ir::Conn> =
+        nl.outputs().iter().map(|(n, c)| (n.as_str(), *c)).collect();
 
     // Mark each gate with the bitmask of groups whose cone contains it.
     let n_gates = nl.gates().len();

@@ -21,13 +21,22 @@ pub struct Signal {
 }
 
 impl Signal {
-    /// The complemented signal.
+    /// The complemented signal (also available as the `!` operator).
+    #[allow(clippy::should_implement_trait)] // `.not()` reads better in netlist-building code
     #[must_use]
     pub fn not(self) -> Signal {
         Signal {
             node: self.node,
             inverted: !self.inverted,
         }
+    }
+}
+
+impl std::ops::Not for Signal {
+    type Output = Signal;
+
+    fn not(self) -> Signal {
+        Signal::not(self)
     }
 }
 
@@ -401,18 +410,20 @@ mod tests {
     #[test]
     fn lut_matches_table() {
         // 3-input LUT of an arbitrary function.
-        let table: Vec<bool> = (0..8).map(|i| [true, false, false, true, true, true, false, false][i]).collect();
+        let table: Vec<bool> = (0..8)
+            .map(|i| [true, false, false, true, true, true, false, false][i])
+            .collect();
         let mut bn = BoolNetwork::new();
         let ins: Vec<Signal> = ["a", "b", "c"].iter().map(|n| bn.input(n)).collect();
         let q = bn.lut(&ins, &table);
         bn.set_output("q", q);
-        for p in 0..8usize {
+        for (p, &want) in table.iter().enumerate() {
             let r = bn.eval(&asg(&[
                 ("a", p & 1 == 1),
                 ("b", p & 2 == 2),
                 ("c", p & 4 == 4),
             ]));
-            assert_eq!(r["q"], table[p], "pattern {p}");
+            assert_eq!(r["q"], want, "pattern {p}");
         }
     }
 
@@ -427,7 +438,12 @@ mod tests {
         bn.set_output("q", q);
         // 4 inputs + 1 constant + ≤8 muxes.
         assert!(bn.len() <= 13, "network size {}", bn.len());
-        let r = bn.eval(&asg(&[("x0", true), ("x1", true), ("x2", false), ("x3", false)]));
+        let r = bn.eval(&asg(&[
+            ("x0", true),
+            ("x1", true),
+            ("x2", false),
+            ("x3", false),
+        ]));
         assert!(!r["q"]);
     }
 }

@@ -400,7 +400,11 @@ impl Netlist {
     /// Advance sequential state by one active clock edge given the net
     /// values computed by [`Netlist::evaluate`].
     #[must_use]
-    pub fn next_state(&self, values: &[bool], state: &HashMap<usize, bool>) -> HashMap<usize, bool> {
+    pub fn next_state(
+        &self,
+        values: &[bool],
+        state: &HashMap<usize, bool>,
+    ) -> HashMap<usize, bool> {
         let mut next = HashMap::new();
         for (gi, g) in self.gates.iter().enumerate() {
             if let GateKind::Lib(k) = g.kind {

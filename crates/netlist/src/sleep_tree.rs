@@ -161,7 +161,11 @@ mod tests {
         // insertion delay.
         let lib = lib_with_cmos_buffer();
         let t = build_sleep_tree(3076, &lib, &SleepTreeOptions::default());
-        assert!(t.levels() >= 3, "needs a real tree: {:?}", t.buffers_per_level);
+        assert!(
+            t.levels() >= 3,
+            "needs a real tree: {:?}",
+            t.buffers_per_level
+        );
         assert!(
             t.insertion_delay > 0.1e-9 && t.insertion_delay < 1.5e-9,
             "insertion delay {} s",

@@ -172,7 +172,12 @@ pub fn map_network(bn: &BoolNetwork, style: LogicStyle, opts: &TechmapOptions) -
             Plan::Emit { kind, ins } => {
                 let out = nl.add_net(&format!("n{i}"));
                 let conns: Vec<Conn> = ins.iter().map(|&s| conn_for(&net_of, s)).collect();
-                nl.add_gate(&format!("u{i}_{kind}"), GateKind::Lib(*kind), conns, vec![out]);
+                nl.add_gate(
+                    &format!("u{i}_{kind}"),
+                    GateKind::Lib(*kind),
+                    conns,
+                    vec![out],
+                );
                 net_of[i] = Some(out);
             }
         }
@@ -241,15 +246,31 @@ fn fuse_chain(
 
 /// Match `mux(s1, muxA(s0, d0, d1), muxB(s0, d2, d3))` into MUX4 inputs
 /// `[d0, d1, d2, d3, s0, s1]`.
-fn match_mux4(bn: &BoolNetwork, refs: &[usize], s1: Signal, lo: Signal, hi: Signal) -> Option<Vec<Signal>> {
+fn match_mux4(
+    bn: &BoolNetwork,
+    refs: &[usize],
+    s1: Signal,
+    lo: Signal,
+    hi: Signal,
+) -> Option<Vec<Signal>> {
     if lo.inverted || hi.inverted {
         return None;
     }
     if refs[lo.node as usize] != 1 || refs[hi.node as usize] != 1 {
         return None;
     }
-    let (BNode::Mux { s: sa, lo: d0, hi: d1 }, BNode::Mux { s: sb, lo: d2, hi: d3 }) =
-        (bn.node(lo.node), bn.node(hi.node))
+    let (
+        BNode::Mux {
+            s: sa,
+            lo: d0,
+            hi: d1,
+        },
+        BNode::Mux {
+            s: sb,
+            lo: d2,
+            hi: d3,
+        },
+    ) = (bn.node(lo.node), bn.node(hi.node))
     else {
         return None;
     };
@@ -261,7 +282,13 @@ fn match_mux4(bn: &BoolNetwork, refs: &[usize], s1: Signal, lo: Signal, hi: Sign
 
 /// Match the majority pattern `mux(c, and(a,b), or(a,b))` (the OR being a
 /// complemented AND of complements) into MAJ32 inputs `[a, b, c]`.
-fn match_maj(bn: &BoolNetwork, refs: &[usize], c: Signal, lo: Signal, hi: Signal) -> Option<Vec<Signal>> {
+fn match_maj(
+    bn: &BoolNetwork,
+    refs: &[usize],
+    c: Signal,
+    lo: Signal,
+    hi: Signal,
+) -> Option<Vec<Signal>> {
     if lo.inverted || !hi.inverted {
         return None;
     }
@@ -402,10 +429,7 @@ mod tests {
         let nl = map_network(&bn, LogicStyle::PgMcml, &TechmapOptions::default());
         nl.validate().unwrap();
         assert_eq!(nl.gate_count(), 1, "one AND4: {:?}", nl.cell_histogram());
-        assert_eq!(
-            nl.cell_histogram()[&GateKind::Lib(CellKind::And4)],
-            1
-        );
+        assert_eq!(nl.cell_histogram()[&GateKind::Lib(CellKind::And4)], 1);
         equivalent(&bn, &nl, &["i0", "i1", "i2", "i3"]);
     }
 
@@ -481,7 +505,7 @@ mod tests {
         equivalent(&bn, &nl, &["a", "b"]);
         // The same network maps without inverters differentially.
         let nld = map_network(&bn, LogicStyle::PgMcml, &TechmapOptions::default());
-        assert!(nld.cell_histogram().get(&GateKind::Inv).is_none());
+        assert!(!nld.cell_histogram().contains_key(&GateKind::Inv));
         equivalent(&bn, &nld, &["a", "b"]);
     }
 

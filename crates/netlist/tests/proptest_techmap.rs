@@ -21,8 +21,7 @@ fn recipe_strategy(max_ref: usize) -> impl Strategy<Value = NodeRecipe> {
     prop_oneof![
         (0..max_ref, 0..max_ref, any::<bool>(), any::<bool>())
             .prop_map(|(a, b, ia, ib)| NodeRecipe::And(a, b, ia, ib)),
-        (0..max_ref, 0..max_ref, any::<bool>())
-            .prop_map(|(a, b, i)| NodeRecipe::Xor(a, b, i)),
+        (0..max_ref, 0..max_ref, any::<bool>()).prop_map(|(a, b, i)| NodeRecipe::Xor(a, b, i)),
         (0..max_ref, 0..max_ref, 0..max_ref, any::<bool>())
             .prop_map(|(s, a, b, i)| NodeRecipe::Mux(s, a, b, i)),
         (0..max_ref, 0..max_ref).prop_map(|(a, b)| NodeRecipe::Or(a, b)),
@@ -139,7 +138,6 @@ proptest! {
                 fuse_mux4: false,
                 fuse_maj: false,
                 max_fanout: 0,
-                ..TechmapOptions::default()
             },
         );
         prop_assert!(fused.gate_count() <= plain.gate_count(),

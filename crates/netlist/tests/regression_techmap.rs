@@ -1,0 +1,232 @@
+//! Deterministic replays of the shrunk counterexamples recorded in
+//! `proptest_techmap.proptest-regressions`.
+//!
+//! The vendored proptest stand-in does not read regression files, so the
+//! five historical failure cases are pinned here verbatim as ordinary
+//! tests — they run on every `cargo test`, independent of any RNG.
+
+use std::collections::HashMap;
+
+use mcml_cells::LogicStyle;
+use mcml_netlist::{map_network, BoolNetwork, Signal, TechmapOptions};
+
+/// Recipe for one network node, mirroring the proptest generator.
+#[derive(Debug, Clone)]
+enum NodeRecipe {
+    And(usize, usize, bool, bool),
+    Xor(usize, usize, bool),
+    Mux(usize, usize, usize, bool),
+    Or(usize, usize),
+}
+
+use NodeRecipe::{And, Mux, Or, Xor};
+
+fn build_network(recipes: &[NodeRecipe], n_outputs: usize) -> (BoolNetwork, Vec<String>) {
+    let mut bn = BoolNetwork::new();
+    let names: Vec<String> = (0..6).map(|i| format!("i{i}")).collect();
+    let mut pool: Vec<Signal> = names.iter().map(|n| bn.input(n)).collect();
+    for r in recipes {
+        let pick = |i: usize| pool[i % pool.len()];
+        let s = match r {
+            And(a, b, ia, ib) => {
+                let (mut x, mut y) = (pick(*a), pick(*b));
+                if *ia {
+                    x = x.not();
+                }
+                if *ib {
+                    y = y.not();
+                }
+                bn.and(x, y)
+            }
+            Xor(a, b, i) => {
+                let x = pick(*a);
+                let y = if *i { pick(*b).not() } else { pick(*b) };
+                bn.xor(x, y)
+            }
+            Mux(s, a, b, i) => {
+                let sel = if *i { pick(*s).not() } else { pick(*s) };
+                bn.mux(sel, pick(*a), pick(*b))
+            }
+            Or(a, b) => bn.or(pick(*a), pick(*b)),
+        };
+        pool.push(s);
+    }
+    let fallback = pool[0];
+    let mut non_const: Vec<Signal> = pool
+        .iter()
+        .rev()
+        .copied()
+        .filter(|&s| bn.as_const(s).is_none())
+        .take(4)
+        .collect();
+    if non_const.is_empty() {
+        non_const.push(fallback);
+    }
+    for o in 0..n_outputs {
+        bn.set_output(&format!("o{o}"), non_const[o % non_const.len()]);
+    }
+    (bn, names)
+}
+
+fn assignment(names: &[String], bits: u32) -> HashMap<String, bool> {
+    names
+        .iter()
+        .enumerate()
+        .map(|(i, n)| (n.clone(), (bits >> i) & 1 == 1))
+        .collect()
+}
+
+fn check_mapping_preserves_function(recipes: &[NodeRecipe], style: LogicStyle) {
+    let (bn, names) = build_network(recipes, 3);
+    let nl = map_network(&bn, style, &TechmapOptions::default());
+    assert!(nl.validate().is_ok(), "{:?}", nl.validate());
+    for bits in 0..64u32 {
+        let asg = assignment(&names, bits);
+        let want = bn.eval(&asg);
+        let values = nl.evaluate(&asg, &HashMap::new());
+        for (name, w) in &want {
+            assert_eq!(
+                nl.output_value(name, &values),
+                *w,
+                "{name} at {bits:#x} in {style}"
+            );
+        }
+    }
+}
+
+fn check_fusion_semantics(recipes: &[NodeRecipe]) {
+    let (bn, names) = build_network(recipes, 2);
+    let fused = map_network(
+        &bn,
+        LogicStyle::PgMcml,
+        &TechmapOptions {
+            max_fanout: 0,
+            ..TechmapOptions::default()
+        },
+    );
+    let plain = map_network(
+        &bn,
+        LogicStyle::PgMcml,
+        &TechmapOptions {
+            fuse_and: false,
+            fuse_xor: false,
+            fuse_mux4: false,
+            fuse_maj: false,
+            max_fanout: 0,
+        },
+    );
+    assert!(
+        fused.gate_count() <= plain.gate_count(),
+        "fusion cannot add gates: {} vs {}",
+        fused.gate_count(),
+        plain.gate_count()
+    );
+    for bits in (0..64u32).step_by(5) {
+        let asg = assignment(&names, bits);
+        let vf = fused.evaluate(&asg, &HashMap::new());
+        let vp = plain.evaluate(&asg, &HashMap::new());
+        for (name, _) in bn.outputs() {
+            assert_eq!(fused.output_value(name, &vf), plain.output_value(name, &vp));
+        }
+    }
+}
+
+fn check_buffering_bounds(recipes: &[NodeRecipe], max_fo: usize) {
+    let (bn, names) = build_network(recipes, 4);
+    let opts = TechmapOptions {
+        max_fanout: max_fo,
+        ..TechmapOptions::default()
+    };
+    let nl = map_network(&bn, LogicStyle::Mcml, &opts);
+    let fo = nl.fanout_counts();
+    assert!(
+        fo.iter().all(|&f| f <= max_fo),
+        "max fanout {:?}",
+        fo.iter().max()
+    );
+    let asg = assignment(&names, 0b10_1010);
+    let want = bn.eval(&asg);
+    let values = nl.evaluate(&asg, &HashMap::new());
+    for (name, w) in &want {
+        assert_eq!(nl.output_value(name, &values), *w);
+    }
+}
+
+// cc f103504… — buffering case: eight constant-folding ANDs plus an XOR
+// at fan-out bound 2.
+#[test]
+fn regression_buffering_const_fold_chain() {
+    check_buffering_bounds(
+        &[
+            And(0, 0, false, false),
+            And(0, 0, false, false),
+            And(0, 0, false, false),
+            And(0, 0, false, false),
+            And(0, 0, false, false),
+            And(0, 0, false, false),
+            Xor(0, 0, false),
+            And(0, 0, false, false),
+        ],
+        2,
+    );
+}
+
+// cc 7cc9225… — fusion case: XOR of a signal with itself between ANDs.
+#[test]
+fn regression_fusion_self_xor() {
+    check_fusion_semantics(&[
+        And(0, 0, false, false),
+        And(0, 0, false, false),
+        Xor(6, 6, false),
+        And(0, 0, false, false),
+    ]);
+}
+
+// cc 9dd51bb… — mapping case in CMOS: AND of a signal with its own
+// complement (constant false) feeding later nodes.
+#[test]
+fn regression_mapping_self_and_complement() {
+    check_mapping_preserves_function(
+        &[
+            And(0, 0, false, false),
+            And(5, 5, false, true),
+            And(0, 0, false, false),
+        ],
+        LogicStyle::Cmos,
+    );
+}
+
+// cc d7b4845… — mapping case: mixed OR/MUX web with repeated operands
+// (exercised every style via the original strategy; replay all three).
+#[test]
+fn regression_mapping_mixed_web() {
+    let recipes = [
+        Xor(0, 1, false),
+        And(0, 0, false, false),
+        Or(7, 7),
+        Or(1, 0),
+        Mux(7, 1, 0, false),
+        And(7, 1, false, false),
+        And(1, 7, false, false),
+        Mux(0, 1, 0, false),
+        And(0, 0, false, false),
+        And(0, 0, false, false),
+    ];
+    for style in [LogicStyle::Cmos, LogicStyle::Mcml, LogicStyle::PgMcml] {
+        check_mapping_preserves_function(&recipes, style);
+    }
+}
+
+// cc adaadbf… — mapping case in CMOS: inverted-input ANDs feeding a MUX.
+#[test]
+fn regression_mapping_inverted_and_mux() {
+    check_mapping_preserves_function(
+        &[
+            And(1, 2, false, false),
+            And(1, 1, false, true),
+            And(11, 3, false, true),
+            Mux(0, 7, 8, false),
+        ],
+        LogicStyle::Cmos,
+    );
+}

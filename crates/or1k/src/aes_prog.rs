@@ -247,7 +247,12 @@ pub fn generate_aes_asm(params: &AesBenchParams) -> String {
     for rk in aes.round_keys() {
         let words: Vec<String> = rk
             .chunks(4)
-            .map(|c| format!("0x{:08x}", u32::from_be_bytes(c.try_into().expect("4 bytes"))))
+            .map(|c| {
+                format!(
+                    "0x{:08x}",
+                    u32::from_be_bytes(c.try_into().expect("4 bytes"))
+                )
+            })
             .collect();
         let _ = writeln!(asm, "    .word {}", words.join(", "));
     }
@@ -281,7 +286,11 @@ pub fn run_aes_benchmark(params: &AesBenchParams) -> AesBenchRun {
     let budget = 10_000u64
         .saturating_add(u64::from(params.blocks) * (6_000 + 6 * u64::from(params.idle_loops)));
     let stop = cpu.run(budget, &mut trace);
-    assert_eq!(stop, Stop::Halted, "benchmark did not halt in {budget} cycles");
+    assert_eq!(
+        stop,
+        Stop::Halted,
+        "benchmark did not halt in {budget} cycles"
+    );
     let out = program.symbol("out");
     let ciphertexts = (0..params.blocks)
         .map(|b| {
@@ -307,8 +316,8 @@ mod tests {
     fn ciphertexts_match_software_aes() {
         let params = AesBenchParams {
             key: [
-                0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6, 0xab, 0xf7, 0x15, 0x88, 0x09,
-                0xcf, 0x4f, 0x3c,
+                0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6, 0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf,
+                0x4f, 0x3c,
             ],
             blocks: 3,
             seed: 0xdead_beef,
@@ -356,7 +365,11 @@ mod tests {
             idle_loops: 5000,
             ..AesBenchParams::default()
         });
-        assert!(busy.trace.ise_duty() > 0.01, "busy duty {}", busy.trace.ise_duty());
+        assert!(
+            busy.trace.ise_duty() > 0.01,
+            "busy duty {}",
+            busy.trace.ise_duty()
+        );
         assert!(
             idle.trace.ise_duty() < busy.trace.ise_duty() / 10.0,
             "idle duty {} vs busy {}",

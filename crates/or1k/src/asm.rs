@@ -159,8 +159,7 @@ pub fn assemble(src: &str) -> Result<Program, AsmError> {
                 }
             }
             Stmt::Instr(mn, args) => {
-                let instr =
-                    parse_instr(&mn, &args, at, &symbols).map_err(|m| err(line_no, m))?;
+                let instr = parse_instr(&mn, &args, at, &symbols).map_err(|m| err(line_no, m))?;
                 image[at as usize..at as usize + 4].copy_from_slice(&instr.encode().to_be_bytes());
             }
         }
@@ -215,8 +214,12 @@ fn parse_imm16s(s: &str, symbols: &HashMap<String, u32>) -> Result<i16, String> 
 
 fn parse_mem(arg: &str, symbols: &HashMap<String, u32>) -> Result<(i16, u8), String> {
     // off(rA)
-    let open = arg.find('(').ok_or_else(|| format!("expected off(rA), got `{arg}`"))?;
-    let close = arg.rfind(')').ok_or_else(|| format!("missing ) in `{arg}`"))?;
+    let open = arg
+        .find('(')
+        .ok_or_else(|| format!("expected off(rA), got `{arg}`"))?;
+    let close = arg
+        .rfind(')')
+        .ok_or_else(|| format!("missing ) in `{arg}`"))?;
     let off_str = arg[..open].trim();
     let off = if off_str.is_empty() {
         0
@@ -230,7 +233,7 @@ fn parse_mem(arg: &str, symbols: &HashMap<String, u32>) -> Result<(i16, u8), Str
 fn branch_off(target: &str, at: u32, symbols: &HashMap<String, u32>) -> Result<i32, String> {
     let dest = eval_value(target, symbols)?;
     let diff = (i64::from(dest) - i64::from(at)) / 4;
-    if diff > (1 << 25) - 1 || diff < -(1 << 25) {
+    if !(-(1 << 25)..=(1 << 25) - 1).contains(&diff) {
         return Err(format!("branch target `{target}` out of range"));
     }
     Ok(diff as i32)

@@ -142,8 +142,9 @@ impl Cpu {
     pub fn run(&mut self, max_cycles: u64, trace: &mut ExecutionTrace) -> Stop {
         while trace.cycles < max_cycles {
             let word = self.load_word(self.pc);
-            let instr = Instr::decode(word)
-                .unwrap_or_else(|| panic!("undecodable instruction {word:#010x} at {:#x}", self.pc));
+            let instr = Instr::decode(word).unwrap_or_else(|| {
+                panic!("undecodable instruction {word:#010x} at {:#x}", self.pc)
+            });
             let mut next_pc = self.pc.wrapping_add(4);
             let mut cycles = instr.base_cycles();
             match instr {
@@ -349,8 +350,12 @@ sub:
     #[test]
     fn branch_penalty_counted() {
         // Taken branch costs more than fall-through.
-        let taken = run_src("l.sfeq r0, r0\nl.bf t\nl.nop\nt: l.halt\n", 100).1.cycles;
-        let nottaken = run_src("l.sfne r0, r0\nl.bf t\nl.nop\nt: l.halt\n", 100).1.cycles;
+        let taken = run_src("l.sfeq r0, r0\nl.bf t\nl.nop\nt: l.halt\n", 100)
+            .1
+            .cycles;
+        let nottaken = run_src("l.sfne r0, r0\nl.bf t\nl.nop\nt: l.halt\n", 100)
+            .1
+            .cycles;
         assert!(taken > nottaken, "taken {taken} vs fall-through {nottaken}");
     }
 

@@ -205,6 +205,7 @@ impl Instr {
     pub fn encode(self) -> u32 {
         let r = |x: Reg| u32::from(x & 0x1f);
         match self {
+            #[allow(clippy::identity_op)] // opcode 0x00 << 26, kept for the encoding table's shape
             Instr::J(off) => (0x00 << 26) | ((off as u32) & 0x03ff_ffff),
             Instr::Jal(off) => (0x01 << 26) | ((off as u32) & 0x03ff_ffff),
             Instr::Bnf(off) => (0x03 << 26) | ((off as u32) & 0x03ff_ffff),
@@ -323,6 +324,69 @@ impl Instr {
     }
 }
 
+impl std::fmt::Display for Instr {
+    /// Disassemble to assembler-compatible text (branch targets appear as
+    /// relative word offsets, which [`crate::asm`] does not re-ingest —
+    /// use labels when authoring; this form is for logs and round-trip
+    /// tests of operand fields).
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Instr::J(off) => write!(f, "l.j {off}"),
+            Instr::Jal(off) => write!(f, "l.jal {off}"),
+            Instr::Jr(rb) => write!(f, "l.jr r{rb}"),
+            Instr::Bf(off) => write!(f, "l.bf {off}"),
+            Instr::Bnf(off) => write!(f, "l.bnf {off}"),
+            Instr::Nop => write!(f, "l.nop"),
+            Instr::Movhi(rd, imm) => write!(f, "l.movhi r{rd}, {imm}"),
+            Instr::Lwz(rd, ra, off) => write!(f, "l.lwz r{rd}, {off}(r{ra})"),
+            Instr::Lbz(rd, ra, off) => write!(f, "l.lbz r{rd}, {off}(r{ra})"),
+            Instr::Sw(ra, rb, off) => write!(f, "l.sw {off}(r{ra}), r{rb}"),
+            Instr::Sb(ra, rb, off) => write!(f, "l.sb {off}(r{ra}), r{rb}"),
+            Instr::Addi(rd, ra, imm) => write!(f, "l.addi r{rd}, r{ra}, {imm}"),
+            Instr::Andi(rd, ra, imm) => write!(f, "l.andi r{rd}, r{ra}, {imm}"),
+            Instr::Ori(rd, ra, imm) => write!(f, "l.ori r{rd}, r{ra}, {imm}"),
+            Instr::Xori(rd, ra, imm) => write!(f, "l.xori r{rd}, r{ra}, {imm}"),
+            Instr::ShiftI(op, rd, ra, sh) => {
+                let mn = match op {
+                    AluOp::Sll => "slli",
+                    AluOp::Srl => "srli",
+                    _ => "srai",
+                };
+                write!(f, "l.{mn} r{rd}, r{ra}, {sh}")
+            }
+            Instr::Alu(op, rd, ra, rb) => {
+                write!(f, "l.{} r{rd}, r{ra}, r{rb}", op.mnemonic())
+            }
+            Instr::Sf(op, ra, rb) => write!(f, "l.{} r{ra}, r{rb}", op.mnemonic()),
+            Instr::Cust1(rd, ra) => write!(f, "l.cust1 r{rd}, r{ra}"),
+            Instr::Halt => write!(f, "l.halt"),
+        }
+    }
+}
+
+/// Disassemble a program image (sequence of big-endian words) into text,
+/// one instruction per line; undecodable words appear as `.word`.
+#[must_use]
+pub fn disassemble(image: &[u8]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    for chunk in image.chunks(4) {
+        if chunk.len() < 4 {
+            break;
+        }
+        let w = u32::from_be_bytes(chunk.try_into().expect("4 bytes"));
+        match Instr::decode(w) {
+            Some(i) => {
+                let _ = writeln!(out, "    {i}");
+            }
+            None => {
+                let _ = writeln!(out, "    .word 0x{w:08x}");
+            }
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -391,67 +455,4 @@ mod tests {
     fn shifti_rejects_non_shift() {
         let _ = Instr::ShiftI(AluOp::Add, 1, 2, 3).encode();
     }
-}
-
-impl std::fmt::Display for Instr {
-    /// Disassemble to assembler-compatible text (branch targets appear as
-    /// relative word offsets, which [`crate::asm`] does not re-ingest —
-    /// use labels when authoring; this form is for logs and round-trip
-    /// tests of operand fields).
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            Instr::J(off) => write!(f, "l.j {off}"),
-            Instr::Jal(off) => write!(f, "l.jal {off}"),
-            Instr::Jr(rb) => write!(f, "l.jr r{rb}"),
-            Instr::Bf(off) => write!(f, "l.bf {off}"),
-            Instr::Bnf(off) => write!(f, "l.bnf {off}"),
-            Instr::Nop => write!(f, "l.nop"),
-            Instr::Movhi(rd, imm) => write!(f, "l.movhi r{rd}, {imm}"),
-            Instr::Lwz(rd, ra, off) => write!(f, "l.lwz r{rd}, {off}(r{ra})"),
-            Instr::Lbz(rd, ra, off) => write!(f, "l.lbz r{rd}, {off}(r{ra})"),
-            Instr::Sw(ra, rb, off) => write!(f, "l.sw {off}(r{ra}), r{rb}"),
-            Instr::Sb(ra, rb, off) => write!(f, "l.sb {off}(r{ra}), r{rb}"),
-            Instr::Addi(rd, ra, imm) => write!(f, "l.addi r{rd}, r{ra}, {imm}"),
-            Instr::Andi(rd, ra, imm) => write!(f, "l.andi r{rd}, r{ra}, {imm}"),
-            Instr::Ori(rd, ra, imm) => write!(f, "l.ori r{rd}, r{ra}, {imm}"),
-            Instr::Xori(rd, ra, imm) => write!(f, "l.xori r{rd}, r{ra}, {imm}"),
-            Instr::ShiftI(op, rd, ra, sh) => {
-                let mn = match op {
-                    AluOp::Sll => "slli",
-                    AluOp::Srl => "srli",
-                    _ => "srai",
-                };
-                write!(f, "l.{mn} r{rd}, r{ra}, {sh}")
-            }
-            Instr::Alu(op, rd, ra, rb) => {
-                write!(f, "l.{} r{rd}, r{ra}, r{rb}", op.mnemonic())
-            }
-            Instr::Sf(op, ra, rb) => write!(f, "l.{} r{ra}, r{rb}", op.mnemonic()),
-            Instr::Cust1(rd, ra) => write!(f, "l.cust1 r{rd}, r{ra}"),
-            Instr::Halt => write!(f, "l.halt"),
-        }
-    }
-}
-
-/// Disassemble a program image (sequence of big-endian words) into text,
-/// one instruction per line; undecodable words appear as `.word`.
-#[must_use]
-pub fn disassemble(image: &[u8]) -> String {
-    use std::fmt::Write as _;
-    let mut out = String::new();
-    for chunk in image.chunks(4) {
-        if chunk.len() < 4 {
-            break;
-        }
-        let w = u32::from_be_bytes(chunk.try_into().expect("4 bytes"));
-        match Instr::decode(w) {
-            Some(i) => {
-                let _ = writeln!(out, "    {i}");
-            }
-            None => {
-                let _ = writeln!(out, "    .word 0x{w:08x}");
-            }
-        }
-    }
-    out
 }

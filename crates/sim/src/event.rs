@@ -43,6 +43,7 @@ impl Logic {
     }
 
     /// Complement (X stays X).
+    #[allow(clippy::should_implement_trait)] // three-valued, not boolean `!`
     #[must_use]
     pub fn not(self) -> Self {
         match self {
@@ -341,7 +342,11 @@ impl<'a> EventSim<'a> {
                         if triggered {
                             let ins: Vec<Logic> =
                                 g.inputs.iter().map(|c| conn_value(&values, *c)).collect();
-                            let next = match ins.iter().map(|l| l.to_bool()).collect::<Option<Vec<bool>>>() {
+                            let next = match ins
+                                .iter()
+                                .map(|l| l.to_bool())
+                                .collect::<Option<Vec<bool>>>()
+                            {
                                 Some(b) => {
                                     let cur = ff_state[gi].to_bool().unwrap_or(false);
                                     Logic::from_bool(k.next_state(cur, &b).expect("sequential"))

@@ -111,7 +111,7 @@ impl Default for CurrentModel {
     }
 }
 
-fn timing_of<'l>(lib: &'l TimingLibrary, kind: GateKind, style: LogicStyle) -> Option<&'l CellTiming> {
+fn timing_of(lib: &TimingLibrary, kind: GateKind, style: LogicStyle) -> Option<&CellTiming> {
     match kind {
         GateKind::Lib(k) => lib.get(k, style),
         GateKind::Inv => lib.get(CellKind::Buffer, LogicStyle::Cmos),
@@ -237,8 +237,7 @@ pub fn circuit_current(
                 // Data-independent ripple plus the tiny mismatch
                 // asymmetry signed by the toggle direction.
                 let ripple = model.mcml_ripple * i_gate;
-                let imbalance =
-                    model.mcml_imbalance * i_gate * if new_b { 1.0 } else { -1.0 };
+                let imbalance = model.mcml_imbalance * i_gate * if new_b { 1.0 } else { -1.0 };
                 add_pulse(
                     &mut samples,
                     model.dt,
@@ -374,9 +373,16 @@ mod tests {
         let i = circuit_current(&nl, &trace, &lib, None, &model);
         let mean = i.mean();
         let expect = 60e-6 / 1.2;
-        assert!((mean / expect - 1.0).abs() < 0.05, "mean {mean} vs Iss {expect}");
+        assert!(
+            (mean / expect - 1.0).abs() < 0.05,
+            "mean {mean} vs Iss {expect}"
+        );
         // Fluctuation bounded by the ripple model.
-        assert!(i.max() / mean < 1.1, "flat-ish: max/mean {}", i.max() / mean);
+        assert!(
+            i.max() / mean < 1.1,
+            "flat-ish: max/mean {}",
+            i.max() / mean
+        );
         assert!(i.min() / mean > 0.9);
     }
 
@@ -423,10 +429,10 @@ mod tests {
             let mut st2 = Stimulus::new();
             st2.at(0.0, "a", false).at(0.0, "b", false);
             let tr2 = sim.run(&st2, 4e-9);
-            let e1 = circuit_current(&nl, &tr1, &lib, None, &model)
-                .integral_between(1.9e-9, 2.5e-9);
-            let e2 = circuit_current(&nl, &tr2, &lib, None, &model)
-                .integral_between(1.9e-9, 2.5e-9);
+            let e1 =
+                circuit_current(&nl, &tr1, &lib, None, &model).integral_between(1.9e-9, 2.5e-9);
+            let e2 =
+                circuit_current(&nl, &tr2, &lib, None, &model).integral_between(1.9e-9, 2.5e-9);
             let ratio = e1 / e2.max(1e-18);
             if style == LogicStyle::Cmos {
                 assert!(ratio > expect_ratio, "{style}: ratio {ratio}");

@@ -116,7 +116,9 @@ pub fn parse_vcd(text: &str) -> Result<SimTrace, VcdParseError> {
                     .parse()
                     .map_err(|_| miss("numeric width"))?;
                 if width != 1 {
-                    return Err(VcdParseError(format!("only 1-bit vars supported, got {width}")));
+                    return Err(VcdParseError(format!(
+                        "only 1-bit vars supported, got {width}"
+                    )));
                 }
                 let code = tokens.next().ok_or_else(|| miss("var code"))?.to_owned();
                 let name = tokens.next().ok_or_else(|| miss("var name"))?.to_owned();

@@ -260,10 +260,18 @@ mod tests {
         };
         let (c_low, out) = build(0.0);
         let op = c_low.dc_op().unwrap();
-        assert!(op.voltage(out) > 1.1, "low in -> high out: {}", op.voltage(out));
+        assert!(
+            op.voltage(out) > 1.1,
+            "low in -> high out: {}",
+            op.voltage(out)
+        );
         let (c_high, out) = build(1.2);
         let op = c_high.dc_op().unwrap();
-        assert!(op.voltage(out) < 0.1, "high in -> low out: {}", op.voltage(out));
+        assert!(
+            op.voltage(out) < 0.1,
+            "high in -> low out: {}",
+            op.voltage(out)
+        );
     }
 
     #[test]

@@ -157,7 +157,12 @@ impl<'a> Engine<'a> {
                     }
                 }
                 Element::Mos { d, g, s, b, dev } => {
-                    let e = dev.eval(Self::v(x, *g), Self::v(x, *d), Self::v(x, *s), Self::v(x, *b));
+                    let e = dev.eval(
+                        Self::v(x, *g),
+                        Self::v(x, *d),
+                        Self::v(x, *s),
+                        Self::v(x, *b),
+                    );
                     // Current enters the drain, leaves the source.
                     if let Some(di) = Self::unk(*d) {
                         f[di] += e.id;

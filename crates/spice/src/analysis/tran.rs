@@ -127,11 +127,7 @@ impl TranResult {
     #[must_use]
     pub fn voltage(&self, node: NodeId) -> Waveform {
         if node.is_ground() {
-            return self
-                .times
-                .iter()
-                .map(|&t| (t, 0.0))
-                .collect();
+            return self.times.iter().map(|&t| (t, 0.0)).collect();
         }
         let idx = node.index() - 1;
         self.times
@@ -332,7 +328,10 @@ mod tests {
         };
         let (c, out) = build();
         let dt = 100e-12;
-        let be = c.transient(&TranOptions::new(40e-9, dt)).unwrap().voltage(out);
+        let be = c
+            .transient(&TranOptions::new(40e-9, dt))
+            .unwrap()
+            .voltage(out);
         let tr = c
             .transient(&TranOptions::new(40e-9, dt).with_integrator(Integrator::Trapezoidal))
             .unwrap()

@@ -213,7 +213,13 @@ impl Circuit {
     /// # Errors
     ///
     /// Returns an error on duplicate names or invalid values.
-    pub fn try_resistor(&mut self, name: &str, a: NodeId, b: NodeId, ohms: f64) -> Result<ElementId> {
+    pub fn try_resistor(
+        &mut self,
+        name: &str,
+        a: NodeId,
+        b: NodeId,
+        ohms: f64,
+    ) -> Result<ElementId> {
         Self::check_positive(name, "resistance", ohms)?;
         self.insert(name, Element::Resistor { a, b, ohms })
     }
@@ -224,7 +230,8 @@ impl Circuit {
     ///
     /// Panics on a duplicate name or non-positive capacitance.
     pub fn capacitor(&mut self, name: &str, a: NodeId, b: NodeId, farads: f64) -> ElementId {
-        self.try_capacitor(name, a, b, farads).expect("valid capacitor")
+        self.try_capacitor(name, a, b, farads)
+            .expect("valid capacitor")
     }
 
     /// Fallible [`Circuit::capacitor`].
@@ -292,6 +299,7 @@ impl Circuit {
     /// # Panics
     ///
     /// Panics on a duplicate name.
+    #[allow(clippy::too_many_arguments)] // name + 4 terminals + device + tech
     pub fn mosfet_with_caps(
         &mut self,
         name: &str,
@@ -354,15 +362,15 @@ impl Circuit {
             map[inner.0] = Some(outer);
         }
         let mut resolved = Vec::with_capacity(sub.node_count());
-        for idx in 0..sub.node_count() {
-            let id = match map[idx] {
+        for (idx, slot) in map.iter_mut().enumerate() {
+            let id = match *slot {
                 Some(id) => id,
                 None => {
                     let name = format!("{prefix}/{}", sub.node_names[idx]);
                     self.node(&name)
                 }
             };
-            map[idx] = Some(id);
+            *slot = Some(id);
             resolved.push(id);
         }
         let remap = |n: NodeId| resolved[n.0];

@@ -34,6 +34,16 @@ pub enum SpiceError {
         /// Human-readable reason.
         String,
     ),
+    /// A waveform operation required more samples than the waveform holds
+    /// (empty, or single-sample where an interval is needed). Returned by
+    /// the fallible `Waveform::try_*` measurement APIs instead of
+    /// panicking or silently yielding zeros mid-measurement.
+    EmptyWaveform {
+        /// The operation that failed (`"resample"`, `"integral"`, …).
+        op: &'static str,
+        /// Samples actually available.
+        len: usize,
+    },
 }
 
 impl fmt::Display for SpiceError {
@@ -54,6 +64,9 @@ impl fmt::Display for SpiceError {
                 write!(f, "invalid parameter on element `{element}`: {reason}")
             }
             SpiceError::InvalidCircuit(reason) => write!(f, "invalid circuit: {reason}"),
+            SpiceError::EmptyWaveform { op, len } => {
+                write!(f, "waveform {op} needs more samples (have {len})")
+            }
         }
     }
 }
@@ -76,6 +89,13 @@ mod tests {
 
         let s = SpiceError::SingularMatrix { index: 7 };
         assert!(s.to_string().contains('7'));
+
+        let w = SpiceError::EmptyWaveform {
+            op: "resample",
+            len: 0,
+        };
+        assert!(w.to_string().contains("resample"));
+        assert!(w.to_string().contains('0'));
     }
 
     #[test]

@@ -87,7 +87,12 @@ mod tests {
 
     #[test]
     fn identity_returns_rhs() {
-        let x = solve(&[(0, 0, 1.0), (1, 1, 1.0), (2, 2, 1.0)], 3, &[4.0, 5.0, 6.0]).unwrap();
+        let x = solve(
+            &[(0, 0, 1.0), (1, 1, 1.0), (2, 2, 1.0)],
+            3,
+            &[4.0, 5.0, 6.0],
+        )
+        .unwrap();
         assert_eq!(x, vec![4.0, 5.0, 6.0]);
     }
 

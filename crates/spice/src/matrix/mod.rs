@@ -63,7 +63,11 @@ impl SystemMatrix {
     /// Panics if `r` or `c` is out of range.
     #[inline]
     pub fn add(&mut self, r: usize, c: usize, v: f64) {
-        assert!(r < self.n && c < self.n, "stamp ({r},{c}) out of range {}", self.n);
+        assert!(
+            r < self.n && c < self.n,
+            "stamp ({r},{c}) out of range {}",
+            self.n
+        );
         if v != 0.0 {
             self.rows[r].push((c, v));
         }

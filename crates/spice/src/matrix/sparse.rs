@@ -94,6 +94,9 @@ impl SparseLu {
         let mut stack: Vec<(usize, usize)> = Vec::with_capacity(n);
         let mut order: Vec<usize> = Vec::with_capacity(n);
 
+        // The left-looking factorisation is written over column index k;
+        // an iterator over `u_diag` would hide the algorithm's shape.
+        #[allow(clippy::needless_range_loop)]
         for k in 0..n {
             // --- symbolic: rows reachable from the pattern of A[:,k]
             // through already-pivoted columns of L, in topological order.

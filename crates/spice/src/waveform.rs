@@ -4,6 +4,8 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::error::SpiceError;
+
 /// A sampled waveform `v(t)` with strictly increasing time points.
 ///
 /// Produced by transient analysis (node voltages and branch currents) and
@@ -85,16 +87,19 @@ impl Waveform {
     /// the recorded span.
     #[must_use]
     pub fn sample(&self, t: f64) -> f64 {
-        if self.t.is_empty() {
+        let (Some(&t_last), Some(&v_last)) = (self.t.last(), self.v.last()) else {
             return 0.0;
-        }
+        };
         if t <= self.t[0] {
             return self.v[0];
         }
-        if t >= *self.t.last().expect("non-empty") {
-            return *self.v.last().expect("non-empty");
+        if t >= t_last {
+            return v_last;
         }
-        let idx = match self.t.binary_search_by(|x| x.partial_cmp(&t).expect("finite")) {
+        let idx = match self
+            .t
+            .binary_search_by(|x| x.partial_cmp(&t).expect("finite"))
+        {
             Ok(i) => return self.v[i],
             Err(i) => i,
         };
@@ -107,7 +112,8 @@ impl Waveform {
     ///
     /// # Panics
     ///
-    /// Panics if `n < 2` or `t1 <= t0`.
+    /// Panics if `n < 2` or `t1 <= t0`. See [`Waveform::try_resample`]
+    /// for a fallible variant that also rejects empty waveforms.
     #[must_use]
     pub fn resample(&self, t0: f64, t1: f64, n: usize) -> Self {
         assert!(n >= 2, "need at least two samples");
@@ -116,6 +122,65 @@ impl Waveform {
         let t: Vec<f64> = (0..n).map(|i| t0 + dt * i as f64).collect();
         let v = t.iter().map(|&x| self.sample(x)).collect();
         Self { t, v }
+    }
+
+    /// Fallible [`Waveform::resample`]: a typed error instead of a panic
+    /// on a degenerate request, and — unlike the panicking variant, which
+    /// clamps an empty waveform to all-zero samples — an explicit
+    /// [`SpiceError::EmptyWaveform`] when there is nothing to resample
+    /// (e.g. a transient that produced no probe data mid-acquisition).
+    ///
+    /// # Errors
+    ///
+    /// [`SpiceError::EmptyWaveform`] when the waveform is empty;
+    /// [`SpiceError::InvalidParameter`] when `n < 2` or `t1 <= t0`.
+    pub fn try_resample(&self, t0: f64, t1: f64, n: usize) -> Result<Self, SpiceError> {
+        if self.is_empty() {
+            return Err(SpiceError::EmptyWaveform {
+                op: "resample",
+                len: 0,
+            });
+        }
+        if n < 2 || t1 <= t0 {
+            return Err(SpiceError::InvalidParameter {
+                element: "waveform".to_owned(),
+                reason: format!("resample window [{t0:e}, {t1:e}] with {n} points"),
+            });
+        }
+        Ok(self.resample(t0, t1, n))
+    }
+
+    /// Fallible trapezoidal integral over `[a, b]`: a typed error where
+    /// [`Waveform::integral_between`] silently returns `0.0` for a
+    /// waveform with fewer than two samples.
+    ///
+    /// # Errors
+    ///
+    /// [`SpiceError::EmptyWaveform`] when fewer than two samples exist.
+    pub fn try_integral_between(&self, a: f64, b: f64) -> Result<f64, SpiceError> {
+        if self.t.len() < 2 {
+            return Err(SpiceError::EmptyWaveform {
+                op: "integral",
+                len: self.t.len(),
+            });
+        }
+        Ok(self.integral_between(a, b))
+    }
+
+    /// Fallible time-average over `[a, b]`; see
+    /// [`Waveform::try_integral_between`].
+    ///
+    /// # Errors
+    ///
+    /// [`SpiceError::EmptyWaveform`] when fewer than two samples exist.
+    pub fn try_mean_between(&self, a: f64, b: f64) -> Result<f64, SpiceError> {
+        if self.t.len() < 2 {
+            return Err(SpiceError::EmptyWaveform {
+                op: "mean",
+                len: self.t.len(),
+            });
+        }
+        Ok(self.mean_between(a, b))
     }
 
     /// Trapezoidal integral over the full span.
@@ -135,7 +200,7 @@ impl Waveform {
             return 0.0;
         }
         let a = a.max(self.t[0]);
-        let b = b.min(*self.t.last().expect("non-empty"));
+        let b = b.min(self.t[self.t.len() - 1]);
         if b <= a {
             return 0.0;
         }
@@ -211,7 +276,9 @@ impl Waveform {
     /// First crossing of `level` at or after time `after`, if any.
     #[must_use]
     pub fn first_crossing_after(&self, level: f64, rising: bool, after: f64) -> Option<f64> {
-        self.crossings(level, rising).into_iter().find(|&t| t >= after)
+        self.crossings(level, rising)
+            .into_iter()
+            .find(|&t| t >= after)
     }
 
     /// Propagation delay between this waveform (input) crossing its 50 %
@@ -381,6 +448,35 @@ mod tests {
         assert_eq!(w.sample(1.0), 0.0);
         assert_eq!(w.last_value(), 0.0);
         assert_eq!(w.integral(), 0.0);
+    }
+
+    #[test]
+    fn try_apis_reject_degenerate_waveforms() {
+        let empty = Waveform::empty();
+        assert!(matches!(
+            empty.try_resample(0.0, 1.0, 4),
+            Err(SpiceError::EmptyWaveform { op: "resample", .. })
+        ));
+        let single = Waveform::new(vec![0.0], vec![1.0]);
+        assert!(matches!(
+            single.try_integral_between(0.0, 1.0),
+            Err(SpiceError::EmptyWaveform {
+                op: "integral",
+                len: 1
+            })
+        ));
+        assert!(matches!(
+            single.try_mean_between(0.0, 1.0),
+            Err(SpiceError::EmptyWaveform { op: "mean", .. })
+        ));
+        // Bad window on a healthy waveform: parameter error, not empty.
+        assert!(matches!(
+            ramp().try_resample(1.0, 0.0, 4),
+            Err(SpiceError::InvalidParameter { .. })
+        ));
+        // Healthy request round-trips to the panicking API's result.
+        let ok = ramp().try_resample(0.0, 2.0, 5).unwrap();
+        assert_eq!(ok, ramp().resample(0.0, 2.0, 5));
     }
 
     #[test]

@@ -7,10 +7,7 @@ use mcml_spice::{Circuit, SourceWave, TranOptions, Waveform};
 
 /// A strictly diagonally dominant random system (guaranteed solvable).
 fn dominant_system(n: usize) -> impl Strategy<Value = (Vec<(usize, usize, f64)>, Vec<f64>)> {
-    let entries = proptest::collection::vec(
-        (0..n, 0..n, -1.0f64..1.0),
-        n..(4 * n),
-    );
+    let entries = proptest::collection::vec((0..n, 0..n, -1.0f64..1.0), n..(4 * n));
     let rhs = proptest::collection::vec(-10.0f64..10.0, n);
     (entries, rhs).prop_map(move |(mut es, b)| {
         // Strong diagonal on top of whatever landed there.

@@ -43,7 +43,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         &SleepTreeOptions::default(),
     );
 
-    println!("{:<10} {:>8} {:>10} {:>16}", "domain", "gates", "buffers", "insertion delay");
+    println!(
+        "{:<10} {:>8} {:>10} {:>16}",
+        "domain", "gates", "buffers", "insertion delay"
+    );
     for d in &plan.domains {
         println!(
             "{:<10} {:>8} {:>10} {:>13.2} ns",
@@ -61,9 +64,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let monolithic = plan.average_power_w(&nl, lib, &[0.10; 5]);
     let always_on = plan.average_power_w(&nl, lib, &[1.0; 5]);
     println!("\nbyte-serial workload (one lane busy 10% of the time):");
-    println!("  always-on (conventional MCML): {:10.3} mW", always_on * 1e3);
-    println!("  monolithic sleep (paper's manual wiring): {:7.3} mW", monolithic * 1e3);
-    println!("  per-domain sleep (automatic insertion):   {:7.3} mW", one_lane * 1e3);
+    println!(
+        "  always-on (conventional MCML): {:10.3} mW",
+        always_on * 1e3
+    );
+    println!(
+        "  monolithic sleep (paper's manual wiring): {:7.3} mW",
+        monolithic * 1e3
+    );
+    println!(
+        "  per-domain sleep (automatic insertion):   {:7.3} mW",
+        one_lane * 1e3
+    );
     println!(
         "\nautomatic fine-grain domains save a further {:.1}x over one shared sleep wire",
         monolithic / one_lane

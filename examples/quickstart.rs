@@ -8,11 +8,18 @@ use pg_mcml::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let params = CellParams::default();
-    println!("PG-MCML quickstart — 90 nm, Iss = {} µA, swing = {} V", params.iss * 1e6, params.vswing);
+    println!(
+        "PG-MCML quickstart — 90 nm, Iss = {} µA, swing = {} V",
+        params.iss * 1e6,
+        params.vswing
+    );
 
     // 1. The analog design step: solve the shared bias rails.
     let bias = mcml_cells::solve_bias(&params);
-    println!("\nbias solution:  Vn = {:.3} V (tail), Vp = {:.3} V (load)", bias.vn, bias.vp);
+    println!(
+        "\nbias solution:  Vn = {:.3} V (tail), Vp = {:.3} V (load)",
+        bias.vn, bias.vp
+    );
 
     // 2. Generate the transistor-level cell and inspect it.
     let cell = build_cell(CellKind::Xor2, LogicStyle::PgMcml, &params);
@@ -25,7 +32,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // 3. Characterise a few cells in all three styles.
-    println!("\n{:<8} {:>10} {:>12} {:>14} {:>16}", "cell", "style", "delay FO1", "awake power", "asleep power");
+    println!(
+        "\n{:<8} {:>10} {:>12} {:>14} {:>16}",
+        "cell", "style", "delay FO1", "awake power", "asleep power"
+    );
     for kind in [CellKind::Buffer, CellKind::Xor2, CellKind::Dff] {
         for style in [LogicStyle::Cmos, LogicStyle::Mcml, LogicStyle::PgMcml] {
             let t = characterize_cell(kind, style, &params)?;
@@ -42,7 +52,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 4. Wake-up behaviour: the cost of fine-grain power gating.
     let wake = mcml_char::measure_wakeup(CellKind::Buffer, &params)?;
-    println!("\nbuffer wake-up time: {:.1} ps (budget: a fraction of the 2.5 ns clock)", wake * 1e12);
+    println!(
+        "\nbuffer wake-up time: {:.1} ps (budget: a fraction of the 2.5 ns clock)",
+        wake * 1e12
+    );
 
     // 5. Export what a real library release ships: a Liberty file.
     let mut lib = TimingLibrary::new();

@@ -44,7 +44,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // ASCII rendition of the figure.
     println!("\ntime [ns] | MCML, PG-MCML current (# = 2x scale), sleep signal");
     let max_i = data.i_mcml.iter().copied().fold(0.0f64, f64::max);
-    for chunk in data.time.chunks(8).zip(data.i_mcml.chunks(8)).zip(data.i_pg.chunks(8)).zip(data.sleep.chunks(8)).step_by(2) {
+    for chunk in data
+        .time
+        .chunks(8)
+        .zip(data.i_mcml.chunks(8))
+        .zip(data.i_pg.chunks(8))
+        .zip(data.sleep.chunks(8))
+        .step_by(2)
+    {
         let (((t, im), ip), s) = chunk;
         let bar = |x: f64| "#".repeat(((x / max_i) * 30.0).round().max(0.0) as usize);
         println!(

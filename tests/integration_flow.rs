@@ -78,7 +78,11 @@ fn adder_event_simulation_settles_to_correct_sum() {
     let read_sum = |t: f64| -> u8 {
         let mut v = 0u8;
         for i in 0..5 {
-            let name = if i == 4 { "cout".to_owned() } else { format!("s{i}") };
+            let name = if i == 4 {
+                "cout".to_owned()
+            } else {
+                format!("s{i}")
+            };
             let (net, inv) = out_net(&name);
             let bit = trace.value_at(net, t).to_bool().unwrap() ^ inv;
             if bit {
@@ -106,7 +110,12 @@ fn adder_elaborates_to_spice_and_computes() {
             let (p, n) = el.inputs[&format!("{pfx}{i}")];
             let (vp, vn) = if bit { (v_hi, v_lo) } else { (v_lo, v_hi) };
             ckt.vsource(&format!("V{pfx}{i}"), p, Circuit::GND, SourceWave::dc(vp));
-            ckt.vsource(&format!("V{pfx}{i}n"), n.unwrap(), Circuit::GND, SourceWave::dc(vn));
+            ckt.vsource(
+                &format!("V{pfx}{i}n"),
+                n.unwrap(),
+                Circuit::GND,
+                SourceWave::dc(vn),
+            );
         }
     }
     let op = ckt.dc_op().expect("elaborated adder converges");
@@ -154,7 +163,9 @@ fn automatic_sleep_insertion_partitions_the_ise() {
         .map(|s| {
             (
                 format!("sbox{s}"),
-                (0..8).map(|b| format!("y{}", s * 8 + b)).collect::<Vec<_>>(),
+                (0..8)
+                    .map(|b| format!("y{}", s * 8 + b))
+                    .collect::<Vec<_>>(),
             )
         })
         .collect();

@@ -81,7 +81,10 @@ fn table3_power_ordering_and_magnitudes() {
     assert!(cmos.cells > 100 && mcml.cells > 100);
 
     // Area: differential macros much larger than CMOS (paper: 2.5x).
-    assert!(mcml.area_um2 > 1.5 * cmos.area_um2, "area {mcml:?} vs {cmos:?}");
+    assert!(
+        mcml.area_um2 > 1.5 * cmos.area_um2,
+        "area {mcml:?} vs {cmos:?}"
+    );
     assert!(pg.area_um2 > mcml.area_um2, "PG slightly larger than MCML");
     assert!(
         pg.area_um2 < 1.1 * mcml.area_um2,

@@ -42,8 +42,14 @@ fn template_cpa_succeeds_for_several_keys_on_cmos() {
     // keys rather than one lucky value.
     let mut flow = DesignFlow::new(CellParams::default());
     for key in [0x00u8, 0x7f, 0xe1] {
-        let rows = fig6_template(&mut flow, key, 0.01, 1000 + u64::from(key), &[LogicStyle::Cmos])
-            .unwrap();
+        let rows = fig6_template(
+            &mut flow,
+            key,
+            0.01,
+            1000 + u64::from(key),
+            &[LogicStyle::Cmos],
+        )
+        .unwrap();
         assert_eq!(rows[0].0.rank, 0, "key {key:#04x}: {:?}", rows[0].0);
     }
 }

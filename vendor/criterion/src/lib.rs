@@ -1,0 +1,163 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the benchmark-facing API used by `benches/experiments.rs`
+//! (`Criterion`, `benchmark_group`, `Bencher::{iter, iter_batched}`,
+//! `BatchSize`, `criterion_group!`, `criterion_main!`) with a simple
+//! median-of-runs timer instead of criterion's statistical machinery.
+//! Results are printed as `name ... median time / iter`.
+
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// How batched inputs are sized. Only used for API compatibility; each
+/// iteration always gets a fresh input from `setup`.
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Per-benchmark timing driver.
+pub struct Bencher {
+    samples: usize,
+    /// Measured per-iteration times, one per sample.
+    results: Vec<Duration>,
+}
+
+impl Bencher {
+    fn new(samples: usize) -> Self {
+        Bencher {
+            samples,
+            results: Vec::new(),
+        }
+    }
+
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            std_black_box(routine());
+            self.results.push(start.elapsed());
+        }
+    }
+
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        for _ in 0..self.samples {
+            let input = setup();
+            let start = Instant::now();
+            std_black_box(routine(input));
+            self.results.push(start.elapsed());
+        }
+    }
+
+    fn median(&self) -> Duration {
+        if self.results.is_empty() {
+            return Duration::ZERO;
+        }
+        let mut sorted = self.results.clone();
+        sorted.sort();
+        sorted[sorted.len() / 2]
+    }
+}
+
+/// Named benchmark group with a configurable sample count.
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    criterion: &'c mut Criterion,
+    sample_size: usize,
+}
+
+impl<'c> BenchmarkGroup<'c> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        self.criterion.run_one(&full, self.sample_size, &mut f);
+        self
+    }
+
+    pub fn finish(&mut self) {}
+}
+
+/// Top-level handle mirroring `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        let sample_size = self.effective_samples();
+        BenchmarkGroup {
+            name: name.to_owned(),
+            criterion: self,
+            sample_size,
+        }
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let samples = self.effective_samples();
+        self.run_one(id, samples, &mut f);
+        self
+    }
+
+    fn effective_samples(&self) -> usize {
+        if self.sample_size == 0 {
+            10
+        } else {
+            self.sample_size
+        }
+    }
+
+    fn run_one(&mut self, id: &str, samples: usize, f: &mut dyn FnMut(&mut Bencher)) {
+        let mut bencher = Bencher::new(samples);
+        f(&mut bencher);
+        println!(
+            "bench {id:50} {:>12.3?} / iter (median of {samples})",
+            bencher.median()
+        );
+    }
+
+    pub fn final_summary(&mut self) {}
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+    (name = $group:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

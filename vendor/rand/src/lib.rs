@@ -1,0 +1,209 @@
+//! Offline stand-in for the `rand` crate (0.8 API subset).
+//!
+//! Implements the slice of the rand 0.8 surface this workspace uses —
+//! `rngs::StdRng`, `SeedableRng::seed_from_u64`, `Rng::{gen, gen_range,
+//! gen_bool, fill}` — on top of a xoshiro256** core seeded via SplitMix64.
+//! Deterministic for a given seed, which is all the experiment harness
+//! relies on (it always seeds explicitly).
+
+use std::ops::Range;
+
+/// Core 64-bit generator: xoshiro256**.
+#[derive(Clone, Debug)]
+pub struct Xoshiro256 {
+    s: [u64; 4],
+}
+
+impl Xoshiro256 {
+    fn from_u64(seed: u64) -> Self {
+        // SplitMix64 expansion, as recommended by the xoshiro authors.
+        let mut x = seed;
+        let mut next = || {
+            x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        };
+        Self {
+            s: [next(), next(), next(), next()],
+        }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
+
+/// Types producible by `Rng::gen`.
+pub trait Standard: Sized {
+    fn sample(rng: &mut Xoshiro256) -> Self;
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            fn sample(rng: &mut Xoshiro256) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Standard for bool {
+    fn sample(rng: &mut Xoshiro256) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    fn sample(rng: &mut Xoshiro256) -> Self {
+        // 53 random mantissa bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    fn sample(rng: &mut Xoshiro256) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl<const N: usize> Standard for [u8; N] {
+    fn sample(rng: &mut Xoshiro256) -> Self {
+        let mut out = [0u8; N];
+        for b in out.iter_mut() {
+            *b = (rng.next_u64() & 0xff) as u8;
+        }
+        out
+    }
+}
+
+/// Range types accepted by `Rng::gen_range`.
+pub trait SampleRange {
+    type Output;
+    fn sample(self, rng: &mut Xoshiro256) -> Self::Output;
+}
+
+macro_rules! impl_range_int {
+    ($($t:ty),*) => {$(
+        impl SampleRange for Range<$t> {
+            type Output = $t;
+            fn sample(self, rng: &mut Xoshiro256) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let v = (rng.next_u64() as u128) % span;
+                (self.start as i128 + v as i128) as $t
+            }
+        }
+    )*};
+}
+impl_range_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleRange for Range<f64> {
+    type Output = f64;
+    fn sample(self, rng: &mut Xoshiro256) -> f64 {
+        assert!(self.start < self.end, "gen_range: empty range");
+        let frac = <f64 as Standard>::sample(rng);
+        self.start + frac * (self.end - self.start)
+    }
+}
+
+/// The subset of `rand::Rng` this workspace uses.
+pub trait Rng {
+    fn core(&mut self) -> &mut Xoshiro256;
+
+    fn gen<T: Standard>(&mut self) -> T {
+        T::sample(self.core())
+    }
+
+    fn gen_range<R: SampleRange>(&mut self, range: R) -> R::Output {
+        range.sample(self.core())
+    }
+
+    fn gen_bool(&mut self, p: f64) -> bool {
+        <f64 as Standard>::sample(self.core()) < p
+    }
+
+    fn fill(&mut self, dest: &mut [u8]) {
+        for b in dest.iter_mut() {
+            *b = (self.core().next_u64() & 0xff) as u8;
+        }
+    }
+}
+
+/// The subset of `rand::SeedableRng` this workspace uses.
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+pub mod rngs {
+    use super::*;
+
+    /// Deterministic standard RNG (xoshiro256** core).
+    #[derive(Clone, Debug)]
+    pub struct StdRng(pub(crate) Xoshiro256);
+
+    impl Rng for StdRng {
+        fn core(&mut self) -> &mut Xoshiro256 {
+            &mut self.0
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng(Xoshiro256::from_u64(seed))
+        }
+    }
+}
+
+/// Process-local convenience RNG (seeded from the system clock once).
+pub fn thread_rng() -> rngs::StdRng {
+    use std::time::{SystemTime, UNIX_EPOCH};
+    let nanos = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.subsec_nanos() as u64 ^ d.as_secs())
+        .unwrap_or(0x5eed);
+    <rngs::StdRng as SeedableRng>::seed_from_u64(nanos)
+}
+
+pub mod prelude {
+    pub use super::{rngs::StdRng, thread_rng, Rng, SeedableRng};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v = rng.gen_range(3u32..17);
+            assert!((3..17).contains(&v));
+            let f = rng.gen_range(1e-12..1.0);
+            assert!((1e-12..1.0).contains(&f));
+            let s = rng.gen_range(-5i32..5);
+            assert!((-5..5).contains(&s));
+        }
+    }
+}

@@ -1,0 +1,9 @@
+//! Offline stand-in for `serde`.
+//!
+//! Re-exports the no-op `Serialize` / `Deserialize` derives so existing
+//! `use serde::{Deserialize, Serialize};` imports keep compiling in an
+//! environment with no crates.io access. No runtime serialization is
+//! provided (none is used in this workspace).
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

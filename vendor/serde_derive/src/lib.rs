@@ -1,0 +1,19 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The build environment has no network access to crates.io, and nothing in
+//! this workspace actually serializes data yet — the `#[derive(Serialize,
+//! Deserialize)]` annotations only declare intent. These derives therefore
+//! expand to nothing, which keeps every annotated type compiling without
+//! pulling in the real (unavailable) dependency tree.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
