@@ -54,8 +54,10 @@ fn topology_leakage(topology: SleepTopology, params: &CellParams) -> f64 {
 }
 
 fn main() {
+    mcml_obs::reset();
     let params = CellParams::default();
     run(&params);
+    mcml_obs::finish("ablation", pg_mcml::Parallelism::from_env().worker_count());
 }
 
 fn run(params: &CellParams) {

@@ -7,6 +7,7 @@ use mcml_char::default_sweep_currents;
 use pg_mcml::experiments::fig3;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    mcml_obs::reset();
     let params = CellParams::default();
     let currents = default_sweep_currents();
     println!(
@@ -44,5 +45,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "\narea–delay optimum at Iss = {:.0} µA (paper: 50 µA); delay saturates above ≈250 µA",
         best.iss * 1e6
     );
+    mcml_obs::finish("fig3", pg_mcml::Parallelism::from_env().worker_count());
     Ok(())
 }

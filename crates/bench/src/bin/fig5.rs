@@ -7,6 +7,7 @@ use pg_mcml::experiments::fig5;
 use pg_mcml::DesignFlow;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    mcml_obs::reset();
     let mut flow = DesignFlow::new(CellParams::default());
     println!("Fig. 5 — S-box ISE current waveform, 20 ns at 400 MHz\n");
     let d = fig5(&mut flow)?;
@@ -45,5 +46,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "wake-up latency {:.2} ns (sleep-signal insertion budget: ≈1 ns)",
         d.wake_latency * 1e9
     );
+    mcml_obs::finish("fig5", flow.parallelism.worker_count());
     Ok(())
 }

@@ -35,8 +35,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     let t_serial = start.elapsed();
 
-    // The reported run: parallel per MCML_THREADS, cold cache again.
+    // The reported run: parallel per MCML_THREADS, cold cache again; the
+    // observability counters restart with it so the report covers exactly
+    // this pass.
     mcml_char::cache::clear();
+    mcml_obs::reset();
     let mut flow = DesignFlow::new(params.clone()).with_parallelism(par);
 
     println!("Fig. 6 — CPA with the Hamming weight of the S-box output\n");
@@ -109,5 +112,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "\n{} (both tiers)",
         speedup_line(t_serial, t_par, par.worker_count())
     );
+    mcml_obs::finish("fig6", par.worker_count());
     Ok(())
 }

@@ -4,6 +4,7 @@
 use pg_mcml::experiments::table1;
 
 fn main() {
+    mcml_obs::reset();
     println!("Table 1 — MCML vs PG-MCML cell area (90 nm)\n");
     println!(
         "{:<10} {:>14} {:>16} {:>10}",
@@ -22,4 +23,5 @@ fn main() {
         );
     }
     println!("\npaper: sleep transistor costs ≈6 % cell area — reproduced.");
+    mcml_obs::finish("table1", 1);
 }

@@ -20,8 +20,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let t_serial = start.elapsed();
 
     // The reported run: parallel per MCML_THREADS (default: all cores),
-    // again from a cold cache so the timing comparison is honest.
+    // again from a cold cache so the timing comparison is honest. The
+    // observability counters restart here too, so the emitted report
+    // covers exactly the reported pass (MCML_OBS=json:report.json to
+    // capture it).
     mcml_char::cache::clear();
+    mcml_obs::reset();
     let par = Parallelism::from_env();
     let mut flow = DesignFlow::new(CellParams::default()).with_parallelism(par);
     println!("Table 2 — PG-MCML library characteristics (characterising 16 cells)\n");
@@ -74,5 +78,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let avg = ratios.iter().sum::<f64>() / ratios.len() as f64;
     println!("\naverage PG-MCML/CMOS area ratio: {avg:.2} (paper: 1.6)");
     println!("{}", speedup_line(t_serial, t_par, par.worker_count()));
+    mcml_obs::finish("table2", par.worker_count());
     Ok(())
 }

@@ -35,6 +35,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let t_serial = start.elapsed();
 
     mcml_char::cache::clear();
+    mcml_obs::reset();
     let start = Instant::now();
     let rows = table3(&mut flow, &bench, 400e6)?;
     let t_par = start.elapsed();
@@ -83,5 +84,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         pg.avg_power_w / cmos.avg_power_w
     );
     println!("{}", speedup_line(t_serial, t_par, par.worker_count()));
+    mcml_obs::finish("table3", par.worker_count());
     Ok(())
 }

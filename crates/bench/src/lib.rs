@@ -14,6 +14,20 @@
 //!
 //! The Criterion benches in `benches/experiments.rs` time the pipeline's
 //! computational kernels.
+//!
+//! The library part is the binaries' tiny shared formatting kit:
+//!
+//! ```
+//! use mcml_bench::{fmt_current, fmt_power, sparkline};
+//!
+//! assert_eq!(fmt_power(62e-6), "62.00 µW");
+//! assert_eq!(fmt_current(1.3e-3), "1.30 mA");
+//! assert_eq!(sparkline(&[0.0, 0.5, 1.0], 3).chars().count(), 3);
+//! ```
+//!
+//! Each binary ends by printing an `mcml-obs` run summary; set
+//! `MCML_OBS=json:report.json` to also write the machine-readable
+//! report (see `docs/OBSERVABILITY.md`).
 
 #![deny(missing_docs)]
 

@@ -1,4 +1,4 @@
-//! Process-wide characterization cache.
+//! Process-wide characterization cache with single-flight computes.
 //!
 //! Every table and figure in the paper re-characterises the same handful of
 //! cells: `table2` wants all three styles, `fig6` re-runs the PG-MCML cells
@@ -6,11 +6,20 @@
 //! of times. A full [`characterize_cell`](crate::characterize_cell) call is
 //! several SPICE transients, so repeated keys dominate wall-clock.
 //!
-//! The cache is a [`parking_lot::Mutex`]-guarded map keyed by the *exact*
-//! bit patterns of every field that influences a measurement:
+//! The cache is a mutex-guarded map keyed by the *exact* bit patterns of
+//! every field that influences a measurement:
 //! `(CellKind, LogicStyle, CellParams, Corner)` — with every `f64` stored
 //! via [`f64::to_bits`], so there is no lossy float hashing and no
 //! collision between, say, 49.999 µA and 50 µA bias points.
+//!
+//! Computes are **single-flight**: the first worker to miss a key installs
+//! an in-flight marker and characterises outside the lock; workers racing
+//! on the same key block on a condvar and are served the finished result.
+//! That makes the cache's accounting deterministic under any
+//! `MCML_THREADS` — misses equal the number of *distinct* keys computed
+//! and hits equal `lookups − misses`, exactly as in a serial run — which
+//! the `mcml-obs` report-equality tests rely on (a racing duplicate
+//! compute would also inflate the `spice.*` counters).
 //!
 //! Hit/miss counters are exposed for tests and for the speedup reports in
 //! the `table2`/`table3`/`fig6` binaries; [`clear`] resets both the map and
@@ -18,9 +27,10 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
 
 use mcml_cells::{CellKind, CellParams, LogicStyle};
-use parking_lot::Mutex;
+use mcml_obs::Counter;
 
 use crate::library::CellTiming;
 
@@ -85,47 +95,92 @@ impl CharKey {
     }
 }
 
-static CACHE: Mutex<Option<HashMap<CharKey, CellTiming>>> = Mutex::new(None);
+/// One cache entry: either a finished timing or a marker that some worker
+/// is computing it right now.
+#[derive(Debug, Clone)]
+enum Slot {
+    InFlight,
+    Ready(CellTiming),
+}
+
+type CacheMap = Option<HashMap<CharKey, Slot>>;
+
+static CACHE: Mutex<CacheMap> = Mutex::new(None);
+static READY: Condvar = Condvar::new();
 static HITS: AtomicU64 = AtomicU64::new(0);
 static MISSES: AtomicU64 = AtomicU64::new(0);
 
+fn lock() -> MutexGuard<'static, CacheMap> {
+    CACHE.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
 /// Look up a cached characterization, or compute and insert it.
 ///
-/// The compute closure runs *outside* the lock, so concurrent workers
-/// characterising different cells never serialise on the mutex; two
-/// workers racing on the same key may both compute, but the simulator is
-/// deterministic so either result is identical and the duplicate is simply
-/// dropped.
+/// Single-flight: the first worker to miss a key computes *outside* the
+/// lock while holding an in-flight marker; racers on the same key block
+/// until the result is ready and count as hits (exactly what a serial run
+/// would have recorded). If the owning compute fails, its marker is
+/// removed, one blocked waiter retakes ownership and retries, and the
+/// error propagates to the worker that observed it; errors are not cached.
 ///
 /// # Errors
 ///
-/// Propagates the compute closure's error; errors are not cached.
+/// Propagates the compute closure's error.
 pub fn get_or_characterize<E>(
     key: CharKey,
     compute: impl FnOnce() -> Result<CellTiming, E>,
 ) -> Result<CellTiming, E> {
-    if let Some(hit) = CACHE.lock().as_ref().and_then(|m| m.get(&key).cloned()) {
-        HITS.fetch_add(1, Ordering::Relaxed);
-        return Ok(hit);
+    mcml_obs::incr(Counter::CacheLookups);
+    let mut guard = lock();
+    loop {
+        match guard.get_or_insert_with(HashMap::new).get(&key) {
+            Some(Slot::Ready(timing)) => {
+                let timing = timing.clone();
+                HITS.fetch_add(1, Ordering::Relaxed);
+                mcml_obs::incr(Counter::CacheHits);
+                return Ok(timing);
+            }
+            Some(Slot::InFlight) => {
+                guard = READY.wait(guard).unwrap_or_else(PoisonError::into_inner);
+            }
+            None => break,
+        }
     }
-    MISSES.fetch_add(1, Ordering::Relaxed);
-    let timing = compute()?;
-    CACHE
-        .lock()
+    // This worker owns the compute for `key`.
+    guard
         .get_or_insert_with(HashMap::new)
-        .entry(key)
-        .or_insert_with(|| timing.clone());
-    Ok(timing)
+        .insert(key.clone(), Slot::InFlight);
+    drop(guard);
+
+    MISSES.fetch_add(1, Ordering::Relaxed);
+    mcml_obs::incr(Counter::CacheMisses);
+    let result = compute();
+
+    let mut guard = lock();
+    let map = guard.get_or_insert_with(HashMap::new);
+    match &result {
+        Ok(timing) => {
+            map.insert(key, Slot::Ready(timing.clone()));
+        }
+        Err(_) => {
+            // Unblock waiters; the first to wake retakes ownership.
+            map.remove(&key);
+        }
+    }
+    drop(guard);
+    READY.notify_all();
+    result
 }
 
 /// Cache hit/miss counters since the last [`clear`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CacheStats {
-    /// Lookups served from the cache.
+    /// Lookups served from the cache (including waits on an in-flight
+    /// compute of the same key).
     pub hits: u64,
     /// Lookups that ran the SPICE measurements.
     pub misses: u64,
-    /// Distinct keys currently resident.
+    /// Distinct keys currently resident with a finished result.
     pub entries: usize,
 }
 
@@ -135,7 +190,9 @@ pub fn stats() -> CacheStats {
     CacheStats {
         hits: HITS.load(Ordering::Relaxed),
         misses: MISSES.load(Ordering::Relaxed),
-        entries: CACHE.lock().as_ref().map_or(0, HashMap::len),
+        entries: lock().as_ref().map_or(0, |m| {
+            m.values().filter(|s| matches!(s, Slot::Ready(_))).count()
+        }),
     }
 }
 
@@ -143,8 +200,9 @@ pub fn stats() -> CacheStats {
 ///
 /// The benchmark binaries call this between their serial and parallel runs
 /// so both start from a cold cache and the reported speedup is honest.
+/// Must not be called while characterizations are in flight.
 pub fn clear() {
-    *CACHE.lock() = None;
+    *lock() = None;
     HITS.store(0, Ordering::Relaxed);
     MISSES.store(0, Ordering::Relaxed);
 }

@@ -160,6 +160,8 @@ pub fn characterize_cell_uncached(
     style: LogicStyle,
     params: &CellParams,
 ) -> Result<CellTiming> {
+    let _span = mcml_obs::span(mcml_obs::Stage::Characterize);
+    mcml_obs::incr(mcml_obs::Counter::CellsCharacterized);
     let d1 = measure_delay(kind, style, params, 1)?;
     let d4 = measure_delay(kind, style, params, 4)?;
     let idle_inputs = vec![true; kind.input_count()];

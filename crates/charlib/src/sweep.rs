@@ -62,6 +62,8 @@ pub fn bias_sweep_par(
     currents: &[f64],
     par: Parallelism,
 ) -> Result<Vec<BiasSweepPoint>> {
+    let _span = mcml_obs::span(mcml_obs::Stage::BiasSweep);
+    mcml_obs::add(mcml_obs::Counter::SweepPoints, currents.len() as u64);
     mcml_exec::parallel_map_items(par, currents, |&iss| {
         let p = params.with_iss(iss);
         let d1 = measure_delay(CellKind::Buffer, LogicStyle::PgMcml, &p, 1)?;
@@ -184,7 +186,9 @@ pub fn corner_sweep_par(
     par: Parallelism,
 ) -> crate::Result<Vec<(mcml_cells::Corner, f64, f64)>> {
     use mcml_cells::Corner;
+    let _span = mcml_obs::span(mcml_obs::Stage::CornerSweep);
     let corners: Vec<Corner> = Corner::ALL.into_iter().collect();
+    mcml_obs::add(mcml_obs::Counter::SweepPoints, corners.len() as u64);
     mcml_exec::parallel_map_items(par, &corners, |&corner| {
         let p = CellParams {
             corner,

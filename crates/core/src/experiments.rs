@@ -86,6 +86,18 @@ pub struct Table2Row {
 ///
 /// Propagates simulator errors.
 pub fn table2(flow: &mut DesignFlow) -> Result<Vec<Table2Row>> {
+    // Warm the characterisation cache with all 16 independent cells in
+    // one fan-out; the row loop below then reads memoised results. The
+    // rows (and the observability totals) are identical to the serial
+    // loop's — `parallel_map_items` merges in submission order and the
+    // cache is single-flight.
+    let params = &flow.params;
+    let timings = mcml_exec::parallel_map_items(flow.parallelism, &CellKind::ALL, |&kind| {
+        mcml_char::characterize_cell(kind, LogicStyle::PgMcml, params)
+    });
+    for t in timings {
+        flow.lib_insert(t?);
+    }
     let mut rows = Vec::new();
     for kind in CellKind::ALL {
         let t = flow.timing(kind, LogicStyle::PgMcml)?;
@@ -434,6 +446,7 @@ pub fn acquire_template_traces(
 ) -> Result<TraceSet> {
     let nl = ReducedAes::new(8).build_registered_netlist(style);
     flow.library_for(&nl)?;
+    let _span = mcml_obs::span(mcml_obs::Stage::TraceAcquisition);
     let lib = flow.library();
     let model = &flow.model;
     let t_edge = 2.2e-9;
@@ -541,6 +554,7 @@ pub fn fig6_transistor_par(
     // Every plaintext gets its own clone of the elaborated circuit and a
     // full transistor-level transient — the expensive, perfectly
     // independent work items of this tier.
+    let _span = mcml_obs::span(mcml_obs::Stage::SpiceTier);
     let rows = mcml_exec::parallel_map_items(par, plaintexts, |&p| {
         let mut ckt: Circuit = el.circuit.clone();
         let drive_const = |ckt: &mut Circuit, name: &str, v: bool| {
@@ -615,6 +629,7 @@ pub fn tvla_assessment(
     // Each acquisition derives its own RNG from (seed, index): the random
     // class's plaintext and every trace's noise depend only on the index,
     // so the populations are identical however the work is scheduled.
+    let acq_span = mcml_obs::span(mcml_obs::Stage::TraceAcquisition);
     let rows: Vec<(u8, Vec<f64>)> =
         mcml_exec::parallel_map(flow.parallelism, 2 * n_per_population, |i| {
             let mut rng = trace_rng(seed, i as u64);
@@ -647,6 +662,7 @@ pub fn tvla_assessment(
             random.push(*p, noisy);
         }
     }
+    drop(acq_span);
     Ok(mcml_dpa::welch_t_test_par(
         &fixed,
         &random,

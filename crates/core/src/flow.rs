@@ -54,6 +54,11 @@ impl DesignFlow {
         self
     }
 
+    /// Insert an externally characterised timing into the flow's library.
+    pub(crate) fn lib_insert(&mut self, t: CellTiming) {
+        self.lib.insert(t);
+    }
+
     /// Characterised timing of one cell (cached).
     ///
     /// # Errors
@@ -138,6 +143,7 @@ impl DesignFlow {
         sleep: Option<&SleepWave>,
     ) -> Result<Waveform> {
         self.library_for(nl)?;
+        let _span = mcml_obs::span(mcml_obs::Stage::PowerModel);
         Ok(circuit_current(nl, trace, &self.lib, sleep, &self.model))
     }
 
@@ -157,6 +163,7 @@ impl DesignFlow {
             "sleep trees only exist for PG-MCML netlists"
         );
         self.timing(CellKind::Buffer, LogicStyle::Cmos)?;
+        let _span = mcml_obs::span(mcml_obs::Stage::SleepTree);
         Ok(build_sleep_tree(
             nl.gate_count().max(1),
             &self.lib,

@@ -79,6 +79,7 @@ pub fn cpa_attack_par(
     par: Parallelism,
 ) -> CpaResult {
     assert!(traces.n_traces() >= 2, "CPA needs at least two traces");
+    let _span = mcml_obs::span(mcml_obs::Stage::Cpa);
     let n = traces.n_traces();
     let s = traces.n_samples();
     let guesses = model.key_space();
@@ -103,6 +104,7 @@ pub fn cpa_attack_par(
             *acc += p;
         }
     }
+    mcml_obs::add(mcml_obs::Counter::PearsonChunks, chunks.len() as u64);
 
     // One work item per key guess; rows come back in guess order.
     let rows: Vec<Vec<f64>> = mcml_exec::parallel_map(par, guesses, |g| {
@@ -114,6 +116,9 @@ pub fn cpa_attack_par(
         let ss_h: f64 = h.iter().map(|x| (x - mean_h) * (x - mean_h)).sum();
 
         let mut row = vec![0.0f64; s];
+        // Batched per-row accounting: totals depend only on the data, so
+        // they are identical for every thread count.
+        let mut zero_var: u64 = 0;
         if ss_h > 0.0 {
             // Cross products, blocked by trace chunk: the hypothesis slice
             // and the chunk's rows stay cache-resident together.
@@ -128,11 +133,21 @@ pub fn cpa_attack_par(
                     }
                 }
             }
+            mcml_obs::add(mcml_obs::Counter::PearsonChunks, chunks.len() as u64);
             for j in 0..s {
                 let denom = (ss_h * ss_t[j]).sqrt();
-                row[j] = if denom > 0.0 { row[j] / denom } else { 0.0 };
+                if denom > 0.0 {
+                    row[j] /= denom;
+                } else {
+                    row[j] = 0.0;
+                    zero_var += 1;
+                }
             }
+        } else {
+            // Constant hypothesis: the whole row is zero-variance.
+            zero_var = s as u64;
         }
+        mcml_obs::add(mcml_obs::Counter::ZeroVarianceSkipped, zero_var);
         row
     });
 

@@ -16,6 +16,23 @@
 //! * [`dpa`] — single-bit difference-of-means (Kocher-style) attack;
 //! * [`metrics`] — key rank, distinguishability margin, and
 //!   measurements-to-disclosure (MTD).
+//!
+//! A complete attack against a toy device that leaks the Hamming weight
+//! of a 4-bit S-box output:
+//!
+//! ```
+//! use mcml_dpa::{cpa_attack, key_rank, HammingWeight, TraceSet};
+//!
+//! let sbox = |x: u8| x.wrapping_mul(7) & 0xF; // toy 4-bit S-box
+//! let key = 0xB;
+//! let mut traces = TraceSet::new(4);
+//! for p in 0..16u8 {
+//!     let hw = f64::from(sbox(p ^ key).count_ones());
+//!     traces.push(p, &[0.5, hw * 1e-3, 0.1, hw * 2e-3]);
+//! }
+//! let result = cpa_attack(&traces, &HammingWeight::new(sbox, 4));
+//! assert_eq!(key_rank(&result.peak, key as usize), 0); // key recovered
+//! ```
 
 #![deny(missing_docs)]
 

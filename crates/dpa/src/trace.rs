@@ -63,6 +63,7 @@ impl TraceSet {
         );
         self.inputs.push(input);
         self.data.extend_from_slice(samples);
+        mcml_obs::incr(mcml_obs::Counter::TracesAcquired);
     }
 
     /// Trace `i`'s samples.

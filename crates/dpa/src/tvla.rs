@@ -43,6 +43,7 @@ fn stats(ts: &TraceSet, par: Parallelism) -> (Vec<f64>, Vec<f64>) {
     let mean = ts.mean_trace();
     let chunks: Vec<std::ops::Range<usize>> =
         mcml_exec::chunk_ranges(ts.n_traces(), mcml_exec::REDUCTION_CHUNK).collect();
+    mcml_obs::add(mcml_obs::Counter::WelchChunks, chunks.len() as u64);
     let partials = mcml_exec::parallel_map_items(par, &chunks, |r| {
         let mut partial = vec![0.0f64; s];
         for i in r.clone() {
@@ -95,6 +96,7 @@ pub fn welch_t_test_par(fixed: &TraceSet, random: &TraceSet, par: Parallelism) -
         fixed.n_traces() >= 2 && random.n_traces() >= 2,
         "need at least two traces per population"
     );
+    let _span = mcml_obs::span(mcml_obs::Stage::Tvla);
     let (m1, v1) = stats(fixed, par);
     let (m2, v2) = stats(random, par);
     let (n1, n2) = (fixed.n_traces() as f64, random.n_traces() as f64);

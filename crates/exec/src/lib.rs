@@ -20,7 +20,28 @@
 //! Thread count is controlled by [`Parallelism`]; `Parallelism::from_env()`
 //! honours the `MCML_THREADS` environment variable (`1` or `serial` forces
 //! the serial path, any larger number caps the worker pool).
+//!
+//! Every batch reports to `mcml-obs`: `exec.tasks_run` and
+//! `exec.parallel_batches` increment by the work dispatched (identically on
+//! the serial and parallel paths, so totals are thread-count invariant), and
+//! each worker's busy time accumulates into the `worker_busy` stage, from
+//! which run summaries derive per-worker utilisation.
+//!
+//! ```
+//! use mcml_exec::{chunked_sum, parallel_map, Parallelism};
+//!
+//! let squares = parallel_map(Parallelism::Threads(4), 5, |i| i * i);
+//! assert_eq!(squares, vec![0, 1, 4, 9, 16]);
+//!
+//! // Chunk-ordered reduction: bit-identical for any thread count.
+//! let serial = chunked_sum(Parallelism::Serial, 1000, |i| 1.0 / (i as f64 + 1.0));
+//! let threaded = chunked_sum(Parallelism::Threads(4), 1000, |i| 1.0 / (i as f64 + 1.0));
+//! assert_eq!(serial.to_bits(), threaded.to_bits());
+//! ```
 
+#![warn(missing_docs)]
+
+use mcml_obs::{Counter, Stage};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// How much hardware parallelism a pipeline stage may use.
@@ -40,7 +61,7 @@ impl Parallelism {
     ///
     /// * unset / unparsable → [`Parallelism::Auto`]
     /// * `serial`, `0`, `1` → [`Parallelism::Serial`]
-    /// * `n > 1`            → [`Parallelism::Threads(n)`]
+    /// * `n > 1`            → [`Parallelism::Threads`]`(n)`
     #[must_use]
     pub fn from_env() -> Self {
         match std::env::var("MCML_THREADS") {
@@ -86,8 +107,16 @@ where
     R: Send,
     F: Fn(usize) -> R + Sync,
 {
+    // Batch accounting is mode-independent: the same increments happen on
+    // the serial fallback and the threaded path, so `exec.*` totals are
+    // identical for any `MCML_THREADS`.
+    mcml_obs::incr(Counter::ParallelBatches);
+    mcml_obs::add(Counter::TasksRun, n as u64);
+    let _dispatch = mcml_obs::span(Stage::ParallelMap);
+
     let workers = par.worker_count().min(n.max(1));
     if workers <= 1 || n <= 1 {
+        let _busy = mcml_obs::span(Stage::WorkerBusy);
         return (0..n).map(f).collect();
     }
 
@@ -100,17 +129,20 @@ where
         for _ in 0..workers {
             let next = &next;
             let f = &f;
-            s.spawn(move |_| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
+            s.spawn(move |_| {
+                let _busy = mcml_obs::span(Stage::WorkerBusy);
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let r = f(i);
+                    // SAFETY: each index in 0..n is handed to exactly one
+                    // worker by the atomic counter, so no two threads write
+                    // the same slot, and the scope joins every worker before
+                    // `slots` is read or dropped.
+                    unsafe { slots_ptr.write(i, r) };
                 }
-                let r = f(i);
-                // SAFETY: each index in 0..n is handed to exactly one worker
-                // by the atomic counter, so no two threads write the same
-                // slot, and the scope joins every worker before `slots` is
-                // read or dropped.
-                unsafe { slots_ptr.write(i, r) };
             });
         }
     });

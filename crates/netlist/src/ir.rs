@@ -303,8 +303,11 @@ impl Netlist {
     }
 
     /// Topological order of the **combinational** gates (sequential gate
-    /// outputs act as sources). Returns `Err(gate_index)` on a
-    /// combinational cycle.
+    /// outputs act as sources).
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err(gate_index)` naming a gate on a combinational cycle.
     pub fn comb_topo_order(&self) -> Result<Vec<usize>, usize> {
         let driver = self.driver_map();
         // In-degree of each combinational gate = # inputs driven by other

@@ -21,6 +21,24 @@
 //! * [`report`] — cell counts, silicon area (cells + fat-wire routing
 //!   overhead) and static-timing critical path against a characterised
 //!   [`mcml_char::TimingLibrary`].
+//!
+//! Synthesis round trip — build a boolean network, map it onto the
+//! PG-MCML library, and check the mapped netlist still computes the
+//! same function:
+//!
+//! ```
+//! use mcml_netlist::{map_network, BoolNetwork, TechmapOptions};
+//!
+//! let mut bn = BoolNetwork::new();
+//! let (a, b) = (bn.input("a"), bn.input("b"));
+//! let y = bn.xor(a, b);
+//! bn.set_output("y", y);
+//!
+//! let nl = map_network(&bn, mcml_cells::LogicStyle::PgMcml, &TechmapOptions::default());
+//! assert!(nl.gate_count() >= 1);
+//! let out = bn.eval(&[("a".into(), true), ("b".into(), false)].into());
+//! assert_eq!(out["y"], true); // XOR(1, 0)
+//! ```
 
 #![deny(missing_docs)]
 

@@ -1,0 +1,234 @@
+//! The counter registry and its sharded atomic storage.
+//!
+//! Counters are a closed set (an enum, not string interning) so the hot
+//! path never hashes a name or allocates: an increment is a thread-local
+//! shard lookup plus one `fetch_add(Relaxed)`. Shards exist only to keep
+//! concurrent workers off each other's cache lines; totals are the sum
+//! over shards and are therefore independent of how work was scheduled.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+/// Every named counter in the workspace.
+///
+/// The `name()` strings (`<crate-area>.<what>`) are the keys of the
+/// `counters` object in `report.json`; units and emitting crates are
+/// documented per counter in `docs/OBSERVABILITY.md`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(usize)]
+pub enum Counter {
+    /// DC operating points solved (`mcml-spice`).
+    DcSolves,
+    /// Transient analyses run (`mcml-spice`).
+    Transients,
+    /// Accepted transient time steps (`mcml-spice`).
+    TranSteps,
+    /// Transient step subdivisions after a Newton failure (`mcml-spice`).
+    TranRetries,
+    /// Newton–Raphson iterations (`mcml-spice`).
+    NrIterations,
+    /// Linear-system factor/solve calls (`mcml-spice`).
+    MatrixSolves,
+    /// Characterisation-cache lookups (`mcml-char`).
+    CacheLookups,
+    /// Characterisation-cache lookups served from memory (`mcml-char`).
+    CacheHits,
+    /// Characterisation-cache lookups that ran the measurements (`mcml-char`).
+    CacheMisses,
+    /// Full cell characterisations executed (`mcml-char`).
+    CellsCharacterized,
+    /// Bias/corner sweep points measured (`mcml-char`).
+    SweepPoints,
+    /// `parallel_map`/`chunked_sum` batches dispatched (`mcml-exec`).
+    ParallelBatches,
+    /// Work items executed by the runner, serial or parallel (`mcml-exec`).
+    TasksRun,
+    /// Event-driven simulation runs (`mcml-sim`).
+    EventSimRuns,
+    /// Net transitions recorded by the event simulator (`mcml-sim`).
+    NetTransitions,
+    /// Power traces acquired into trace sets (`mcml-dpa`).
+    TracesAcquired,
+    /// Fixed-size trace chunks folded by the Pearson accumulation (`mcml-dpa`).
+    PearsonChunks,
+    /// Fixed-size trace chunks folded by the Welch t-test (`mcml-dpa`).
+    WelchChunks,
+    /// Zero-variance correlation cells short-circuited to 0 (`mcml-dpa`).
+    ZeroVarianceSkipped,
+}
+
+impl Counter {
+    /// Every counter, in declaration order.
+    pub const ALL: [Counter; 19] = [
+        Counter::DcSolves,
+        Counter::Transients,
+        Counter::TranSteps,
+        Counter::TranRetries,
+        Counter::NrIterations,
+        Counter::MatrixSolves,
+        Counter::CacheLookups,
+        Counter::CacheHits,
+        Counter::CacheMisses,
+        Counter::CellsCharacterized,
+        Counter::SweepPoints,
+        Counter::ParallelBatches,
+        Counter::TasksRun,
+        Counter::EventSimRuns,
+        Counter::NetTransitions,
+        Counter::TracesAcquired,
+        Counter::PearsonChunks,
+        Counter::WelchChunks,
+        Counter::ZeroVarianceSkipped,
+    ];
+
+    /// Number of counters (size of the storage rows).
+    pub const COUNT: usize = Self::ALL.len();
+
+    /// Stable report key, `<area>.<what>`.
+    #[must_use]
+    pub const fn name(self) -> &'static str {
+        match self {
+            Counter::DcSolves => "spice.dc_solves",
+            Counter::Transients => "spice.transients",
+            Counter::TranSteps => "spice.tran_steps",
+            Counter::TranRetries => "spice.tran_retries",
+            Counter::NrIterations => "spice.nr_iterations",
+            Counter::MatrixSolves => "spice.matrix_solves",
+            Counter::CacheLookups => "charlib.cache_lookups",
+            Counter::CacheHits => "charlib.cache_hits",
+            Counter::CacheMisses => "charlib.cache_misses",
+            Counter::CellsCharacterized => "charlib.cells_characterized",
+            Counter::SweepPoints => "charlib.sweep_points",
+            Counter::ParallelBatches => "exec.parallel_batches",
+            Counter::TasksRun => "exec.tasks_run",
+            Counter::EventSimRuns => "sim.event_runs",
+            Counter::NetTransitions => "sim.net_transitions",
+            Counter::TracesAcquired => "dpa.traces_acquired",
+            Counter::PearsonChunks => "dpa.pearson_chunks",
+            Counter::WelchChunks => "dpa.welch_chunks",
+            Counter::ZeroVarianceSkipped => "dpa.zero_variance_skipped",
+        }
+    }
+
+    /// Unit of the counted quantity.
+    #[must_use]
+    pub const fn unit(self) -> &'static str {
+        match self {
+            Counter::DcSolves => "operating points",
+            Counter::Transients => "analyses",
+            Counter::TranSteps => "accepted steps",
+            Counter::TranRetries => "subdivisions",
+            Counter::NrIterations => "iterations",
+            Counter::MatrixSolves => "factor+solve calls",
+            Counter::CacheLookups | Counter::CacheHits | Counter::CacheMisses => "lookups",
+            Counter::CellsCharacterized => "cells",
+            Counter::SweepPoints => "points",
+            Counter::ParallelBatches => "batches",
+            Counter::TasksRun => "work items",
+            Counter::EventSimRuns => "runs",
+            Counter::NetTransitions => "transitions",
+            Counter::TracesAcquired => "traces",
+            Counter::PearsonChunks | Counter::WelchChunks => "chunks",
+            Counter::ZeroVarianceSkipped => "matrix cells",
+        }
+    }
+
+    /// Crate that emits the counter.
+    #[must_use]
+    pub const fn crate_name(self) -> &'static str {
+        match self {
+            Counter::DcSolves
+            | Counter::Transients
+            | Counter::TranSteps
+            | Counter::TranRetries
+            | Counter::NrIterations
+            | Counter::MatrixSolves => "mcml-spice",
+            Counter::CacheLookups
+            | Counter::CacheHits
+            | Counter::CacheMisses
+            | Counter::CellsCharacterized
+            | Counter::SweepPoints => "mcml-char",
+            Counter::ParallelBatches | Counter::TasksRun => "mcml-exec",
+            Counter::EventSimRuns | Counter::NetTransitions => "mcml-sim",
+            Counter::TracesAcquired
+            | Counter::PearsonChunks
+            | Counter::WelchChunks
+            | Counter::ZeroVarianceSkipped => "mcml-dpa",
+        }
+    }
+}
+
+/// Shard count; power of two so the shard pick is a mask. 16 shards of
+/// 19×8 B keep concurrent workers on distinct cache-line groups without
+/// bloating the aggregate read.
+const SHARDS: usize = 16;
+
+#[allow(clippy::declare_interior_mutable_const)] // the canonical static-array-of-atomics init
+const ZERO: AtomicU64 = AtomicU64::new(0);
+#[allow(clippy::declare_interior_mutable_const)]
+const ROW: [AtomicU64; Counter::COUNT] = [ZERO; Counter::COUNT];
+static BANK: [[AtomicU64; Counter::COUNT]; SHARDS] = [ROW; SHARDS];
+
+static NEXT_SHARD: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    /// Each thread is pinned round-robin to one shard for its lifetime.
+    static MY_SHARD: usize = NEXT_SHARD.fetch_add(1, Ordering::Relaxed) & (SHARDS - 1);
+}
+
+/// Add `n` to a counter: one relaxed `fetch_add` on this thread's shard.
+///
+/// A no-op (no atomics touched, no allocation) when the mode is
+/// [`Off`](crate::Mode::Off).
+#[inline]
+pub fn add(c: Counter, n: u64) {
+    if !crate::enabled() {
+        return;
+    }
+    MY_SHARD.with(|&s| {
+        BANK[s][c as usize].fetch_add(n, Ordering::Relaxed);
+    });
+}
+
+/// Increment a counter by one. See [`add`].
+#[inline]
+pub fn incr(c: Counter) {
+    add(c, 1);
+}
+
+/// Aggregate total of a counter: the sum over shards.
+///
+/// Deterministic for deterministic workloads: the total depends only on
+/// the multiset of `add` calls, never on which thread made them.
+#[must_use]
+pub fn total(c: Counter) -> u64 {
+    BANK.iter()
+        .map(|row| row[c as usize].load(Ordering::Relaxed))
+        .sum()
+}
+
+pub(crate) fn reset_all() {
+    for row in &BANK {
+        for cell in row {
+            cell.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_unique_and_schema_stable() {
+        let mut names: Vec<&str> = Counter::ALL.iter().map(|c| c.name()).collect();
+        names.sort_unstable();
+        let before = names.len();
+        names.dedup();
+        assert_eq!(before, names.len(), "duplicate counter name");
+        for c in Counter::ALL {
+            assert!(c.name().contains('.'), "{} missing area prefix", c.name());
+            assert!(!c.unit().is_empty());
+            assert!(c.crate_name().starts_with("mcml-"));
+        }
+    }
+}

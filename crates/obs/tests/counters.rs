@@ -1,0 +1,134 @@
+//! Aggregation and span semantics of the observability layer.
+//!
+//! Counters are process-global, and Rust runs tests in one binary on
+//! parallel threads, so every test that touches them serialises on
+//! [`LOCK`]. Tests in *other* binaries are separate processes and need
+//! no coordination.
+
+use mcml_obs::{Counter, Mode, RunReport, Stage};
+use std::sync::Mutex;
+
+static LOCK: Mutex<()> = Mutex::new(());
+
+fn locked() -> std::sync::MutexGuard<'static, ()> {
+    LOCK.lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+#[test]
+fn aggregation_under_contention() {
+    let _g = locked();
+    mcml_obs::set_mode(Mode::Summary);
+    mcml_obs::reset();
+
+    const THREADS: u64 = 8;
+    const PER_THREAD: u64 = 10_000;
+    std::thread::scope(|scope| {
+        for _ in 0..THREADS {
+            scope.spawn(|| {
+                for _ in 0..PER_THREAD {
+                    mcml_obs::incr(Counter::NrIterations);
+                    mcml_obs::add(Counter::MatrixSolves, 3);
+                }
+            });
+        }
+    });
+
+    assert_eq!(mcml_obs::total(Counter::NrIterations), THREADS * PER_THREAD);
+    assert_eq!(
+        mcml_obs::total(Counter::MatrixSolves),
+        THREADS * PER_THREAD * 3
+    );
+    // Untouched counters stay zero.
+    assert_eq!(mcml_obs::total(Counter::TracesAcquired), 0);
+}
+
+#[test]
+fn span_nesting_accumulates_both_levels() {
+    let _g = locked();
+    mcml_obs::set_mode(Mode::Summary);
+    mcml_obs::reset();
+
+    {
+        let _outer = mcml_obs::span(Stage::Characterize);
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        {
+            let _inner = mcml_obs::span(Stage::BiasSweep);
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        // A second, sibling span of the same inner stage.
+        mcml_obs::time(Stage::BiasSweep, || {
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        });
+    }
+
+    let report = RunReport::capture("nesting", 1);
+    let outer = report.stage(Stage::Characterize);
+    let inner = report.stage(Stage::BiasSweep);
+    assert_eq!(outer.calls, 1);
+    assert_eq!(inner.calls, 2);
+    assert!(inner.busy_ns > 0);
+    // Inner time is contained in (and thus no larger than) outer time.
+    assert!(outer.busy_ns >= inner.busy_ns);
+}
+
+#[test]
+fn reset_zeroes_everything() {
+    let _g = locked();
+    mcml_obs::set_mode(Mode::Summary);
+    mcml_obs::reset();
+    mcml_obs::add(Counter::TranSteps, 7);
+    mcml_obs::time(Stage::Cpa, || {});
+    mcml_obs::reset();
+
+    let report = RunReport::capture("reset", 1);
+    for c in Counter::ALL {
+        assert_eq!(report.counter(c), 0, "{} survived reset", c.name());
+    }
+    for s in Stage::ALL {
+        assert_eq!(report.stage(s).calls, 0, "{} survived reset", s.name());
+    }
+}
+
+#[test]
+fn report_roundtrip_and_finish() {
+    let _g = locked();
+    let path = std::env::temp_dir().join("mcml_obs_test_report.json");
+    let path_str = path.to_str().expect("utf-8 temp path");
+    mcml_obs::set_mode(Mode::Json(path_str.to_owned()));
+    mcml_obs::reset();
+    mcml_obs::add(Counter::CellsCharacterized, 11);
+    mcml_obs::incr(Counter::CacheLookups);
+
+    let report = mcml_obs::finish("roundtrip", 4).expect("mode is on");
+    assert_eq!(report.counter(Counter::CellsCharacterized), 11);
+    let on_disk = std::fs::read_to_string(&path).expect("report written");
+    assert_eq!(on_disk, report.to_json());
+    assert!(on_disk.contains("\"charlib.cells_characterized\": 11"));
+    assert!(on_disk.contains("\"schema\": \"mcml-obs/1\""));
+    let _ = std::fs::remove_file(&path);
+
+    // Identical counters => identical deterministic totals, whatever the
+    // thread count says.
+    let replay = RunReport::capture("roundtrip", 1);
+    assert_eq!(report.deterministic_totals(), replay.deterministic_totals());
+
+    mcml_obs::set_mode(Mode::Summary);
+}
+
+#[test]
+fn off_mode_counts_nothing() {
+    let _g = locked();
+    mcml_obs::set_mode(Mode::Summary);
+    mcml_obs::reset();
+    mcml_obs::set_mode(Mode::Off);
+    mcml_obs::add(Counter::NrIterations, 99);
+    let guard = mcml_obs::span(Stage::Cpa);
+    drop(guard);
+    assert!(mcml_obs::finish("off", 1).is_none());
+
+    mcml_obs::set_mode(Mode::Summary);
+    assert_eq!(mcml_obs::total(Counter::NrIterations), 0);
+    let report = RunReport::capture("off", 1);
+    assert_eq!(report.stage(Stage::Cpa).calls, 0);
+}

@@ -20,6 +20,28 @@
 //! Simplifications vs real OR1K (documented per DESIGN.md): no branch
 //! delay slots, no exceptions/MMU, flat RAM. Neither affects the measured
 //! quantity — the ISE duty cycle and per-activation operands.
+//!
+//! Assemble and run a small program (sum 1..=10 into `r3`):
+//!
+//! ```
+//! use mcml_or1k::{assemble, Cpu, ExecutionTrace};
+//!
+//! let program = assemble(
+//!     "    l.addi r3, r0, 0\n\
+//!          l.addi r4, r0, 10\n\
+//!     loop:\n\
+//!          l.add  r3, r3, r4\n\
+//!          l.addi r4, r4, -1\n\
+//!          l.sfeq r4, r0\n\
+//!          l.bnf  loop\n\
+//!          l.halt\n",
+//! )
+//! .expect("assembles");
+//! let mut cpu = Cpu::new(&program, 64 * 1024);
+//! let mut trace = ExecutionTrace::default();
+//! cpu.run(10_000, &mut trace);
+//! assert_eq!(cpu.regs[3], 55);
+//! ```
 
 #![deny(missing_docs)]
 

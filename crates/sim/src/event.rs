@@ -271,6 +271,8 @@ impl<'a> EventSim<'a> {
     /// Panics if the stimulus drives an unknown input.
     #[must_use]
     pub fn run(&self, stimulus: &Stimulus, t_stop: f64) -> SimTrace {
+        let _span = mcml_obs::span(mcml_obs::Stage::EventSim);
+        mcml_obs::incr(mcml_obs::Counter::EventSimRuns);
         let nl = self.nl;
         let n_nets = nl.net_count();
         let input_of: HashMap<&str, NetId> = nl
@@ -372,6 +374,7 @@ impl<'a> EventSim<'a> {
             }
         }
 
+        mcml_obs::add(mcml_obs::Counter::NetTransitions, transitions.len() as u64);
         SimTrace {
             transitions,
             net_count: n_nets,

@@ -15,6 +15,16 @@
 //! * **PG-MCML** — the MCML template multiplied by the sleep envelope:
 //!   leakage floor asleep, exponential wake-up with an inrush pulse while
 //!   the internal nodes recharge.
+//!
+//! ## Measuring the returned waveform
+//!
+//! [`circuit_current`] always returns a [`Waveform`] with at least two
+//! samples, so the infallible `Waveform` measurements (`mean`, `max`,
+//! `sample`, `integral_between`) are safe on it directly. Code that
+//! first slices or resamples the trace (e.g. isolating one sleep
+//! window) should use the fallible `Waveform::try_*` variants, which
+//! return [`mcml_spice::SpiceError::EmptyWaveform`] instead of
+//! panicking when the selection comes up empty.
 
 use mcml_cells::{CellKind, LogicStyle};
 use mcml_char::{CellTiming, TimingLibrary};
@@ -123,6 +133,13 @@ fn timing_of(lib: &TimingLibrary, kind: GateKind, style: LogicStyle) -> Option<&
 ///
 /// `sleep` applies only to PG-MCML netlists (ignored otherwise); `None`
 /// means always awake.
+///
+/// The result spans `[0, trace.t_stop)` on a uniform `model.dt` grid
+/// with at least two samples, so the infallible [`Waveform`]
+/// measurements can be applied to it directly; derived selections
+/// (resampling, windowed integrals over possibly-empty ranges) should
+/// go through the `Waveform::try_*` APIs, which report
+/// [`mcml_spice::SpiceError::EmptyWaveform`] rather than panicking.
 ///
 /// # Panics
 ///

@@ -115,6 +115,7 @@ pub(crate) fn branch_map(ckt: &Circuit) -> Vec<Option<usize>> {
 /// [`crate::SpiceError::InvalidCircuit`] for an empty circuit.
 pub fn dc_op(ckt: &Circuit, opts: &DcOptions) -> Result<OpPoint> {
     ckt.validate()?;
+    mcml_obs::incr(mcml_obs::Counter::DcSolves);
     let engine = Engine::new(ckt);
     let nr = opts.nr();
     let t = opts.time;

@@ -234,10 +234,20 @@ impl<'a> Engine<'a> {
     ) -> Result<()> {
         let mut mat = SystemMatrix::new(self.n_unk);
         let mut f = vec![0.0; self.n_unk];
+        // Iteration accounting is batched into one `add` per exit path so
+        // the Newton loop itself stays free of instrumentation overhead.
+        let mut iters: u64 = 0;
         for iter in 0..opts.max_iter {
+            iters += 1;
             self.assemble(x, t, companion, gmin, src_scale, &mut mat, &mut f);
             let rhs: Vec<f64> = f.iter().map(|v| -v).collect();
-            let dx = mat.solve(&rhs, opts.solver)?;
+            let dx = match mat.solve(&rhs, opts.solver) {
+                Ok(dx) => dx,
+                Err(e) => {
+                    record_nr(iters);
+                    return Err(e);
+                }
+            };
 
             // Damping: cap the largest node-voltage update.
             let max_dv = dx[..self.n_node_unk]
@@ -252,6 +262,7 @@ impl<'a> Engine<'a> {
                 *xi += damp * di;
             }
             if !x.iter().all(|v| v.is_finite()) {
+                record_nr(iters);
                 return Err(SpiceError::NoConvergence {
                     analysis,
                     time: t,
@@ -263,15 +274,25 @@ impl<'a> Engine<'a> {
                 .iter()
                 .fold(0.0f64, |m, v| m.max(v.abs()));
             if damp == 1.0 && max_dv < opts.vtol && max_f < opts.itol {
+                record_nr(iters);
                 return Ok(());
             }
         }
+        record_nr(iters);
         Err(SpiceError::NoConvergence {
             analysis,
             time: t,
             iterations: opts.max_iter,
         })
     }
+}
+
+/// Record a finished Newton sequence: `n` iterations, each of which
+/// factored and solved the system once.
+#[inline]
+fn record_nr(n: u64) {
+    mcml_obs::add(mcml_obs::Counter::NrIterations, n);
+    mcml_obs::add(mcml_obs::Counter::MatrixSolves, n);
 }
 
 /// Companion conductance and history current for a capacitor.

@@ -172,6 +172,7 @@ impl TranResult {
 /// Returns [`SpiceError::NoConvergence`] when a step fails at the smallest
 /// subdivision, or the DC errors for the initial point.
 pub fn transient(ckt: &Circuit, opts: &TranOptions) -> Result<TranResult> {
+    mcml_obs::incr(mcml_obs::Counter::Transients);
     let dc_opts = DcOptions {
         solver: opts.solver,
         ..DcOptions::default()
@@ -207,12 +208,14 @@ pub fn transient(ckt: &Circuit, opts: &TranOptions) -> Result<TranResult> {
                 match engine.solve_nr(&mut x_try, t + h, Some(&ctx), ckt.gmin, 1.0, &nr, "tran") {
                     Ok(()) => {
                         // Accept: update companion states.
+                        mcml_obs::incr(mcml_obs::Counter::TranSteps);
                         update_caps(ckt, &mut caps, &x_try, h, trapezoidal);
                         x = x_try;
                         t += h;
                         break;
                     }
                     Err(e) => {
+                        mcml_obs::incr(mcml_obs::Counter::TranRetries);
                         level += 1;
                         if level > opts.max_subdiv {
                             return Err(match e {

@@ -289,7 +289,7 @@ pub mod collection {
     use super::test_runner::TestRng;
     use std::ops::Range;
 
-    /// Length specification for [`vec`]: a fixed length or a range.
+    /// Length specification for [`vec()`]: a fixed length or a range.
     pub trait IntoSizeRange {
         fn bounds(&self) -> (usize, usize); // inclusive lo, exclusive hi
     }
