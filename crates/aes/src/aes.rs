@@ -1,4 +1,4 @@
-//! AES-128 (FIPS-197) — the software workload the augmented OpenRISC
+//! AES-128 (FIPS-197) — the software workload the augmented `OpenRISC`
 //! core executes in the paper's Table 3 experiment.
 
 use crate::sbox::{INV_SBOX, SBOX};

@@ -3,7 +3,7 @@
 //! The cryptographic workload of the paper's evaluation:
 //!
 //! * [`aes`] — a complete software AES-128 (FIPS-197) used as the program
-//!   the OpenRISC core executes 5000 times for the Table 3 power study;
+//!   the `OpenRISC` core executes 5000 times for the Table 3 power study;
 //! * [`sbox`] — the AES S-box (plus a 4-bit mini S-box used for the
 //!   transistor-level CPA tier, where an 8-bit LUT would be too large to
 //!   SPICE for all plaintext–key pairs);
@@ -34,6 +34,7 @@
 //! assert_eq!(reduced.output(0x3b, 0xa7), SBOX[0x3b ^ 0xa7]);
 //! ```
 
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
 pub mod aes;

@@ -1,6 +1,6 @@
 //! The S-box instruction-set-extension functional unit.
 //!
-//! §6: *"we augmented the OpenRISC 1000 32-bit embedded processor with a
+//! §6: *"we augmented the `OpenRISC` 1000 32-bit embedded processor with a
 //! custom functional unit, sitting in the processor's pipeline,
 //! consisting of four identical S-boxes (each S-box is implemented in the
 //! form of 8 × 8 look-up-table) to match the processor's word size."*

@@ -12,6 +12,7 @@
 use mcml_bench::fmt_power;
 use mcml_cells::{build_cell, solve_bias, CellKind, CellParams, LogicStyle, SleepTopology};
 use mcml_char::measure_wakeup;
+use mcml_device::{MosParams, Mosfet};
 use mcml_netlist::{map_network, TechmapOptions};
 use mcml_spice::{Circuit, SourceWave};
 
@@ -138,7 +139,6 @@ fn run(params: &CellParams) {
     }
 
     println!("\n== ablation 3: device flavour of the bias chain ==\n");
-    use mcml_device::{MosParams, Mosfet};
     let hvt = Mosfet::nmos(MosParams::nmos_hvt_90(), 2.0e-6, 0.1e-6);
     let lvt = Mosfet::nmos(MosParams::nmos_lvt_90(), 2.0e-6, 0.1e-6);
     let leak_hvt = hvt.eval(0.0, 1.2, 0.0, 0.0).id;

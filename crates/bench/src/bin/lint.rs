@@ -1,0 +1,124 @@
+//! Lint the whole shipped design corpus: every example netlist at gate
+//! level and all 16 library cells (in all three logic styles) at
+//! transistor level, with the sleep-domain rules exercised through an
+//! automatically inserted sleep plan.
+//!
+//! Writes the combined `mcml-lint/1` document to `report.json` and
+//! exits non-zero if any target has a deny-severity diagnostic — the CI
+//! gate that keeps the shipped corpus lint-clean.
+//!
+//! Run with: `cargo run --release -p mcml-bench --bin lint`
+
+use mcml_aes::sbox_ise::SboxIseOptions;
+use mcml_aes::ReducedAes;
+use mcml_cells::{build_cell, CellKind, CellParams, LogicStyle};
+use mcml_lint::{combined_json, LintConfig, LintEngine, LintReport};
+use mcml_netlist::sleep_tree::SleepTreeOptions;
+use mcml_netlist::{insert_sleep_domains, Netlist, TechmapOptions};
+use pg_mcml::DesignFlow;
+
+fn print_row(report: &LintReport) {
+    println!(
+        "{:<32} {:>5} {:>5}  {}",
+        report.target,
+        report.deny_count(),
+        report.warn_count(),
+        if report.is_clean() { "ok" } else { "DENY" }
+    );
+    for d in &report.diagnostics {
+        println!("    {d}");
+    }
+}
+
+fn main() {
+    mcml_obs::reset();
+    let params = CellParams::default();
+    // The shipped netlists are buffered by the techmap to its own
+    // fan-out limit, so align the lint envelope with it instead of the
+    // stricter FO4 characterisation default.
+    let max_fanout = TechmapOptions::default().max_fanout;
+    let mut cfg = LintConfig::default();
+    cfg.max_fanout = max_fanout;
+    let engine = LintEngine::new(cfg);
+    let mut reports: Vec<LintReport> = Vec::new();
+
+    println!("{:<32} {:>5} {:>5}", "target", "deny", "warn");
+
+    // Transistor level: the full 16-cell library in every style.
+    for style in LogicStyle::ALL {
+        for kind in CellKind::ALL {
+            let cell = build_cell(kind, style, &params);
+            let report = engine.lint_cell(&cell);
+            print_row(&report);
+            reports.push(report);
+        }
+    }
+
+    // Gate level: the example netlists the repo ships.
+    for style in LogicStyle::ALL {
+        let sbox: Netlist = mcml_aes::build_sbox_ise(
+            style,
+            &SboxIseOptions {
+                n_sboxes: 1,
+                output_regs: false,
+            },
+        );
+        let report = engine.lint_netlist(&sbox, None);
+        print_row(&report);
+        reports.push(report);
+
+        let reduced: Netlist = ReducedAes::new(4).build_registered_netlist(style);
+        let report = engine.lint_netlist(&reduced, None);
+        print_row(&report);
+        reports.push(report);
+    }
+
+    // Sleep-domain rules: a two-S-box PG-MCML ISE with an automatically
+    // inserted sleep plan (one domain per S-box byte).
+    let mut flow = DesignFlow::new(params);
+    flow.lint.config.max_fanout = max_fanout;
+    let gated = mcml_aes::build_sbox_ise(
+        LogicStyle::PgMcml,
+        &SboxIseOptions {
+            n_sboxes: 2,
+            output_regs: false,
+        },
+    );
+    flow.timing(CellKind::Buffer, LogicStyle::Cmos)
+        .expect("CMOS buffer characterises (sleep-tree timing)");
+    let groups: Vec<(String, Vec<String>)> = (0..2)
+        .map(|s| {
+            (
+                format!("sbox{s}"),
+                (0..8).map(|b| format!("y{}", s * 8 + b)).collect(),
+            )
+        })
+        .collect();
+    let groups_ref: Vec<(&str, Vec<&str>)> = groups
+        .iter()
+        .map(|(n, o)| (n.as_str(), o.iter().map(String::as_str).collect()))
+        .collect();
+    let plan = insert_sleep_domains(
+        &gated,
+        &groups_ref,
+        flow.library(),
+        &SleepTreeOptions::default(),
+    );
+    let report = flow.lint_netlist(&gated, Some(&plan));
+    print_row(&report);
+    reports.push(report);
+
+    let deny: usize = reports.iter().map(LintReport::deny_count).sum();
+    let warn: usize = reports.iter().map(LintReport::warn_count).sum();
+    let doc = combined_json("lint", &reports);
+    std::fs::write("report.json", &doc).expect("write report.json");
+    println!(
+        "\n{} targets linted: {deny} deny, {warn} warn — report.json written",
+        reports.len()
+    );
+
+    mcml_obs::finish("lint", pg_mcml::Parallelism::from_env().worker_count());
+    if deny > 0 {
+        std::process::exit(1);
+    }
+}

@@ -29,6 +29,7 @@
 //! `MCML_OBS=json:report.json` to also write the machine-readable
 //! report (see `docs/OBSERVABILITY.md`).
 
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
 /// Format a power value with an adaptive unit.

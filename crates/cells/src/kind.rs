@@ -176,6 +176,33 @@ impl CellKind {
         }
     }
 
+    /// Number of current-mode stages (= tail current sources) in the
+    /// MCML / PG-MCML implementation of the cell.
+    ///
+    /// Each stage draws one `Iss` from the supply whether or not it
+    /// switches, so this is the per-cell static-current weight used by
+    /// the `iss-budget` lint rule; it is cross-checked against the
+    /// transistor-level generator's stage count in the cell tests.
+    #[must_use]
+    pub fn mcml_stage_count(self) -> usize {
+        match self {
+            CellKind::Buffer
+            | CellKind::Diff2Single
+            | CellKind::And2
+            | CellKind::Xor2
+            | CellKind::Mux2
+            | CellKind::DLatch => 1,
+            CellKind::And3 | CellKind::Xor3 | CellKind::Dff => 2,
+            CellKind::And4
+            | CellKind::Xor4
+            | CellKind::Mux4
+            | CellKind::Maj32
+            | CellKind::Dffr
+            | CellKind::Edff => 3,
+            CellKind::FullAdder => 5,
+        }
+    }
+
     /// Whether the cell holds state (latch or flip-flop).
     #[must_use]
     pub fn is_sequential(self) -> bool {

@@ -31,6 +31,7 @@
 //! assert!(cell.transistor_count() >= 6);
 //! ```
 
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
 pub mod area;

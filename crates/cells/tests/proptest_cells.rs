@@ -13,7 +13,7 @@ proptest! {
 
     /// BDDs built from random truth tables evaluate back to the table.
     #[test]
-    fn bdd_matches_truth_table(table in proptest::collection::vec(any::<bool>(), 16)) {
+    fn bdd_matches_truth_table(table in collection::vec(any::<bool>(), 16)) {
         let mut bdd = Bdd::new();
         let f = bdd.from_truth_table(4, &table);
         for (i, &want) in table.iter().enumerate() {
@@ -25,8 +25,8 @@ proptest! {
     /// Boolean-algebra identities hold structurally (hash-consing makes
     /// equal functions identical nodes).
     #[test]
-    fn bdd_algebra(table_a in proptest::collection::vec(any::<bool>(), 8),
-                   table_b in proptest::collection::vec(any::<bool>(), 8)) {
+    fn bdd_algebra(table_a in collection::vec(any::<bool>(), 8),
+                   table_b in collection::vec(any::<bool>(), 8)) {
         let mut bdd = Bdd::new();
         let a = bdd.from_truth_table(3, &table_a);
         let b = bdd.from_truth_table(3, &table_b);

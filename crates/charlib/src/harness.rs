@@ -410,7 +410,7 @@ impl BuiltTestbench {
 
     /// Switch threshold of a specific named pin: the differential zero
     /// when the pin is a rail pair, mid-rail for single-ended pins (e.g.
-    /// the Diff2Single converter's full-swing output).
+    /// the `Diff2Single` converter's full-swing output).
     #[must_use]
     pub fn switch_level_for(&self, name: &str) -> f64 {
         if self.style.is_differential() && self.cell_ports.contains_key(&format!("{name}_p")) {

@@ -29,6 +29,7 @@
 //! assert!(t.delay_fo1_ps > 1.0 && t.delay_fo1_ps < 500.0);
 //! ```
 
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
 pub mod cache;

@@ -285,7 +285,7 @@ mod tests {
         let t = characterize_cell(CellKind::Buffer, LogicStyle::Mcml, &params).unwrap();
         let mut lib = TimingLibrary::new();
         lib.insert(t.clone());
-        lib.insert(t.clone()); // replace, not duplicate
+        lib.insert(t); // replace, not duplicate
         assert_eq!(lib.len(), 1);
         assert!(lib.get(CellKind::Buffer, LogicStyle::Mcml).is_some());
         assert!(lib.get(CellKind::Xor2, LogicStyle::Mcml).is_none());

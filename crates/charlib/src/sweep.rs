@@ -169,7 +169,7 @@ mod tests {
 pub fn corner_sweep(
     params: &CellParams,
     style: LogicStyle,
-) -> crate::Result<Vec<(mcml_cells::Corner, f64, f64)>> {
+) -> Result<Vec<(mcml_cells::Corner, f64, f64)>> {
     corner_sweep_par(params, style, Parallelism::from_env())
 }
 
@@ -184,7 +184,7 @@ pub fn corner_sweep_par(
     params: &CellParams,
     style: LogicStyle,
     par: Parallelism,
-) -> crate::Result<Vec<(mcml_cells::Corner, f64, f64)>> {
+) -> Result<Vec<(mcml_cells::Corner, f64, f64)>> {
     use mcml_cells::Corner;
     let _span = mcml_obs::span(mcml_obs::Stage::CornerSweep);
     let corners: Vec<Corner> = Corner::ALL.into_iter().collect();
@@ -194,7 +194,7 @@ pub fn corner_sweep_par(
             corner,
             ..params.clone()
         };
-        let d = crate::measure::measure_delay(CellKind::Buffer, style, &p, 4)?;
+        let d = measure_delay(CellKind::Buffer, style, &p, 4)?;
         let s = crate::measure::measure_static_power(CellKind::Buffer, style, &p, &[true])?;
         Ok((corner, d.avg_ps(), s))
     })

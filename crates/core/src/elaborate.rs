@@ -41,6 +41,38 @@ struct NetNodes {
     n: Option<NodeId>,
 }
 
+/// [`elaborate`] behind the lint gate: run the `mcml-lint` gate-level
+/// rule pack first and refuse to expand a netlist with deny-severity
+/// findings — catching broken structure *before* any SPICE runs, the
+/// way the paper's flow runs DRC/ERC decks before simulation.
+///
+/// # Errors
+///
+/// [`mcml_spice::SpiceError::InvalidCircuit`] listing every deny
+/// diagnostic when the netlist is not lint-clean.
+pub fn checked_elaborate(
+    nl: &Netlist,
+    params: &CellParams,
+    engine: &mcml_lint::LintEngine,
+) -> crate::flow::Result<Elaborated> {
+    let report = engine.lint_netlist(nl, None);
+    if !report.is_clean() {
+        let denies: Vec<String> = report
+            .diagnostics
+            .iter()
+            .filter(|d| d.severity == mcml_lint::Severity::Deny)
+            .map(ToString::to_string)
+            .collect();
+        return Err(mcml_spice::SpiceError::InvalidCircuit(format!(
+            "netlist `{}` fails lint with {} deny diagnostic(s): {}",
+            nl.name,
+            denies.len(),
+            denies.join("; ")
+        )));
+    }
+    Ok(elaborate(nl, params))
+}
+
 /// Elaborate a netlist to transistors.
 ///
 /// The supply, `Vn`/`Vp` bias rails and (for PG-MCML) an always-on sleep
@@ -334,9 +366,7 @@ mod tests {
         let edge = |a, b| SourceWave::Pwl(vec![(0.0, a), (1.0e-9, a), (1.05e-9, b)]);
         ckt.vsource("VC", cp, Circuit::GND, edge(v_lo, v_hi));
         ckt.vsource("VCn", cn.unwrap(), Circuit::GND, edge(v_hi, v_lo));
-        let res = ckt
-            .transient(&mcml_spice::TranOptions::new(3.0e-9, 10e-12))
-            .unwrap();
+        let res = ckt.transient(&TranOptions::new(3.0e-9, 10e-12)).unwrap();
         let (qp, qn) = el.outputs["q"];
         let vq = res.voltage(qp).add(&res.voltage(qn.unwrap()).scaled(-1.0));
         assert!(

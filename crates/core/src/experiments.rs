@@ -22,7 +22,7 @@ use mcml_spice::{Circuit, SourceWave, TranOptions, Waveform};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use crate::elaborate::elaborate;
+use crate::elaborate::checked_elaborate;
 use crate::flow::{DesignFlow, Result};
 
 // ---------------------------------------------------------------- Table 1
@@ -388,7 +388,7 @@ fn gauss(rng: &mut StdRng) -> f64 {
     (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
 }
 
-/// Independent per-trace noise stream: a SplitMix64 finalizer over
+/// Independent per-trace noise stream: a `SplitMix64` finalizer over
 /// `(seed, index)` seeds each trace's own `StdRng`, so trace `i` draws the
 /// same noise whether acquisitions run serially or fanned across threads.
 fn trace_rng(seed: u64, index: u64) -> StdRng {
@@ -543,7 +543,7 @@ pub fn fig6_transistor_par(
     // register captures S(p ⊕ k) on the clock edge — the moment whose
     // supply charge carries the Hamming-weight leak (in CMOS).
     let nl: Netlist = reduced.build_registered_netlist(style);
-    let el = elaborate(&nl, params);
+    let el = checked_elaborate(&nl, params, &mcml_lint::LintEngine::with_default_rules())?;
     let (v_lo, v_hi) = match style {
         LogicStyle::Cmos => (0.0, params.tech.vdd),
         _ => (params.v_low(), params.tech.vdd),

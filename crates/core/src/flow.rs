@@ -3,9 +3,10 @@
 use mcml_cells::{CellKind, CellParams, LogicStyle};
 use mcml_char::{characterize_cell, CellTiming, TimingLibrary};
 use mcml_exec::Parallelism;
+use mcml_lint::{LintEngine, LintReport};
 use mcml_netlist::{
     build_sleep_tree, map_network, sleep_tree::SleepTreeOptions, BoolNetwork, GateKind, Netlist,
-    SleepTree, TechmapOptions,
+    SleepPlan, SleepTree, TechmapOptions,
 };
 use mcml_sim::power::SleepWave;
 use mcml_sim::{circuit_current, CurrentModel, EventSim, SimTrace, Stimulus};
@@ -31,6 +32,9 @@ pub struct DesignFlow {
     /// Defaults to the `MCML_THREADS` environment setting (all cores when
     /// unset); every result is bit-identical whatever the value.
     pub parallelism: Parallelism,
+    /// Static-analysis engine gating elaboration (reconfigure its
+    /// `config` to tune thresholds or waive rules).
+    pub lint: LintEngine,
     lib: TimingLibrary,
 }
 
@@ -43,6 +47,7 @@ impl DesignFlow {
             model: CurrentModel::default(),
             techmap: TechmapOptions::default(),
             parallelism: Parallelism::from_env(),
+            lint: LintEngine::with_default_rules(),
             lib: TimingLibrary::new(),
         }
     }
@@ -119,6 +124,24 @@ impl DesignFlow {
     #[must_use]
     pub fn map(&self, bn: &BoolNetwork, style: LogicStyle) -> Netlist {
         map_network(bn, style, &self.techmap)
+    }
+
+    /// Lint a netlist with the flow's engine (pass the sleep plan when
+    /// one exists to enable the sleep-domain rules).
+    #[must_use]
+    pub fn lint_netlist(&self, nl: &Netlist, plan: Option<&SleepPlan>) -> LintReport {
+        self.lint.lint_netlist(nl, plan)
+    }
+
+    /// Elaborate a netlist to transistors behind the lint gate: a
+    /// netlist with deny-severity diagnostics never reaches SPICE.
+    ///
+    /// # Errors
+    ///
+    /// [`mcml_spice::SpiceError::InvalidCircuit`] listing the deny
+    /// diagnostics when the netlist fails lint.
+    pub fn elaborate(&self, nl: &Netlist) -> Result<crate::elaborate::Elaborated> {
+        crate::elaborate::checked_elaborate(nl, &self.params, &self.lint)
     }
 
     /// Event-simulate a netlist (characterising its cells on demand).

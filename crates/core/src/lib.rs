@@ -28,6 +28,7 @@
 //! # Ok::<(), mcml_spice::SpiceError>(())
 //! ```
 
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
 pub mod elaborate;
@@ -47,9 +48,10 @@ pub mod prelude {
     pub use mcml_sim::{circuit_current, CurrentModel, EventSim, Stimulus};
     pub use mcml_spice::{Circuit, SourceWave, TranOptions, Waveform};
 
-    pub use crate::elaborate::elaborate;
+    pub use crate::elaborate::{checked_elaborate, elaborate};
     pub use crate::flow::DesignFlow;
     pub use mcml_exec::Parallelism;
+    pub use mcml_lint::{LintConfig, LintEngine, LintReport};
 }
 
 pub use flow::DesignFlow;

@@ -34,6 +34,7 @@
 //! assert!(tech.vdd > 1.0);
 //! ```
 
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
 pub mod model;

@@ -602,10 +602,10 @@ mod tests {
 
     #[test]
     fn softplus_extremes() {
-        assert_eq!(super::softplus(100.0), 100.0);
-        assert!(super::softplus(-100.0) > 0.0);
-        assert!((super::softplus(0.0) - std::f64::consts::LN_2).abs() < 1e-12);
-        assert_eq!(super::sigmoid(100.0), 1.0);
-        assert!(super::sigmoid(-100.0) < 1e-20);
+        assert_eq!(softplus(100.0), 100.0);
+        assert!(softplus(-100.0) > 0.0);
+        assert!((softplus(0.0) - std::f64::consts::LN_2).abs() < 1e-12);
+        assert_eq!(sigmoid(100.0), 1.0);
+        assert!(sigmoid(-100.0) < 1e-20);
     }
 }

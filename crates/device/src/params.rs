@@ -134,7 +134,7 @@ pub struct MosParams {
     pub lambda: f64,
     /// Body-effect coefficient γ (√V).
     pub gamma: f64,
-    /// Surface potential 2φ_F (V) for the body-effect expression.
+    /// Surface potential `2φ_F` (V) for the body-effect expression.
     pub phi: f64,
     /// Velocity-saturation critical field × length voltage `Ecrit·L`
     /// reference (V) at `l = l_ref`; scales linearly with drawn length.

@@ -259,9 +259,9 @@ mod tests {
     fn parallel_matches_serial_bit_for_bit() {
         let ts = leaky_traces(0x5e, 0.7, 300, toy_sbox);
         let model = HammingWeight::new(toy_sbox, 8);
-        let serial = cpa_attack_par(&ts, &model, mcml_exec::Parallelism::Serial);
+        let serial = cpa_attack_par(&ts, &model, Parallelism::Serial);
         for threads in [2, 4, 7] {
-            let par = cpa_attack_par(&ts, &model, mcml_exec::Parallelism::Threads(threads));
+            let par = cpa_attack_par(&ts, &model, Parallelism::Threads(threads));
             assert_eq!(serial, par, "threads={threads}");
             for (a, b) in serial.corr.iter().flatten().zip(par.corr.iter().flatten()) {
                 assert_eq!(a.to_bits(), b.to_bits());

@@ -34,6 +34,7 @@
 //! assert_eq!(key_rank(&result.peak, key as usize), 0); // key recovered
 //! ```
 
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
 pub mod cpa;

@@ -183,9 +183,9 @@ mod tests {
     fn parallel_matches_serial_bit_for_bit() {
         let fixed = population(0.4, 0.1, 700, 17);
         let random = population(0.0, 0.1, 650, 23);
-        let serial = welch_t_test_par(&fixed, &random, mcml_exec::Parallelism::Serial);
+        let serial = welch_t_test_par(&fixed, &random, Parallelism::Serial);
         for threads in [2, 3, 8] {
-            let par = welch_t_test_par(&fixed, &random, mcml_exec::Parallelism::Threads(threads));
+            let par = welch_t_test_par(&fixed, &random, Parallelism::Threads(threads));
             for (a, b) in serial.t.iter().zip(par.t.iter()) {
                 assert_eq!(a.to_bits(), b.to_bits(), "threads={threads}");
             }

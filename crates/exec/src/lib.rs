@@ -81,7 +81,9 @@ impl Parallelism {
         match self {
             Parallelism::Serial => 1,
             Parallelism::Threads(n) => n.max(1),
-            Parallelism::Auto => std::thread::available_parallelism().map_or(1, |n| n.get()),
+            Parallelism::Auto => {
+                std::thread::available_parallelism().map_or(1, std::num::NonZero::get)
+            }
         }
     }
 

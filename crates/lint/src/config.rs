@@ -1,0 +1,91 @@
+//! Per-rule severity overrides and rule thresholds.
+
+use std::collections::BTreeMap;
+
+use crate::diag::Severity;
+
+/// Engine configuration: severity overrides plus the numeric envelopes
+/// the threshold rules check against.
+///
+/// Defaults encode the paper's operating point: the characterisation
+/// envelope ends at fan-out 4 (delay beyond FO4 is extrapolated), the
+/// sleep tree targets ≈1 ns insertion delay (§5 / Fig. 5), and each
+/// current-mode stage draws 50 µA of tail current (Fig. 3b).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LintConfig {
+    /// Per-rule severity overrides (`rule id → severity`); a `Severity::Allow`
+    /// entry waives the rule entirely.
+    overrides: BTreeMap<String, Severity>,
+    /// Largest fan-out inside the characterisation envelope
+    /// (`fanout-envelope` rule). The library is characterised FO1–FO4,
+    /// so delays above this are extrapolations.
+    pub max_fanout: usize,
+    /// Sleep-tree insertion-delay budget in seconds
+    /// (`sleep-insertion-delay` rule).
+    pub insertion_delay_budget: f64,
+    /// Tail current per current-mode stage in amperes (`iss-budget`
+    /// rule's per-stage weight).
+    pub iss_per_stage: f64,
+    /// Aggregate tail-current budget in amperes (`iss-budget` rule);
+    /// `None` disables the rule.
+    pub iss_budget: Option<f64>,
+}
+
+impl Default for LintConfig {
+    fn default() -> Self {
+        Self {
+            overrides: BTreeMap::new(),
+            max_fanout: 4,
+            insertion_delay_budget: 1.0e-9,
+            iss_per_stage: 50e-6,
+            iss_budget: None,
+        }
+    }
+}
+
+impl LintConfig {
+    /// Override one rule's severity (`Severity::Allow` waives it).
+    pub fn set_severity(&mut self, rule_id: &str, severity: Severity) -> &mut Self {
+        self.overrides.insert(rule_id.to_owned(), severity);
+        self
+    }
+
+    /// Resolve the severity of a rule given its default.
+    #[must_use]
+    pub fn severity_for(&self, rule_id: &str, default: Severity) -> Severity {
+        self.overrides.get(rule_id).copied().unwrap_or(default)
+    }
+
+    /// The configured overrides, in rule-id order.
+    pub fn overrides(&self) -> impl Iterator<Item = (&str, Severity)> {
+        self.overrides.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn override_wins_over_default() {
+        let mut cfg = LintConfig::default();
+        assert_eq!(
+            cfg.severity_for("comb-loop", Severity::Deny),
+            Severity::Deny
+        );
+        cfg.set_severity("comb-loop", Severity::Allow);
+        assert_eq!(
+            cfg.severity_for("comb-loop", Severity::Deny),
+            Severity::Allow
+        );
+    }
+
+    #[test]
+    fn defaults_match_paper_envelopes() {
+        let cfg = LintConfig::default();
+        assert_eq!(cfg.max_fanout, 4);
+        assert!((cfg.insertion_delay_budget - 1.0e-9).abs() < 1e-15);
+        assert!((cfg.iss_per_stage - 50e-6).abs() < 1e-12);
+        assert!(cfg.iss_budget.is_none());
+    }
+}

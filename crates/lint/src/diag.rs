@@ -1,0 +1,129 @@
+//! Diagnostics: what a rule reports and how severe it is.
+
+use std::fmt;
+
+/// How a diagnostic from a rule is treated.
+///
+/// Resolution order: a per-rule override in
+/// [`LintConfig`](crate::LintConfig) wins over the rule's default.
+/// `Allow`-resolved diagnostics are dropped before they reach the
+/// report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Suppressed: the diagnostic is discarded (the waive mechanism).
+    Allow,
+    /// Reported, but does not fail the flow gate.
+    Warn,
+    /// Reported and fails [`LintReport::is_clean`](crate::LintReport::is_clean)
+    /// — the flow refuses to elaborate.
+    Deny,
+}
+
+impl Severity {
+    /// Stable report string (`allow` / `warn` / `deny`).
+    #[must_use]
+    pub const fn name(self) -> &'static str {
+        match self {
+            Severity::Allow => "allow",
+            Severity::Warn => "warn",
+            Severity::Deny => "deny",
+        }
+    }
+
+    /// Parse the `allow|warn|deny` configuration syntax.
+    #[must_use]
+    pub fn parse(s: &str) -> Option<Self> {
+        match s.trim() {
+            "allow" => Some(Severity::Allow),
+            "warn" => Some(Severity::Warn),
+            "deny" => Some(Severity::Deny),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Where in the design a diagnostic points.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Location {
+    /// The design as a whole (aggregate rules like the `Iss` budget).
+    Design,
+    /// A gate-level net, by name.
+    Net(String),
+    /// A gate instance, by name.
+    Gate(String),
+    /// A primary input or output, by name.
+    Port(String),
+    /// A transistor-level circuit node, by name.
+    Node(String),
+    /// A transistor-level element (device/source), by name.
+    Element(String),
+}
+
+impl fmt::Display for Location {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Location::Design => f.write_str("design"),
+            Location::Net(n) => write!(f, "net {n}"),
+            Location::Gate(g) => write!(f, "gate {g}"),
+            Location::Port(p) => write!(f, "port {p}"),
+            Location::Node(n) => write!(f, "node {n}"),
+            Location::Element(e) => write!(f, "element {e}"),
+        }
+    }
+}
+
+/// One finding of one rule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Stable rule identifier (see `docs/LINTING.md` for the registry).
+    pub rule_id: &'static str,
+    /// Resolved severity (per-rule default, then config override).
+    pub severity: Severity,
+    /// Human-readable description of the violation.
+    pub message: String,
+    /// What the diagnostic points at.
+    pub location: Location,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}[{}] {}: {}",
+            self.severity, self.rule_id, self.location, self.message
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn severity_roundtrip() {
+        for s in [Severity::Allow, Severity::Warn, Severity::Deny] {
+            assert_eq!(Severity::parse(s.name()), Some(s));
+        }
+        assert_eq!(Severity::parse("nope"), None);
+    }
+
+    #[test]
+    fn diagnostic_display() {
+        let d = Diagnostic {
+            rule_id: "net-multi-driven",
+            severity: Severity::Deny,
+            message: "driven by u1 and u2".into(),
+            location: Location::Net("q".into()),
+        };
+        assert_eq!(
+            d.to_string(),
+            "deny[net-multi-driven] net q: driven by u1 and u2"
+        );
+    }
+}

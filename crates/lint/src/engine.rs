@@ -1,0 +1,222 @@
+//! The rule registry and the lint run loop.
+
+use mcml_cells::CellNetlist;
+use mcml_netlist::{Netlist, SleepPlan};
+use mcml_spice::Circuit;
+
+use crate::config::LintConfig;
+use crate::diag::{Diagnostic, Severity};
+use crate::report::LintReport;
+use crate::rules;
+
+/// What a lint run inspects: one gate-level netlist or one
+/// transistor-level circuit, with whatever side information is
+/// available.
+///
+/// Rules receive the full target and skip silently when it is not
+/// theirs (a transistor rule sees a netlist, a sleep-tree rule sees a
+/// netlist without a [`SleepPlan`], …).
+#[derive(Clone, Copy)]
+pub enum LintTarget<'a> {
+    /// A gate-level [`Netlist`], optionally with its sleep-domain plan
+    /// (enables the `sleep-domain-orphan` and `sleep-insertion-delay`
+    /// rules).
+    Netlist {
+        /// The netlist under check.
+        nl: &'a Netlist,
+        /// Sleep-domain plan, when one was synthesised.
+        plan: Option<&'a SleepPlan>,
+    },
+    /// A transistor-level [`Circuit`], optionally as a generated cell
+    /// (ports + kind + style enable the differential-symmetry and
+    /// sleep-transistor rules).
+    Circuit {
+        /// The circuit under check.
+        circuit: &'a Circuit,
+        /// The cell view, when the circuit is a generated standard cell.
+        cell: Option<&'a CellNetlist>,
+    },
+}
+
+impl LintTarget<'_> {
+    /// Report name of the target.
+    #[must_use]
+    pub fn name(&self) -> String {
+        match self {
+            LintTarget::Netlist { nl, .. } => format!("{} [{}]", nl.name, nl.style),
+            LintTarget::Circuit { cell: Some(c), .. } => format!("{} [{}]", c.kind, c.style),
+            LintTarget::Circuit { cell: None, .. } => "circuit".to_owned(),
+        }
+    }
+}
+
+/// A static-analysis rule.
+///
+/// A rule is pure: it inspects the target and returns diagnostics at
+/// its **default** severity; the engine resolves the final severity
+/// against the [`LintConfig`] overrides and drops `allow`-resolved
+/// findings.
+pub trait Rule {
+    /// Stable identifier (the key used in config overrides, reports and
+    /// `docs/LINTING.md`).
+    fn id(&self) -> &'static str;
+    /// Severity when no override is configured.
+    fn default_severity(&self) -> Severity;
+    /// One-line description for documentation and `--list-rules` style
+    /// output.
+    fn description(&self) -> &'static str;
+    /// Inspect `target` and return every finding.
+    fn check(&self, target: &LintTarget<'_>, cfg: &LintConfig) -> Vec<Diagnostic>;
+}
+
+/// The rule registry plus its configuration.
+pub struct LintEngine {
+    rules: Vec<Box<dyn Rule>>,
+    /// Thresholds and severity overrides applied at run time.
+    pub config: LintConfig,
+}
+
+impl LintEngine {
+    /// An engine with both built-in rule packs at the given config.
+    #[must_use]
+    pub fn new(config: LintConfig) -> Self {
+        let mut engine = Self {
+            rules: Vec::new(),
+            config,
+        };
+        for r in rules::gate::all() {
+            engine.register(r);
+        }
+        for r in rules::tran::all() {
+            engine.register(r);
+        }
+        engine
+    }
+
+    /// An engine with the default rules and default configuration.
+    #[must_use]
+    pub fn with_default_rules() -> Self {
+        Self::new(LintConfig::default())
+    }
+
+    /// An engine with no rules (register your own).
+    #[must_use]
+    pub fn empty(config: LintConfig) -> Self {
+        Self {
+            rules: Vec::new(),
+            config,
+        }
+    }
+
+    /// Add a rule to the registry.
+    pub fn register(&mut self, rule: Box<dyn Rule>) {
+        debug_assert!(
+            !self.rules.iter().any(|r| r.id() == rule.id()),
+            "duplicate rule id {}",
+            rule.id()
+        );
+        self.rules.push(rule);
+    }
+
+    /// The registered rules, in registration order.
+    pub fn rules(&self) -> impl Iterator<Item = &dyn Rule> {
+        self.rules.iter().map(AsRef::as_ref)
+    }
+
+    /// Lint a gate-level netlist (with its sleep plan, when available).
+    #[must_use]
+    pub fn lint_netlist(&self, nl: &Netlist, plan: Option<&SleepPlan>) -> LintReport {
+        self.run(&LintTarget::Netlist { nl, plan })
+    }
+
+    /// Lint a generated standard cell at transistor level.
+    #[must_use]
+    pub fn lint_cell(&self, cell: &CellNetlist) -> LintReport {
+        self.run(&LintTarget::Circuit {
+            circuit: &cell.circuit,
+            cell: Some(cell),
+        })
+    }
+
+    /// Lint a bare transistor-level circuit (no cell port information).
+    #[must_use]
+    pub fn lint_circuit(&self, circuit: &Circuit) -> LintReport {
+        self.run(&LintTarget::Circuit {
+            circuit,
+            cell: None,
+        })
+    }
+
+    /// Run every registered rule against one target.
+    #[must_use]
+    pub fn run(&self, target: &LintTarget<'_>) -> LintReport {
+        let _span = mcml_obs::span(mcml_obs::Stage::Lint);
+        let mut diagnostics: Vec<Diagnostic> = Vec::new();
+        for rule in &self.rules {
+            mcml_obs::incr(mcml_obs::Counter::LintRulesRun);
+            for mut d in rule.check(target, &self.config) {
+                d.severity = self.config.severity_for(d.rule_id, d.severity);
+                if d.severity == Severity::Allow {
+                    continue;
+                }
+                mcml_obs::incr(mcml_obs::Counter::LintDiagnostics);
+                diagnostics.push(d);
+            }
+        }
+        // Deterministic report order regardless of rule registration
+        // order: by rule id, then location, then message.
+        diagnostics.sort_by(|a, b| {
+            (a.rule_id, &a.location, &a.message).cmp(&(b.rule_id, &b.location, &b.message))
+        });
+        LintReport {
+            target: target.name(),
+            rules_run: self.rules.len(),
+            diagnostics,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcml_cells::LogicStyle;
+
+    #[test]
+    fn default_engine_has_unique_rule_ids() {
+        let engine = LintEngine::with_default_rules();
+        let mut ids: Vec<&str> = engine.rules().map(Rule::id).collect();
+        assert!(ids.len() >= 13, "both packs registered: {ids:?}");
+        ids.sort_unstable();
+        let before = ids.len();
+        ids.dedup();
+        assert_eq!(before, ids.len(), "duplicate rule id");
+    }
+
+    #[test]
+    fn allow_override_waives_a_rule() {
+        let mut nl = Netlist::new("t", LogicStyle::Mcml);
+        let a = nl.add_input("a");
+        let q = nl.add_net("q");
+        nl.add_gate(
+            "u_inv",
+            mcml_netlist::GateKind::Inv,
+            vec![mcml_netlist::Conn::plain(a)],
+            vec![q],
+        );
+        nl.set_output("q", mcml_netlist::Conn::plain(q));
+        let engine = LintEngine::with_default_rules();
+        assert!(!engine.lint_netlist(&nl, None).is_clean());
+
+        let mut cfg = LintConfig::default();
+        cfg.set_severity("diff-illegal-inverter", Severity::Allow);
+        let waived = LintEngine::new(cfg);
+        let report = waived.lint_netlist(&nl, None);
+        assert!(
+            report
+                .diagnostics
+                .iter()
+                .all(|d| d.rule_id != "diff-illegal-inverter"),
+            "{report:?}"
+        );
+    }
+}

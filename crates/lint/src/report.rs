@@ -1,0 +1,213 @@
+//! Deterministic lint reports (`mcml-lint/1` JSON schema).
+//!
+//! The JSON is hand-rolled the same way `mcml-obs` renders its run
+//! reports: keys in a fixed order, diagnostics pre-sorted by the
+//! engine, no floats — so byte-identical inputs produce byte-identical
+//! reports and golden files stay stable.
+
+use std::fmt::Write as _;
+
+use crate::diag::{Diagnostic, Severity};
+
+/// Schema identifier stamped into every report.
+pub const SCHEMA: &str = "mcml-lint/1";
+
+/// The outcome of linting one target.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LintReport {
+    /// Report name of the target (netlist name or cell name, with its
+    /// logic style).
+    pub target: String,
+    /// Number of rules the engine evaluated.
+    pub rules_run: usize,
+    /// Kept findings, sorted by (rule id, location, message).
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl LintReport {
+    /// Number of deny-severity findings.
+    #[must_use]
+    pub fn deny_count(&self) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Deny)
+            .count()
+    }
+
+    /// Number of warn-severity findings.
+    #[must_use]
+    pub fn warn_count(&self) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Warn)
+            .count()
+    }
+
+    /// `true` when the target has no deny-severity findings (warnings
+    /// do not fail the gate).
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.deny_count() == 0
+    }
+
+    /// Findings reported by one rule.
+    pub fn by_rule<'a>(&'a self, rule_id: &'a str) -> impl Iterator<Item = &'a Diagnostic> {
+        self.diagnostics
+            .iter()
+            .filter(move |d| d.rule_id == rule_id)
+    }
+
+    /// Render the report as `mcml-lint/1` JSON.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        self.write_json(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn write_json(&self, out: &mut String, indent: usize) {
+        let pad = "  ".repeat(indent);
+        let _ = writeln!(out, "{pad}{{");
+        let _ = writeln!(out, "{pad}  \"schema\": \"{SCHEMA}\",");
+        let _ = writeln!(out, "{pad}  \"target\": \"{}\",", escape(&self.target));
+        let _ = writeln!(out, "{pad}  \"rules_run\": {},", self.rules_run);
+        let _ = writeln!(out, "{pad}  \"deny\": {},", self.deny_count());
+        let _ = writeln!(out, "{pad}  \"warn\": {},", self.warn_count());
+        if self.diagnostics.is_empty() {
+            let _ = writeln!(out, "{pad}  \"diagnostics\": []");
+        } else {
+            let _ = writeln!(out, "{pad}  \"diagnostics\": [");
+            for (i, d) in self.diagnostics.iter().enumerate() {
+                let comma = if i + 1 < self.diagnostics.len() {
+                    ","
+                } else {
+                    ""
+                };
+                let _ = writeln!(
+                    out,
+                    "{pad}    {{ \"rule\": \"{}\", \"severity\": \"{}\", \"location\": \"{}\", \"message\": \"{}\" }}{comma}",
+                    escape(d.rule_id),
+                    d.severity.name(),
+                    escape(&d.location.to_string()),
+                    escape(&d.message),
+                );
+            }
+            let _ = writeln!(out, "{pad}  ]");
+        }
+        let _ = write!(out, "{pad}}}");
+    }
+}
+
+/// Render several reports as one `mcml-lint/1` document (the shape the
+/// `lint` bench binary writes to `report.json`).
+#[must_use]
+pub fn combined_json(run: &str, reports: &[LintReport]) -> String {
+    let deny: usize = reports.iter().map(LintReport::deny_count).sum();
+    let warn: usize = reports.iter().map(LintReport::warn_count).sum();
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"schema\": \"{SCHEMA}\",");
+    let _ = writeln!(out, "  \"run\": \"{}\",", escape(run));
+    let _ = writeln!(out, "  \"targets_linted\": {},", reports.len());
+    let _ = writeln!(out, "  \"deny\": {deny},");
+    let _ = writeln!(out, "  \"warn\": {warn},");
+    if reports.is_empty() {
+        out.push_str("  \"targets\": []\n");
+    } else {
+        out.push_str("  \"targets\": [\n");
+        for (i, r) in reports.iter().enumerate() {
+            r.write_json(&mut out, 2);
+            out.push_str(if i + 1 < reports.len() { ",\n" } else { "\n" });
+        }
+        out.push_str("  ]\n");
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Minimal JSON string escape (mirrors the one in `mcml-obs`).
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diag::Location;
+
+    fn sample() -> LintReport {
+        LintReport {
+            target: "t [MCML]".into(),
+            rules_run: 3,
+            diagnostics: vec![
+                Diagnostic {
+                    rule_id: "comb-loop",
+                    severity: Severity::Deny,
+                    message: "cycle through u1 -> u2".into(),
+                    location: Location::Gate("u1".into()),
+                },
+                Diagnostic {
+                    rule_id: "net-undriven",
+                    severity: Severity::Warn,
+                    message: "never driven".into(),
+                    location: Location::Net("x".into()),
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn counts_and_cleanliness() {
+        let r = sample();
+        assert_eq!(r.deny_count(), 1);
+        assert_eq!(r.warn_count(), 1);
+        assert!(!r.is_clean());
+        assert_eq!(r.by_rule("comb-loop").count(), 1);
+        let clean = LintReport {
+            target: "c".into(),
+            rules_run: 3,
+            diagnostics: vec![],
+        };
+        assert!(clean.is_clean());
+    }
+
+    #[test]
+    fn json_is_deterministic_and_schema_tagged() {
+        let r = sample();
+        let a = r.to_json();
+        let b = r.to_json();
+        assert_eq!(a, b);
+        assert!(a.starts_with("{\n  \"schema\": \"mcml-lint/1\","));
+        assert!(a.contains("\"deny\": 1"));
+        assert!(a.contains("\"rule\": \"comb-loop\""));
+    }
+
+    #[test]
+    fn combined_json_aggregates() {
+        let doc = combined_json("bench", &[sample(), sample()]);
+        assert!(doc.contains("\"targets_linted\": 2"));
+        assert!(doc.contains("\"deny\": 2"));
+        assert!(doc.contains("\"run\": \"bench\""));
+    }
+
+    #[test]
+    fn escape_handles_quotes_and_control() {
+        assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+    }
+}

@@ -1,0 +1,4 @@
+//! The built-in rule packs.
+
+pub mod gate;
+pub mod tran;

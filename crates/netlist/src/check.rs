@@ -1,0 +1,330 @@
+//! Typed structural checks over the gate-level IR.
+//!
+//! [`structural_issues`] is the single source of truth for the structural
+//! invariants of a [`Netlist`]: [`Netlist::validate`] fails on the fatal
+//! subset, and the `mcml-lint` gate-level rule pack reports every issue
+//! under a stable rule id. Keeping the walk here, in the IR crate, lets
+//! both consumers share one implementation without a dependency cycle
+//! (the lint crate depends on this one, never the reverse).
+
+use mcml_cells::LogicStyle;
+
+use crate::ir::{GateKind, Netlist};
+
+/// One structural defect found in a [`Netlist`].
+///
+/// The variants carry names (not raw indices) so a diagnostic stays
+/// meaningful after the netlist that produced it is gone.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StructuralIssue {
+    /// An explicit `Inv` gate in a differential netlist, where inversion
+    /// is free (rail swap) and the techmap never emits one.
+    IllegalInverter {
+        /// Offending gate instance name.
+        gate: String,
+    },
+    /// A net with more than one driving gate output.
+    MultipleDrivers {
+        /// Net name.
+        net: String,
+        /// Names of every gate driving the net, in gate order.
+        drivers: Vec<String>,
+    },
+    /// A primary input whose net is also driven by a gate.
+    DrivenInput {
+        /// Input name.
+        input: String,
+        /// Name of the driving gate.
+        driver: String,
+    },
+    /// A combinational cycle (sequential outputs break paths).
+    CombinationalCycle {
+        /// Gate instance names along the cycle, in signal-flow order.
+        cycle: Vec<String>,
+    },
+    /// A net consumed by a gate input or primary output but driven by
+    /// nothing (and not a primary input).
+    UndrivenNet {
+        /// Net name.
+        net: String,
+    },
+    /// A net driven by a gate but consumed by nothing.
+    DanglingNet {
+        /// Net name.
+        net: String,
+        /// Name of the driving gate.
+        driver: String,
+    },
+}
+
+impl StructuralIssue {
+    /// Whether [`Netlist::validate`] treats the issue as an error.
+    ///
+    /// Undriven and dangling nets are lint matters (an output pin may
+    /// legitimately go unused); the other four break elaboration and
+    /// simulation and always fail validation.
+    #[must_use]
+    pub fn is_fatal(&self) -> bool {
+        !matches!(
+            self,
+            StructuralIssue::UndrivenNet { .. } | StructuralIssue::DanglingNet { .. }
+        )
+    }
+}
+
+impl std::fmt::Display for StructuralIssue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StructuralIssue::IllegalInverter { gate } => write!(
+                f,
+                "gate {gate}: INV is illegal in differential netlists (inversion is free)"
+            ),
+            StructuralIssue::MultipleDrivers { net, drivers } => {
+                write!(f, "net {net} has multiple drivers ({})", drivers.join(", "))
+            }
+            StructuralIssue::DrivenInput { input, driver } => {
+                write!(f, "primary input {input} is driven by a gate ({driver})")
+            }
+            StructuralIssue::CombinationalCycle { cycle } => {
+                write!(f, "combinational cycle through gate {}", cycle.join(" -> "))
+            }
+            StructuralIssue::UndrivenNet { net } => write!(f, "net {net} has no driver"),
+            StructuralIssue::DanglingNet { net, driver } => {
+                write!(f, "net {net} (driven by {driver}) has no sinks")
+            }
+        }
+    }
+}
+
+/// Typed error returned by [`Netlist::validate`]: every fatal
+/// [`StructuralIssue`] in the netlist, in deterministic walk order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ValidateError {
+    /// The fatal issues, in walk order (gates first, then inputs, then
+    /// cycles).
+    pub issues: Vec<StructuralIssue>,
+}
+
+impl std::fmt::Display for ValidateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for (i, issue) in self.issues.iter().enumerate() {
+            if i > 0 {
+                write!(f, "; ")?;
+            }
+            write!(f, "{issue}")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for ValidateError {}
+
+/// Every structural issue in a netlist, fatal or not.
+///
+/// Walk order (and therefore output order) is deterministic: illegal
+/// inverters and multiply-driven nets in gate order, driven inputs in
+/// input order, at most one combinational cycle, then undriven and
+/// dangling nets in net order.
+#[must_use]
+pub fn structural_issues(nl: &Netlist) -> Vec<StructuralIssue> {
+    let mut issues = Vec::new();
+
+    // Per-net driver lists (also feeds the driven-input check).
+    let mut drivers: Vec<Vec<usize>> = vec![Vec::new(); nl.net_count()];
+    for (gi, g) in nl.gates().iter().enumerate() {
+        if g.kind == GateKind::Inv && nl.style != LogicStyle::Cmos {
+            issues.push(StructuralIssue::IllegalInverter {
+                gate: g.name.clone(),
+            });
+        }
+        for &o in &g.outputs {
+            drivers[o.index()].push(gi);
+        }
+    }
+    for (ni, d) in drivers.iter().enumerate() {
+        if d.len() > 1 {
+            issues.push(StructuralIssue::MultipleDrivers {
+                net: nl.net_name(crate::ir::NetId::from_index(ni)).to_owned(),
+                drivers: d.iter().map(|&gi| nl.gates()[gi].name.clone()).collect(),
+            });
+        }
+    }
+    for (name, n) in nl.inputs() {
+        if let Some(&gi) = drivers[n.index()].first() {
+            issues.push(StructuralIssue::DrivenInput {
+                input: name.clone(),
+                driver: nl.gates()[gi].name.clone(),
+            });
+        }
+    }
+    if let Err(stuck) = nl.comb_topo_order() {
+        issues.push(StructuralIssue::CombinationalCycle {
+            cycle: extract_cycle(nl, stuck),
+        });
+    }
+
+    // Connectivity: undriven and dangling nets.
+    let is_input: Vec<bool> = {
+        let mut v = vec![false; nl.net_count()];
+        for (_, n) in nl.inputs() {
+            v[n.index()] = true;
+        }
+        v
+    };
+    let fanout = nl.fanout_counts();
+    for ni in 0..nl.net_count() {
+        let id = crate::ir::NetId::from_index(ni);
+        let driven = !drivers[ni].is_empty();
+        if fanout[ni] > 0 && !driven && !is_input[ni] {
+            issues.push(StructuralIssue::UndrivenNet {
+                net: nl.net_name(id).to_owned(),
+            });
+        }
+        if fanout[ni] == 0 && driven {
+            issues.push(StructuralIssue::DanglingNet {
+                net: nl.net_name(id).to_owned(),
+                driver: nl.gates()[drivers[ni][0]].name.clone(),
+            });
+        }
+    }
+    issues
+}
+
+/// Follow combinational dependencies from a stuck gate until a gate
+/// repeats, yielding the gate names of one cycle in signal-flow order.
+fn extract_cycle(nl: &Netlist, stuck: usize) -> Vec<String> {
+    let driver = nl.driver_map();
+    // Walk drain-to-source: from each gate to the first of its input
+    // drivers that is also combinational. Every gate on a cycle has one.
+    let mut path: Vec<usize> = Vec::new();
+    let mut seen = vec![false; nl.gate_count()];
+    let mut g = stuck;
+    loop {
+        if seen[g] {
+            let start = path.iter().position(|&x| x == g).unwrap_or(0);
+            let mut cycle: Vec<String> = path[start..]
+                .iter()
+                .map(|&x| nl.gates()[x].name.clone())
+                .collect();
+            // The walk went sink -> driver; flip to signal-flow order.
+            cycle.reverse();
+            return cycle;
+        }
+        seen[g] = true;
+        path.push(g);
+        let next = nl.gates()[g].inputs.iter().find_map(|c| {
+            driver[c.net.index()].filter(|&src| !nl.gates()[src].kind.is_sequential())
+        });
+        match next {
+            Some(src) => g = src,
+            // Shouldn't happen for a genuinely stuck gate; bail with what
+            // we have rather than loop forever.
+            None => return path.iter().map(|&x| nl.gates()[x].name.clone()).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{Conn, Netlist};
+    use mcml_cells::CellKind;
+
+    #[test]
+    fn clean_netlist_has_no_issues() {
+        let mut nl = Netlist::new("t", LogicStyle::PgMcml);
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let q = nl.add_net("q");
+        nl.add_gate(
+            "u",
+            GateKind::Lib(CellKind::Xor2),
+            vec![Conn::plain(a), Conn::plain(b)],
+            vec![q],
+        );
+        nl.set_output("q", Conn::plain(q));
+        assert_eq!(structural_issues(&nl), Vec::new());
+    }
+
+    #[test]
+    fn undriven_and_dangling_are_nonfatal() {
+        let mut nl = Netlist::new("t", LogicStyle::PgMcml);
+        let a = nl.add_input("a");
+        let ghost = nl.add_net("ghost");
+        let q = nl.add_net("q");
+        nl.add_gate(
+            "u",
+            GateKind::Lib(CellKind::And2),
+            vec![Conn::plain(a), Conn::plain(ghost)],
+            vec![q],
+        );
+        // `ghost` is consumed but undriven; `q` is driven but unused.
+        let issues = structural_issues(&nl);
+        assert!(issues
+            .iter()
+            .any(|i| matches!(i, StructuralIssue::UndrivenNet { net } if net == "ghost")));
+        assert!(issues
+            .iter()
+            .any(|i| matches!(i, StructuralIssue::DanglingNet { net, .. } if net == "q")));
+        assert!(issues.iter().all(|i| !i.is_fatal()));
+        nl.validate().expect("non-fatal issues pass validation");
+    }
+
+    #[test]
+    fn cycle_is_reported_with_its_path() {
+        let mut nl = Netlist::new("t", LogicStyle::PgMcml);
+        let a = nl.add_net("a");
+        let b = nl.add_net("b");
+        let c = nl.add_net("c");
+        let x = nl.add_input("x");
+        nl.add_gate(
+            "u1",
+            GateKind::Lib(CellKind::And2),
+            vec![Conn::plain(a), Conn::plain(x)],
+            vec![b],
+        );
+        nl.add_gate(
+            "u2",
+            GateKind::Lib(CellKind::And2),
+            vec![Conn::plain(b), Conn::plain(x)],
+            vec![c],
+        );
+        nl.add_gate(
+            "u3",
+            GateKind::Lib(CellKind::And2),
+            vec![Conn::plain(c), Conn::plain(x)],
+            vec![a],
+        );
+        nl.set_output("q", Conn::plain(a));
+        let issues = structural_issues(&nl);
+        let cycle = issues
+            .iter()
+            .find_map(|i| match i {
+                StructuralIssue::CombinationalCycle { cycle } => Some(cycle.clone()),
+                _ => None,
+            })
+            .expect("cycle found");
+        assert_eq!(cycle.len(), 3, "{cycle:?}");
+        for name in ["u1", "u2", "u3"] {
+            assert!(cycle.iter().any(|g| g == name), "{name} in {cycle:?}");
+        }
+        let err = nl.validate().unwrap_err();
+        assert!(err.to_string().contains("cycle"), "{err}");
+    }
+
+    #[test]
+    fn multiple_drivers_lists_every_driver() {
+        let mut nl = Netlist::new("t", LogicStyle::Cmos);
+        let a = nl.add_input("a");
+        let q = nl.add_net("q");
+        nl.add_gate("u1", GateKind::Inv, vec![Conn::plain(a)], vec![q]);
+        nl.add_gate("u2", GateKind::Inv, vec![Conn::plain(a)], vec![q]);
+        nl.set_output("q", Conn::plain(q));
+        let issues = structural_issues(&nl);
+        assert!(issues.iter().any(|i| matches!(
+            i,
+            StructuralIssue::MultipleDrivers { net, drivers }
+                if net == "q" && drivers == &["u1".to_owned(), "u2".to_owned()]
+        )));
+    }
+}

@@ -273,33 +273,25 @@ impl Netlist {
     /// Structural validation: single driver per net, inputs undriven,
     /// `Inv` gates only in CMOS netlists, no combinational cycles.
     ///
+    /// Built on [`crate::check::structural_issues`]; only issues whose
+    /// [`crate::check::StructuralIssue::is_fatal`] is true fail
+    /// validation — undriven or dangling nets are reported by the
+    /// `mcml-lint` rule pack instead.
+    ///
     /// # Errors
     ///
-    /// Returns a human-readable description of the first violation.
-    pub fn validate(&self) -> Result<(), String> {
-        let mut driver = vec![false; self.net_names.len()];
-        for g in &self.gates {
-            if g.kind == GateKind::Inv && self.style != LogicStyle::Cmos {
-                return Err(format!(
-                    "gate {}: INV is illegal in differential netlists (inversion is free)",
-                    g.name
-                ));
-            }
-            for &o in &g.outputs {
-                if driver[o.index()] {
-                    return Err(format!("net {} has multiple drivers", self.net_name(o)));
-                }
-                driver[o.index()] = true;
-            }
+    /// Returns every fatal [`crate::check::StructuralIssue`] as a typed
+    /// [`crate::check::ValidateError`].
+    pub fn validate(&self) -> Result<(), crate::check::ValidateError> {
+        let issues: Vec<crate::check::StructuralIssue> = crate::check::structural_issues(self)
+            .into_iter()
+            .filter(crate::check::StructuralIssue::is_fatal)
+            .collect();
+        if issues.is_empty() {
+            Ok(())
+        } else {
+            Err(crate::check::ValidateError { issues })
         }
-        for (name, n) in &self.inputs {
-            if driver[n.index()] {
-                return Err(format!("primary input {name} is driven by a gate"));
-            }
-        }
-        self.comb_topo_order()
-            .map(|_| ())
-            .map_err(|c| format!("combinational cycle through gate {}", self.gates[c].name))
     }
 
     /// Topological order of the **combinational** gates (sequential gate
@@ -553,7 +545,11 @@ mod tests {
         let q = nl.add_net("q");
         nl.add_gate("u1", GateKind::Inv, vec![Conn::plain(a)], vec![q]);
         nl.add_gate("u2", GateKind::Inv, vec![Conn::plain(a)], vec![q]);
-        assert!(nl.validate().unwrap_err().contains("multiple drivers"));
+        assert!(nl
+            .validate()
+            .unwrap_err()
+            .to_string()
+            .contains("multiple drivers"));
     }
 
     #[test]
@@ -563,7 +559,7 @@ mod tests {
         let b = nl.add_net("b");
         nl.add_gate("u1", GateKind::Inv, vec![Conn::plain(a)], vec![b]);
         nl.add_gate("u2", GateKind::Inv, vec![Conn::plain(b)], vec![a]);
-        assert!(nl.validate().unwrap_err().contains("cycle"));
+        assert!(nl.validate().unwrap_err().to_string().contains("cycle"));
     }
 
     #[test]

@@ -8,6 +8,8 @@
 //!   connection may be marked inverted, which MCML realises by swapping
 //!   the fat-wire rail pair (no gate needed); the CMOS back-end legalises
 //!   the same netlist by inserting real inverters.
+//! * [`check`] — typed structural issues ([`StructuralIssue`]) shared by
+//!   [`Netlist::validate`] and the `mcml-lint` gate-level rule pack.
 //! * [`bool_network`] — a complemented-edge boolean network (AND/XOR/MUX
 //!   nodes) used as the synthesis input, with a BDD-based LUT builder for
 //!   look-up-table blocks such as the AES S-box.
@@ -40,10 +42,12 @@
 //! assert_eq!(out["y"], true); // XOR(1, 0)
 //! ```
 
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
 pub mod auto_sleep;
 pub mod bool_network;
+pub mod check;
 pub mod ir;
 pub mod report;
 pub mod sleep_tree;
@@ -51,6 +55,7 @@ pub mod techmap;
 
 pub use auto_sleep::{insert_sleep_domains, SleepDomain, SleepPlan};
 pub use bool_network::{BoolNetwork, Signal};
+pub use check::{structural_issues, StructuralIssue, ValidateError};
 pub use ir::{Conn, Gate, GateKind, NetId, Netlist};
 pub use report::{area_report, critical_path_ps, AreaReport};
 pub use sleep_tree::{build_sleep_tree, SleepTree};

@@ -76,8 +76,7 @@ pub fn critical_path_ps(nl: &Netlist, lib: &TimingLibrary) -> f64 {
                 .delay_ps(fanout),
             GateKind::Inv => lib
                 .get(CellKind::Buffer, nl.style)
-                .map(|t| 0.6 * t.delay_ps(fanout))
-                .unwrap_or(10.0),
+                .map_or(10.0, |t| 0.6 * t.delay_ps(fanout)),
         }
     };
     let fan = nl.fanout_counts();

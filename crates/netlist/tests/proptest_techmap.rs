@@ -95,7 +95,7 @@ proptest! {
     /// across styles, for all 64 input patterns.
     #[test]
     fn mapping_preserves_function(
-        recipes in proptest::collection::vec(recipe_strategy(12), 3..25),
+        recipes in collection::vec(recipe_strategy(12), 3..25),
         style_pick in 0usize..3,
     ) {
         let (bn, names) = build_network(&recipes, 3);
@@ -118,7 +118,7 @@ proptest! {
     /// Fusion options never change the function, only the gate count.
     #[test]
     fn fusion_is_semantics_preserving(
-        recipes in proptest::collection::vec(recipe_strategy(10), 4..20),
+        recipes in collection::vec(recipe_strategy(10), 4..20),
     ) {
         let (bn, names) = build_network(&recipes, 2);
         let fused = map_network(
@@ -158,7 +158,7 @@ proptest! {
     /// Buffering respects the fan-out bound without changing semantics.
     #[test]
     fn buffering_bounds_fanout(
-        recipes in proptest::collection::vec(recipe_strategy(8), 8..24),
+        recipes in collection::vec(recipe_strategy(8), 8..24),
         max_fo in 2usize..6,
     ) {
         let (bn, names) = build_network(&recipes, 4);

@@ -54,11 +54,15 @@ pub enum Counter {
     WelchChunks,
     /// Zero-variance correlation cells short-circuited to 0 (`mcml-dpa`).
     ZeroVarianceSkipped,
+    /// Lint rules evaluated against a target (`mcml-lint`).
+    LintRulesRun,
+    /// Lint diagnostics emitted at warn or deny severity (`mcml-lint`).
+    LintDiagnostics,
 }
 
 impl Counter {
     /// Every counter, in declaration order.
-    pub const ALL: [Counter; 19] = [
+    pub const ALL: [Counter; 21] = [
         Counter::DcSolves,
         Counter::Transients,
         Counter::TranSteps,
@@ -78,6 +82,8 @@ impl Counter {
         Counter::PearsonChunks,
         Counter::WelchChunks,
         Counter::ZeroVarianceSkipped,
+        Counter::LintRulesRun,
+        Counter::LintDiagnostics,
     ];
 
     /// Number of counters (size of the storage rows).
@@ -106,6 +112,8 @@ impl Counter {
             Counter::PearsonChunks => "dpa.pearson_chunks",
             Counter::WelchChunks => "dpa.welch_chunks",
             Counter::ZeroVarianceSkipped => "dpa.zero_variance_skipped",
+            Counter::LintRulesRun => "lint.rules_run",
+            Counter::LintDiagnostics => "lint.diagnostics",
         }
     }
 
@@ -129,6 +137,8 @@ impl Counter {
             Counter::TracesAcquired => "traces",
             Counter::PearsonChunks | Counter::WelchChunks => "chunks",
             Counter::ZeroVarianceSkipped => "matrix cells",
+            Counter::LintRulesRun => "rule evaluations",
+            Counter::LintDiagnostics => "diagnostics",
         }
     }
 
@@ -153,6 +163,7 @@ impl Counter {
             | Counter::PearsonChunks
             | Counter::WelchChunks
             | Counter::ZeroVarianceSkipped => "mcml-dpa",
+            Counter::LintRulesRun | Counter::LintDiagnostics => "mcml-lint",
         }
     }
 }

@@ -45,6 +45,7 @@
 //! assert!(report.to_json().contains("\"spice.nr_iterations\": 42"));
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod counters;

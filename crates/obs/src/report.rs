@@ -103,7 +103,7 @@ impl RunReport {
     pub fn to_json(&self) -> String {
         let mut out = String::with_capacity(2048);
         out.push_str("{\n");
-        let _ = writeln!(out, "  \"schema\": \"{}\",", SCHEMA);
+        let _ = writeln!(out, "  \"schema\": \"{SCHEMA}\",");
         let _ = writeln!(out, "  \"run\": \"{}\",", escape(&self.run));
         let _ = writeln!(out, "  \"threads\": {},", self.threads);
         let _ = writeln!(out, "  \"elapsed_ns\": {},", self.elapsed_ns);

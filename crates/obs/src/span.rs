@@ -45,11 +45,13 @@ pub enum Stage {
     /// workers, so this exceeds wall-clock on multi-thread runs — the
     /// summary derives per-worker utilisation from it.
     WorkerBusy,
+    /// Static rule checking of netlists and circuits (`mcml-lint`).
+    Lint,
 }
 
 impl Stage {
     /// Every stage, in declaration order.
-    pub const ALL: [Stage; 12] = [
+    pub const ALL: [Stage; 13] = [
         Stage::Characterize,
         Stage::BiasSweep,
         Stage::CornerSweep,
@@ -62,6 +64,7 @@ impl Stage {
         Stage::Tvla,
         Stage::ParallelMap,
         Stage::WorkerBusy,
+        Stage::Lint,
     ];
 
     /// Number of stages (size of the accumulator arrays).
@@ -83,6 +86,7 @@ impl Stage {
             Stage::Tvla => "tvla",
             Stage::ParallelMap => "parallel_map",
             Stage::WorkerBusy => "worker_busy",
+            Stage::Lint => "lint",
         }
     }
 }

@@ -17,12 +17,13 @@ fn locked() -> std::sync::MutexGuard<'static, ()> {
 
 #[test]
 fn aggregation_under_contention() {
+    const THREADS: u64 = 8;
+    const PER_THREAD: u64 = 10_000;
+
     let _g = locked();
     mcml_obs::set_mode(Mode::Summary);
     mcml_obs::reset();
 
-    const THREADS: u64 = 8;
-    const PER_THREAD: u64 = 10_000;
     std::thread::scope(|scope| {
         for _ in 0..THREADS {
             scope.spawn(|| {

@@ -1,9 +1,9 @@
 //! Generated OR1K assembly for AES-128 using the S-box ISE.
 //!
 //! This is the paper's benchmark program: AES-128 executed repeatedly
-//! with (software-)random plaintexts, SubBytes done by the `l.cust1`
+//! with (software-)random plaintexts, `SubBytes` done by the `l.cust1`
 //! custom instruction (four S-boxes in one cycle), everything else —
-//! ShiftRows gathering, word-sliced MixColumns, AddRoundKey, the
+//! `ShiftRows` gathering, word-sliced `MixColumns`, `AddRoundKey`, the
 //! plaintext PRNG and the block loop — in plain software, which is what
 //! dilutes the ISE activity to a small fraction of total cycles.
 //!
@@ -41,7 +41,7 @@ impl Default for AesBenchParams {
     }
 }
 
-/// ShiftRows byte-gather offsets for column `c`: source state indices of
+/// `ShiftRows` byte-gather offsets for column `c`: source state indices of
 /// the four rows after the row rotations.
 fn shiftrow_offsets(c: usize) -> [usize; 4] {
     [
@@ -78,7 +78,7 @@ pub fn plaintext_for_block(seed: u32, b: usize) -> [u8; 16] {
     out
 }
 
-/// Emit the MixColumns + AddRoundKey word recipe for the column held in
+/// Emit the `MixColumns` + `AddRoundKey` word recipe for the column held in
 /// `col` (e.g. `"r10"`), with the round-key word at `off(r3)`.
 fn emit_mix_ark(asm: &mut String, col: &str, rk_off: usize) {
     use std::fmt::Write as _;

@@ -14,7 +14,7 @@
 //!   result), which downstream power simulation turns into sleep windows
 //!   and S-box activity;
 //! * [`aes_prog`] — a generated OR1K assembly implementation of AES-128
-//!   using the ISE for SubBytes, validated against the software
+//!   using the ISE for `SubBytes`, validated against the software
 //!   [`mcml_aes::Aes128`].
 //!
 //! Simplifications vs real OR1K (documented per DESIGN.md): no branch
@@ -43,6 +43,7 @@
 //! assert_eq!(cpu.regs[3], 55);
 //! ```
 
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
 pub mod aes_prog;

@@ -136,7 +136,7 @@ proptest! {
             Instr::J(_) | Instr::Jal(_) | Instr::Bf(_) | Instr::Bnf(_)
         ));
         let text = format!("{i}\n");
-        let p = mcml_or1k::asm::assemble(&text).unwrap();
+        let p = assemble(&text).unwrap();
         let w = u32::from_be_bytes(p.image[0..4].try_into().unwrap());
         prop_assert_eq!(Instr::decode(w), Some(i), "text was `{}`", text.trim());
     }
@@ -145,7 +145,7 @@ proptest! {
 #[test]
 fn disassemble_formats_programs() {
     use mcml_or1k::isa::disassemble;
-    let p = mcml_or1k::asm::assemble("l.addi r3, r0, 42\nl.cust1 r4, r3\nl.halt\n").unwrap();
+    let p = assemble("l.addi r3, r0, 42\nl.cust1 r4, r3\nl.halt\n").unwrap();
     let text = disassemble(&p.image);
     assert!(text.contains("l.addi r3, r0, 42"));
     assert!(text.contains("l.cust1 r4, r3"));

@@ -1,6 +1,6 @@
 //! # mcml-sim — event-driven gate simulation and current-template power
 //!
-//! The logic-simulation slice of the paper's flow: ModelSim runs the post-
+//! The logic-simulation slice of the paper's flow: `ModelSim` runs the post-
 //! P&R netlist with SDF back-annotation to produce the switching activity
 //! (VCD), which then drives a fast transistor-level current estimation
 //! (Nanosim). This crate mirrors both tiers:
@@ -45,6 +45,7 @@
 //! assert_eq!(trace.value_at(q, 2e-9), Logic::L1); // XOR(1, 0), 40 ps later
 //! ```
 
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
 pub mod event;

@@ -1,7 +1,7 @@
 //! Value-change-dump (VCD) writer and parser.
 //!
 //! The paper's flow stores the custom instruction's inputs "in VCD format"
-//! between the ModelSim run and the Nanosim current simulation; this
+//! between the `ModelSim` run and the Nanosim current simulation; this
 //! module provides the same interchange for [`SimTrace`] activity.
 
 use std::collections::HashMap;
@@ -263,12 +263,13 @@ mod tests {
 
     #[test]
     fn round_trip_preserves_transitions() {
+        use mcml_netlist::NetId;
+
         let orig = sample_trace();
         let vcd = write_vcd(&orig, "dut");
         let back = parse_vcd(&vcd).unwrap();
         assert_eq!(back.net_names, orig.net_names);
         // Ignore the initial dumpvars X entries; compare post-0 behaviour.
-        use mcml_netlist::NetId;
         for t in [0.5e-9, 1.02e-9, 1.5e-9, 2.5e-9] {
             for n in 0..2 {
                 assert_eq!(

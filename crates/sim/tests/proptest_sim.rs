@@ -34,7 +34,7 @@ fn test_lib(style: LogicStyle) -> TimingLibrary {
 fn random_netlist(gates: &[(u8, u8, u8)]) -> Netlist {
     let mut nl = Netlist::new("rand", LogicStyle::PgMcml);
     let inputs: Vec<NetId> = (0..5).map(|i| nl.add_input(&format!("i{i}"))).collect();
-    let mut nets = inputs.clone();
+    let mut nets = inputs;
     for (gi, &(kind_pick, a, b)) in gates.iter().enumerate() {
         let kinds = [CellKind::And2, CellKind::Xor2, CellKind::Maj32];
         let kind = kinds[kind_pick as usize % 3];
@@ -63,7 +63,7 @@ proptest! {
     /// equals the cycle-level evaluation for the same inputs.
     #[test]
     fn event_sim_settles_to_evaluate(
-        gates in proptest::collection::vec((any::<u8>(), any::<u8>(), any::<u8>()), 1..12),
+        gates in collection::vec((any::<u8>(), any::<u8>(), any::<u8>()), 1..12),
         bits in 0u32..32,
     ) {
         let nl = random_netlist(&gates);
@@ -87,7 +87,7 @@ proptest! {
     /// times.
     #[test]
     fn vcd_round_trip(
-        gates in proptest::collection::vec((any::<u8>(), any::<u8>(), any::<u8>()), 1..8),
+        gates in collection::vec((any::<u8>(), any::<u8>(), any::<u8>()), 1..8),
         bits in 0u32..32,
         flip in 0usize..5,
     ) {
@@ -121,7 +121,7 @@ proptest! {
     /// value (every net ends where it started, absent X states).
     #[test]
     fn pulse_toggles_are_even(
-        gates in proptest::collection::vec((any::<u8>(), any::<u8>(), any::<u8>()), 1..10),
+        gates in collection::vec((any::<u8>(), any::<u8>(), any::<u8>()), 1..10),
     ) {
         let nl = random_netlist(&gates);
         let lib = test_lib(LogicStyle::PgMcml);

@@ -32,6 +32,7 @@
 //! assert!((v_end - 1.0).abs() < 0.01, "cap charges to the step level");
 //! ```
 
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
 pub mod analysis;

@@ -79,9 +79,10 @@ impl SparseLu {
     /// Returns [`SpiceError::SingularMatrix`] if a column has no usable
     /// pivot.
     pub fn factor(m: &SystemMatrix) -> Result<Self, SpiceError> {
+        const UNPIVOTED: usize = usize::MAX;
+
         let a = Csc::from_rows(m);
         let n = a.n;
-        const UNPIVOTED: usize = usize::MAX;
 
         let mut l_cols: Vec<Vec<(usize, f64)>> = Vec::with_capacity(n);
         let mut u_cols: Vec<Vec<(usize, f64)>> = Vec::with_capacity(n);

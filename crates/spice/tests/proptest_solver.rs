@@ -7,8 +7,8 @@ use mcml_spice::{Circuit, SourceWave, TranOptions, Waveform};
 
 /// A strictly diagonally dominant random system (guaranteed solvable).
 fn dominant_system(n: usize) -> impl Strategy<Value = (Vec<(usize, usize, f64)>, Vec<f64>)> {
-    let entries = proptest::collection::vec((0..n, 0..n, -1.0f64..1.0), n..(4 * n));
-    let rhs = proptest::collection::vec(-10.0f64..10.0, n);
+    let entries = collection::vec((0..n, 0..n, -1.0f64..1.0), n..(4 * n));
+    let rhs = collection::vec(-10.0f64..10.0, n);
     (entries, rhs).prop_map(move |(mut es, b)| {
         // Strong diagonal on top of whatever landed there.
         for i in 0..n {
@@ -57,7 +57,7 @@ proptest! {
     /// Waveform sampling stays within the sample extremes, and the
     /// integral over [a,c] splits additively at any interior b.
     #[test]
-    fn waveform_invariants(values in proptest::collection::vec(-5.0f64..5.0, 3..40),
+    fn waveform_invariants(values in collection::vec(-5.0f64..5.0, 3..40),
                            split in 0.1f64..0.9) {
         let n = values.len();
         let t: Vec<f64> = (0..n).map(|i| i as f64).collect();

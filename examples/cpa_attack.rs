@@ -45,8 +45,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .iter()
             .enumerate()
             .max_by(|a, b| a.1.abs().partial_cmp(&b.1.abs()).unwrap())
-            .map(|(i, _)| i)
-            .unwrap_or(0);
+            .map_or(0, |(i, _)| i);
         println!(
             "           correct-key |corr| at peak sample {peak_t}: {:.4}",
             correct[peak_t].abs()

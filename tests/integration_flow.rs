@@ -23,7 +23,7 @@ fn adder_network() -> BoolNetwork {
     bn
 }
 
-fn eval_adder(nl: &mcml_netlist::Netlist, a: u8, b: u8) -> u8 {
+fn eval_adder(nl: &Netlist, a: u8, b: u8) -> u8 {
     let mut asg = HashMap::new();
     for i in 0..4 {
         asg.insert(format!("a{i}"), (a >> i) & 1 == 1);

@@ -121,7 +121,7 @@ fn table3_power_ordering_and_magnitudes() {
         "PG/MCML delay ratio {ratio}"
     );
     for r in &rows {
-        assert!(r.delay_ns > 0.05 && r.delay_ns < 5.0, "{:?}", r);
+        assert!(r.delay_ns > 0.05 && r.delay_ns < 5.0, "{r:?}");
     }
 
     // Duty cycle diluted by the idle loop.

@@ -140,12 +140,14 @@ impl Criterion {
 #[macro_export]
 macro_rules! criterion_group {
     ($group:ident, $($target:path),+ $(,)?) => {
+        /// Generated benchmark group runner.
         pub fn $group() {
             let mut criterion = $crate::Criterion::default();
             $( $target(&mut criterion); )+
         }
     };
     (name = $group:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        /// Generated benchmark group runner.
         pub fn $group() {
             let mut criterion = $config;
             $( $target(&mut criterion); )+
