@@ -1,0 +1,61 @@
+//! CI regression gate over the SPICE perf trajectory.
+//!
+//! Usage: `cargo run --release -p mcml-bench --bin perfcheck --
+//! <baseline.json> <candidate.json> [tolerance]`
+//!
+//! Compares the *latest* point of the candidate trajectory against the
+//! latest point of the committed baseline: the deterministic work
+//! counters (`nr_iterations`, `matrix_solves`, `tran_steps`) of every
+//! baseline tier must not exceed the baseline by more than the tolerance
+//! (default 10 %). Exits non-zero, listing each violation, on regression.
+
+use mcml_bench::perf::{compare_points, Trajectory};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (baseline_path, candidate_path) = match args.as_slice() {
+        [b, c] | [b, c, _] => (b.clone(), c.clone()),
+        _ => return Err("usage: perfcheck <baseline.json> <candidate.json> [tolerance]".into()),
+    };
+    let tolerance: f64 = args.get(2).map_or(Ok(0.10), |t| t.parse())?;
+
+    let baseline = Trajectory::load(std::path::Path::new(&baseline_path))?;
+    let candidate = Trajectory::load(std::path::Path::new(&candidate_path))?;
+    let base = baseline
+        .latest()
+        .ok_or(format!("baseline {baseline_path} has no points"))?;
+    let cand = candidate
+        .latest()
+        .ok_or(format!("candidate {candidate_path} has no points"))?;
+
+    println!(
+        "perfcheck: `{}` (baseline) vs `{}` (candidate), tolerance {:.0} %",
+        base.label,
+        cand.label,
+        tolerance * 100.0
+    );
+    let violations = compare_points(base, cand, tolerance);
+    for t in &base.tiers {
+        if let Some(c) = cand.tiers.iter().find(|c| c.tier == t.tier) {
+            println!(
+                "  {:<14} NR {:>9} -> {:>9}  solves {:>9} -> {:>9}  steps {:>8} -> {:>8}",
+                t.tier,
+                t.nr_iterations,
+                c.nr_iterations,
+                t.matrix_solves,
+                c.matrix_solves,
+                t.tran_steps,
+                c.tran_steps
+            );
+        }
+    }
+    if violations.is_empty() {
+        println!("OK: no solver-work regression beyond tolerance");
+        Ok(())
+    } else {
+        for v in &violations {
+            eprintln!("REGRESSION: {v}");
+        }
+        Err(format!("{} perf regression(s)", violations.len()).into())
+    }
+}

@@ -1,0 +1,92 @@
+//! Timing-mode benchmark of the SPICE inner loop: runs the
+//! solver-dominated tiers (fig. 6 transistor transient, 16-cell library
+//! characterisation, fig. 3 bias sweep) and records one labelled point of
+//! the machine-readable perf trajectory (`BENCH_spice.json`).
+//!
+//! Usage: `cargo run --release -p mcml-bench --bin spiceperf --
+//! [--label <name>] [--out <path>]`
+//!
+//! The deterministic counters in the emitted point (`nr_iterations`,
+//! `matrix_solves`, `tran_steps`) are thread- and machine-invariant; the
+//! `perfcheck` binary gates CI on them.
+
+use mcml_bench::perf::{measure_tier, PerfPoint, Trajectory};
+use mcml_cells::{CellParams, LogicStyle};
+use pg_mcml::experiments::{fig3, fig6_transistor_par};
+use pg_mcml::Parallelism;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut label = "local".to_owned();
+    let mut out = "BENCH_spice.json".to_owned();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--label" => label = args.next().ok_or("--label needs a value")?,
+            "--out" => out = args.next().ok_or("--out needs a value")?,
+            other => return Err(format!("unknown argument `{other}`").into()),
+        }
+    }
+
+    let params = CellParams::default();
+    println!("spiceperf — SPICE inner-loop timing (label `{label}`)\n");
+
+    // Tier 1: the fig. 6 transistor-level transient — the reduced-AES
+    // testbench whose full-SPICE transients dominate the security tier.
+    let plaintexts: Vec<u8> = (0..6).collect();
+    let (fig6_tier, fig6_res) = measure_tier("fig6_tran", || {
+        fig6_transistor_par(
+            &params,
+            0xb,
+            LogicStyle::PgMcml,
+            &plaintexts,
+            Parallelism::Serial,
+        )
+    });
+    let (row, _) = fig6_res?;
+    println!(
+        "fig6_tran    {:>8.2} s  {:>9} NR iters  {:>9} solves  {:>7.0} solves/s  (CPA rank {})",
+        fig6_tier.wall_s,
+        fig6_tier.nr_iterations,
+        fig6_tier.matrix_solves,
+        fig6_tier.solves_per_sec,
+        row.rank
+    );
+
+    // Tier 2: the table 2/3 characterisation workload — every cell of the
+    // PG-MCML library on a cold cache (dense-path DC + transients).
+    mcml_char::cache::clear();
+    let (char_tier, lib) = measure_tier("table3_char", || {
+        mcml_char::build_library(&params, &[LogicStyle::PgMcml])
+    });
+    let lib = lib?;
+    println!(
+        "table3_char  {:>8.2} s  {:>9} NR iters  {:>9} solves  {:>7.0} solves/s  ({} cells)",
+        char_tier.wall_s,
+        char_tier.nr_iterations,
+        char_tier.matrix_solves,
+        char_tier.solves_per_sec,
+        lib.len()
+    );
+
+    // Tier 3: the fig. 3 tail-current design-space sweep (DC-heavy).
+    let (fig3_tier, sweep) = measure_tier("fig3_sweep", || fig3(&params, &[10e-6, 50e-6, 150e-6]));
+    let sweep = sweep?;
+    println!(
+        "fig3_sweep   {:>8.2} s  {:>9} NR iters  {:>9} solves  {:>7.0} solves/s  ({} points)",
+        fig3_tier.wall_s,
+        fig3_tier.nr_iterations,
+        fig3_tier.matrix_solves,
+        fig3_tier.solves_per_sec,
+        sweep.len()
+    );
+
+    let point = PerfPoint {
+        label,
+        tiers: vec![fig6_tier, char_tier, fig3_tier],
+    };
+    let path = std::path::PathBuf::from(&out);
+    Trajectory::load(&path)?.append_and_save(point, &path)?;
+    println!("\ntrajectory point appended to {out}");
+    mcml_obs::finish("spiceperf", 1);
+    Ok(())
+}

@@ -32,6 +32,8 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+pub mod perf;
+
 /// Format a power value with an adaptive unit.
 #[must_use]
 pub fn fmt_power(w: f64) -> String {

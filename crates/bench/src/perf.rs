@@ -1,0 +1,663 @@
+//! Machine-readable SPICE performance trajectory (`BENCH_spice.json`).
+//!
+//! Every timing-mode bench run appends one [`PerfPoint`] — a labelled set
+//! of per-tier measurements (wall-clock, Newton/solver counters,
+//! solves/sec) — to a committed trajectory file, so each PR that touches
+//! the solver hot path leaves a recorded before/after pair behind. The
+//! JSON is hand-rolled for byte-stable output (fixed key order, fixed
+//! float formatting) and parsed back by a minimal scanner so the
+//! `perfcheck` regression gate needs no external dependencies.
+//!
+//! ```
+//! use mcml_bench::perf::{PerfPoint, TierPerf, Trajectory};
+//!
+//! let mut traj = Trajectory::default();
+//! traj.points.push(PerfPoint {
+//!     label: "example".to_owned(),
+//!     tiers: vec![TierPerf {
+//!         tier: "fig6_tran".to_owned(),
+//!         wall_s: 1.5,
+//!         nr_iterations: 1000,
+//!         matrix_solves: 1000,
+//!         tran_steps: 360,
+//!         symbolic_reuse: 900,
+//!         numeric_refactor: 900,
+//!         linear_stamps_skipped: 50_000,
+//!         solves_per_sec: 666.7,
+//!     }],
+//! });
+//! let json = traj.to_json();
+//! let back = Trajectory::from_json(&json).unwrap();
+//! assert_eq!(back.to_json(), json, "round-trips byte-identically");
+//! ```
+
+use mcml_obs::Counter;
+use std::time::Instant;
+
+/// Schema identifier written into every trajectory file.
+pub const SCHEMA: &str = "mcml-bench-perf/1";
+
+/// One measured tier inside a trajectory point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TierPerf {
+    /// Tier name, stable across PRs (e.g. `"fig6_tran"`).
+    pub tier: String,
+    /// Wall-clock seconds for the tier (machine-dependent).
+    pub wall_s: f64,
+    /// `spice.nr_iterations` delta over the tier (deterministic).
+    pub nr_iterations: u64,
+    /// `spice.matrix_solves` delta over the tier (deterministic).
+    pub matrix_solves: u64,
+    /// `spice.tran_steps` delta over the tier (deterministic).
+    pub tran_steps: u64,
+    /// `spice.symbolic_reuse` delta over the tier (deterministic).
+    pub symbolic_reuse: u64,
+    /// `spice.numeric_refactor` delta over the tier (deterministic).
+    pub numeric_refactor: u64,
+    /// `spice.linear_stamps_skipped` delta over the tier (deterministic).
+    pub linear_stamps_skipped: u64,
+    /// Linear solves per wall-clock second (machine-dependent).
+    pub solves_per_sec: f64,
+}
+
+/// One labelled trajectory point: the tiers measured by a single run.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct PerfPoint {
+    /// Point label, conventionally `pr<N>-<short-description>`.
+    pub label: String,
+    /// Per-tier measurements.
+    pub tiers: Vec<TierPerf>,
+}
+
+/// The whole perf trajectory: an append-only series of [`PerfPoint`]s.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Trajectory {
+    /// Recorded points, oldest first.
+    pub points: Vec<PerfPoint>,
+}
+
+/// Snapshot of the SPICE solver counters, for delta measurement around a
+/// tier without resetting global observability state.
+#[derive(Debug, Clone, Copy)]
+pub struct CounterSnap {
+    nr_iterations: u64,
+    matrix_solves: u64,
+    tran_steps: u64,
+    symbolic_reuse: u64,
+    numeric_refactor: u64,
+    linear_stamps_skipped: u64,
+}
+
+impl CounterSnap {
+    /// Capture the current solver counter totals.
+    #[must_use]
+    pub fn now() -> Self {
+        Self {
+            nr_iterations: mcml_obs::total(Counter::NrIterations),
+            matrix_solves: mcml_obs::total(Counter::MatrixSolves),
+            tran_steps: mcml_obs::total(Counter::TranSteps),
+            symbolic_reuse: mcml_obs::total(Counter::SymbolicReuse),
+            numeric_refactor: mcml_obs::total(Counter::NumericRefactor),
+            linear_stamps_skipped: mcml_obs::total(Counter::LinearStampsSkipped),
+        }
+    }
+}
+
+/// Run `f` as one timed tier and package the counter deltas.
+pub fn measure_tier<T>(tier: &str, f: impl FnOnce() -> T) -> (TierPerf, T) {
+    let before = CounterSnap::now();
+    let start = Instant::now();
+    let out = f();
+    let wall_s = start.elapsed().as_secs_f64();
+    let after = CounterSnap::now();
+    let solves = after.matrix_solves - before.matrix_solves;
+    (
+        TierPerf {
+            tier: tier.to_owned(),
+            wall_s,
+            nr_iterations: after.nr_iterations - before.nr_iterations,
+            matrix_solves: solves,
+            tran_steps: after.tran_steps - before.tran_steps,
+            symbolic_reuse: after.symbolic_reuse - before.symbolic_reuse,
+            numeric_refactor: after.numeric_refactor - before.numeric_refactor,
+            linear_stamps_skipped: after.linear_stamps_skipped - before.linear_stamps_skipped,
+            solves_per_sec: solves as f64 / wall_s.max(1e-9),
+        },
+        out,
+    )
+}
+
+fn json_escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => "\\\"".chars().collect::<Vec<_>>(),
+            '\\' => "\\\\".chars().collect(),
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
+impl Trajectory {
+    /// Serialise to the stable JSON format.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\n");
+        s.push_str(&format!("  \"schema\": \"{SCHEMA}\",\n"));
+        s.push_str("  \"points\": [\n");
+        for (pi, p) in self.points.iter().enumerate() {
+            s.push_str("    {\n");
+            s.push_str(&format!(
+                "      \"label\": \"{}\",\n",
+                json_escape(&p.label)
+            ));
+            s.push_str("      \"tiers\": [\n");
+            for (ti, t) in p.tiers.iter().enumerate() {
+                s.push_str("        {\n");
+                s.push_str(&format!(
+                    "          \"tier\": \"{}\",\n",
+                    json_escape(&t.tier)
+                ));
+                s.push_str(&format!("          \"wall_s\": {:.6},\n", t.wall_s));
+                s.push_str(&format!(
+                    "          \"nr_iterations\": {},\n",
+                    t.nr_iterations
+                ));
+                s.push_str(&format!(
+                    "          \"matrix_solves\": {},\n",
+                    t.matrix_solves
+                ));
+                s.push_str(&format!("          \"tran_steps\": {},\n", t.tran_steps));
+                s.push_str(&format!(
+                    "          \"symbolic_reuse\": {},\n",
+                    t.symbolic_reuse
+                ));
+                s.push_str(&format!(
+                    "          \"numeric_refactor\": {},\n",
+                    t.numeric_refactor
+                ));
+                s.push_str(&format!(
+                    "          \"linear_stamps_skipped\": {},\n",
+                    t.linear_stamps_skipped
+                ));
+                s.push_str(&format!(
+                    "          \"solves_per_sec\": {:.1}\n",
+                    t.solves_per_sec
+                ));
+                s.push_str(if ti + 1 == p.tiers.len() {
+                    "        }\n"
+                } else {
+                    "        },\n"
+                });
+            }
+            s.push_str("      ]\n");
+            s.push_str(if pi + 1 == self.points.len() {
+                "    }\n"
+            } else {
+                "    },\n"
+            });
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+
+    /// Parse a trajectory back from [`Trajectory::to_json`] output (or any
+    /// JSON matching the schema).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first syntax or schema problem.
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        let value = Json::parse(text)?;
+        let obj = value.as_object().ok_or("top level must be an object")?;
+        let schema = get(obj, "schema")?
+            .as_str()
+            .ok_or("`schema` must be a string")?;
+        if schema != SCHEMA {
+            return Err(format!("unsupported schema `{schema}` (want `{SCHEMA}`)"));
+        }
+        let mut points = Vec::new();
+        for p in get(obj, "points")?
+            .as_array()
+            .ok_or("`points` must be an array")?
+        {
+            let pobj = p.as_object().ok_or("point must be an object")?;
+            let mut tiers = Vec::new();
+            for t in get(pobj, "tiers")?
+                .as_array()
+                .ok_or("`tiers` must be an array")?
+            {
+                let tobj = t.as_object().ok_or("tier must be an object")?;
+                tiers.push(TierPerf {
+                    tier: get(tobj, "tier")?
+                        .as_str()
+                        .ok_or("`tier` must be a string")?
+                        .to_owned(),
+                    wall_s: num(tobj, "wall_s")?,
+                    nr_iterations: int(tobj, "nr_iterations")?,
+                    matrix_solves: int(tobj, "matrix_solves")?,
+                    tran_steps: int(tobj, "tran_steps")?,
+                    symbolic_reuse: int(tobj, "symbolic_reuse")?,
+                    numeric_refactor: int(tobj, "numeric_refactor")?,
+                    linear_stamps_skipped: int(tobj, "linear_stamps_skipped")?,
+                    solves_per_sec: num(tobj, "solves_per_sec")?,
+                });
+            }
+            points.push(PerfPoint {
+                label: get(pobj, "label")?
+                    .as_str()
+                    .ok_or("`label` must be a string")?
+                    .to_owned(),
+                tiers,
+            });
+        }
+        Ok(Trajectory { points })
+    }
+
+    /// Load a trajectory from disk; a missing file is an empty trajectory.
+    ///
+    /// # Errors
+    ///
+    /// Returns I/O or parse failures (other than file-not-found).
+    pub fn load(path: &std::path::Path) -> Result<Self, String> {
+        match std::fs::read_to_string(path) {
+            Ok(text) => Self::from_json(&text),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(Self::default()),
+            Err(e) => Err(format!("read {}: {e}", path.display())),
+        }
+    }
+
+    /// Append `point` (replacing any existing point with the same label)
+    /// and write the file back.
+    ///
+    /// # Errors
+    ///
+    /// Returns I/O failures.
+    pub fn append_and_save(
+        mut self,
+        point: PerfPoint,
+        path: &std::path::Path,
+    ) -> Result<(), String> {
+        self.points.retain(|p| p.label != point.label);
+        self.points.push(point);
+        std::fs::write(path, self.to_json()).map_err(|e| format!("write {}: {e}", path.display()))
+    }
+
+    /// The most recent point, if any.
+    #[must_use]
+    pub fn latest(&self) -> Option<&PerfPoint> {
+        self.points.last()
+    }
+}
+
+/// Compare a candidate point against a baseline point: every deterministic
+/// work counter (`nr_iterations`, `matrix_solves`, `tran_steps`) of every
+/// tier present in both must not exceed the baseline by more than
+/// `tolerance` (e.g. `0.10` for +10 %). Returns the list of violations,
+/// empty when the candidate passes.
+#[must_use]
+pub fn compare_points(baseline: &PerfPoint, candidate: &PerfPoint, tolerance: f64) -> Vec<String> {
+    let mut violations = Vec::new();
+    for base_tier in &baseline.tiers {
+        let Some(cand_tier) = candidate.tiers.iter().find(|t| t.tier == base_tier.tier) else {
+            violations.push(format!("tier `{}` missing from candidate", base_tier.tier));
+            continue;
+        };
+        let checks = [
+            (
+                "nr_iterations",
+                base_tier.nr_iterations,
+                cand_tier.nr_iterations,
+            ),
+            (
+                "matrix_solves",
+                base_tier.matrix_solves,
+                cand_tier.matrix_solves,
+            ),
+            ("tran_steps", base_tier.tran_steps, cand_tier.tran_steps),
+        ];
+        for (name, base, cand) in checks {
+            let limit = (base as f64 * (1.0 + tolerance)).ceil() as u64;
+            if cand > limit {
+                violations.push(format!(
+                    "tier `{}`: {name} regressed {base} -> {cand} (limit {limit})",
+                    base_tier.tier
+                ));
+            }
+        }
+    }
+    violations
+}
+
+fn get<'a>(obj: &'a [(String, Json)], key: &str) -> Result<&'a Json, String> {
+    obj.iter()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| v)
+        .ok_or_else(|| format!("missing key `{key}`"))
+}
+
+fn num(obj: &[(String, Json)], key: &str) -> Result<f64, String> {
+    get(obj, key)?
+        .as_number()
+        .ok_or_else(|| format!("`{key}` must be a number"))
+}
+
+fn int(obj: &[(String, Json)], key: &str) -> Result<u64, String> {
+    let v = num(obj, key)?;
+    if v < 0.0 || v.fract() != 0.0 {
+        return Err(format!("`{key}` must be a non-negative integer, got {v}"));
+    }
+    Ok(v as u64)
+}
+
+/// Minimal JSON value for the trajectory schema (objects keep key order).
+#[derive(Debug, Clone, PartialEq)]
+enum Json {
+    Null,
+    Bool(bool),
+    Number(f64),
+    String(String),
+    Array(Vec<Json>),
+    Object(Vec<(String, Json)>),
+}
+
+impl Json {
+    fn as_object(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Object(o) => Some(o),
+            _ => None,
+        }
+    }
+    fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::String(s) => Some(s),
+            _ => None,
+        }
+    }
+    fn as_number(&self) -> Option<f64> {
+        match self {
+            Json::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    fn parse(text: &str) -> Result<Json, String> {
+        let bytes = text.as_bytes();
+        let mut pos = 0usize;
+        let v = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing data at byte {pos}"));
+        }
+        Ok(v)
+    }
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(b: &[u8], pos: &mut usize, c: u8) -> Result<(), String> {
+    skip_ws(b, pos);
+    if *pos < b.len() && b[*pos] == c {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!("expected `{}` at byte {}", c as char, *pos))
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        Some(b'{') => {
+            *pos += 1;
+            let mut fields = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Json::Object(fields));
+            }
+            loop {
+                skip_ws(b, pos);
+                let key = parse_string(b, pos)?;
+                expect(b, pos, b':')?;
+                let val = parse_value(b, pos)?;
+                fields.push((key, val));
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Json::Object(fields));
+                    }
+                    _ => return Err(format!("expected `,` or `}}` at byte {}", *pos)),
+                }
+            }
+        }
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Json::Array(items));
+            }
+            loop {
+                items.push(parse_value(b, pos)?);
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Json::Array(items));
+                    }
+                    _ => return Err(format!("expected `,` or `]` at byte {}", *pos)),
+                }
+            }
+        }
+        Some(b'"') => Ok(Json::String(parse_string(b, pos)?)),
+        Some(b't') if b[*pos..].starts_with(b"true") => {
+            *pos += 4;
+            Ok(Json::Bool(true))
+        }
+        Some(b'f') if b[*pos..].starts_with(b"false") => {
+            *pos += 5;
+            Ok(Json::Bool(false))
+        }
+        Some(b'n') if b[*pos..].starts_with(b"null") => {
+            *pos += 4;
+            Ok(Json::Null)
+        }
+        Some(_) => {
+            let start = *pos;
+            while *pos < b.len()
+                && matches!(b[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+            {
+                *pos += 1;
+            }
+            let text = std::str::from_utf8(&b[start..*pos]).map_err(|e| e.to_string())?;
+            text.parse::<f64>()
+                .map(Json::Number)
+                .map_err(|_| format!("bad number `{text}` at byte {start}"))
+        }
+        None => Err("unexpected end of input".to_owned()),
+    }
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
+    if b.get(*pos) != Some(&b'"') {
+        return Err(format!("expected string at byte {}", *pos));
+    }
+    *pos += 1;
+    let mut out = String::new();
+    while *pos < b.len() {
+        match b[*pos] {
+            b'"' => {
+                *pos += 1;
+                return Ok(out);
+            }
+            b'\\' => {
+                *pos += 1;
+                match b.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b'u') => {
+                        let hex = b.get(*pos + 1..*pos + 5).ok_or("truncated \\u escape")?;
+                        let code = u32::from_str_radix(
+                            std::str::from_utf8(hex).map_err(|e| e.to_string())?,
+                            16,
+                        )
+                        .map_err(|e| e.to_string())?;
+                        out.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
+                        *pos += 4;
+                    }
+                    _ => return Err(format!("bad escape at byte {}", *pos)),
+                }
+                *pos += 1;
+            }
+            c => {
+                // Multi-byte UTF-8 passes through unchanged.
+                let ch_len = match c {
+                    0x00..=0x7F => 1,
+                    0xC0..=0xDF => 2,
+                    0xE0..=0xEF => 3,
+                    _ => 4,
+                };
+                let s = std::str::from_utf8(&b[*pos..*pos + ch_len.min(b.len() - *pos)])
+                    .map_err(|e| e.to_string())?;
+                out.push_str(s);
+                *pos += ch_len;
+            }
+        }
+    }
+    Err("unterminated string".to_owned())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tier(name: &str, nr: u64) -> TierPerf {
+        TierPerf {
+            tier: name.to_owned(),
+            wall_s: 0.5,
+            nr_iterations: nr,
+            matrix_solves: nr,
+            tran_steps: nr / 2,
+            symbolic_reuse: 0,
+            numeric_refactor: 0,
+            linear_stamps_skipped: 0,
+            solves_per_sec: nr as f64 / 0.5,
+        }
+    }
+
+    #[test]
+    fn round_trip_is_byte_stable() {
+        let traj = Trajectory {
+            points: vec![
+                PerfPoint {
+                    label: "pr3-baseline".to_owned(),
+                    tiers: vec![tier("fig6_tran", 1000), tier("table3_tran", 400)],
+                },
+                PerfPoint {
+                    label: "pr4-plan".to_owned(),
+                    tiers: vec![tier("fig6_tran", 900)],
+                },
+            ],
+        };
+        let json = traj.to_json();
+        let back = Trajectory::from_json(&json).unwrap();
+        assert_eq!(back, traj);
+        assert_eq!(back.to_json(), json);
+    }
+
+    #[test]
+    fn empty_trajectory_round_trips() {
+        let t = Trajectory::default();
+        assert_eq!(Trajectory::from_json(&t.to_json()).unwrap(), t);
+    }
+
+    #[test]
+    fn schema_mismatch_rejected() {
+        assert!(Trajectory::from_json(r#"{"schema": "other/9", "points": []}"#).is_err());
+    }
+
+    #[test]
+    fn compare_flags_regressions_over_tolerance() {
+        let base = PerfPoint {
+            label: "a".to_owned(),
+            tiers: vec![tier("fig6_tran", 1000)],
+        };
+        let good = PerfPoint {
+            label: "b".to_owned(),
+            tiers: vec![tier("fig6_tran", 1099)],
+        };
+        let bad = PerfPoint {
+            label: "c".to_owned(),
+            tiers: vec![tier("fig6_tran", 1200)],
+        };
+        assert!(compare_points(&base, &good, 0.10).is_empty());
+        let v = compare_points(&base, &bad, 0.10);
+        assert!(!v.is_empty() && v[0].contains("nr_iterations"));
+    }
+
+    #[test]
+    fn compare_flags_missing_tier() {
+        let base = PerfPoint {
+            label: "a".to_owned(),
+            tiers: vec![tier("fig6_tran", 10)],
+        };
+        let cand = PerfPoint {
+            label: "b".to_owned(),
+            tiers: vec![],
+        };
+        assert_eq!(compare_points(&base, &cand, 0.1).len(), 1);
+    }
+
+    #[test]
+    fn label_replacement_on_append() {
+        let dir = std::env::temp_dir().join("mcml-perf-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("traj.json");
+        let _ = std::fs::remove_file(&path);
+        let p = |label: &str, nr| PerfPoint {
+            label: label.to_owned(),
+            tiers: vec![tier("t", nr)],
+        };
+        Trajectory::load(&path)
+            .unwrap()
+            .append_and_save(p("x", 1), &path)
+            .unwrap();
+        Trajectory::load(&path)
+            .unwrap()
+            .append_and_save(p("x", 2), &path)
+            .unwrap();
+        let t = Trajectory::load(&path).unwrap();
+        assert_eq!(t.points.len(), 1);
+        assert_eq!(t.points[0].tiers[0].nr_iterations, 2);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn parser_handles_escapes_and_nesting() {
+        let v = Json::parse(r#"{"a": [1, 2.5, "x\"y"], "b": {"c": true, "d": null}}"#).unwrap();
+        let obj = v.as_object().unwrap();
+        assert_eq!(obj.len(), 2);
+        let arr = get(obj, "a").unwrap().as_array().unwrap();
+        assert_eq!(arr[2].as_str().unwrap(), "x\"y");
+    }
+}

@@ -548,52 +548,91 @@ pub fn fig6_transistor_par(
         LogicStyle::Cmos => (0.0, params.tech.vdd),
         _ => (params.v_low(), params.tech.vdd),
     };
-    let t_edge = 2.0e-9;
-    let t_stop = 3.6e-9;
-    let n_samples = 60;
     // Every plaintext gets its own clone of the elaborated circuit and a
     // full transistor-level transient — the expensive, perfectly
     // independent work items of this tier.
     let _span = mcml_obs::span(mcml_obs::Stage::SpiceTier);
     let rows = mcml_exec::parallel_map_items(par, plaintexts, |&p| {
-        let mut ckt: Circuit = el.circuit.clone();
-        let drive_const = |ckt: &mut Circuit, name: &str, v: bool| {
-            let (np, nn) = el.inputs[name];
-            let (lp, ln) = if v { (v_hi, v_lo) } else { (v_lo, v_hi) };
-            ckt.vsource(&format!("V{name}"), np, Circuit::GND, SourceWave::dc(lp));
-            if let Some(nn) = nn {
-                ckt.vsource(&format!("V{name}n"), nn, Circuit::GND, SourceWave::dc(ln));
-            }
-        };
-        for b in 0..4u8 {
-            drive_const(&mut ckt, &format!("k{b}"), (key >> b) & 1 == 1);
-            drive_const(&mut ckt, &format!("p{b}"), (p >> b) & 1 == 1);
-        }
-        // Clock: one rising edge after the combinational logic settles.
-        let (cp, cn) = el.inputs["clk"];
-        let edge =
-            |a: f64, b: f64| SourceWave::Pwl(vec![(0.0, a), (t_edge, a), (t_edge + 50e-12, b)]);
-        ckt.vsource("VCLK", cp, Circuit::GND, edge(v_lo, v_hi));
-        if let Some(cn) = cn {
-            ckt.vsource("VCLKn", cn, Circuit::GND, edge(v_hi, v_lo));
-        }
-        let res = ckt.transient(&TranOptions::new(t_stop, 10e-12))?;
-        let i: Waveform =
-            res.supply_current(el.vdd_src)
-                .ok_or(mcml_spice::SpiceError::EmptyWaveform {
-                    op: "supply current",
-                    len: 0,
-                })?;
-        let w = i.try_resample(t_edge - 0.1e-9, t_stop - 0.1e-9, n_samples)?;
-        Ok(w.values().to_vec())
+        fig6_plaintext_trace(&el, v_lo, v_hi, key, p)
     });
-    let mut ts = TraceSet::new(n_samples);
+    let mut ts = TraceSet::new(FIG6_N_SAMPLES);
     for (&p, row) in plaintexts.iter().zip(rows) {
         ts.push(p, &row?);
     }
     let model = HammingWeight::new(|x| reduced.sbox(x), 4);
     let r = cpa_attack_par(&ts, &model, par);
     Ok((verdict(style, usize::from(key), &r, ts.n_traces()), r))
+}
+
+/// Acquisition window and sampling of the fig. 6 transistor tier.
+const FIG6_T_EDGE: f64 = 2.0e-9;
+const FIG6_T_STOP: f64 = 3.6e-9;
+const FIG6_N_SAMPLES: usize = 60;
+
+/// One plaintext's supply-current trace of the fig. 6 transistor tier:
+/// drive the registered reduced-AES design with `(key, p)`, fire the
+/// clock edge, run the full transient, and resample the Vdd current over
+/// the capture window.
+fn fig6_plaintext_trace(
+    el: &crate::elaborate::Elaborated,
+    v_lo: f64,
+    v_hi: f64,
+    key: u8,
+    p: u8,
+) -> Result<Vec<f64>> {
+    let mut ckt: Circuit = el.circuit.clone();
+    let drive_const = |ckt: &mut Circuit, name: &str, v: bool| {
+        let (np, nn) = el.inputs[name];
+        let (lp, ln) = if v { (v_hi, v_lo) } else { (v_lo, v_hi) };
+        ckt.vsource(&format!("V{name}"), np, Circuit::GND, SourceWave::dc(lp));
+        if let Some(nn) = nn {
+            ckt.vsource(&format!("V{name}n"), nn, Circuit::GND, SourceWave::dc(ln));
+        }
+    };
+    for b in 0..4u8 {
+        drive_const(&mut ckt, &format!("k{b}"), (key >> b) & 1 == 1);
+        drive_const(&mut ckt, &format!("p{b}"), (p >> b) & 1 == 1);
+    }
+    // Clock: one rising edge after the combinational logic settles.
+    let (cp, cn) = el.inputs["clk"];
+    let edge = |a: f64, b: f64| {
+        SourceWave::Pwl(vec![(0.0, a), (FIG6_T_EDGE, a), (FIG6_T_EDGE + 50e-12, b)])
+    };
+    ckt.vsource("VCLK", cp, Circuit::GND, edge(v_lo, v_hi));
+    if let Some(cn) = cn {
+        ckt.vsource("VCLKn", cn, Circuit::GND, edge(v_hi, v_lo));
+    }
+    let res = ckt.transient(&TranOptions::new(FIG6_T_STOP, 10e-12))?;
+    let i: Waveform =
+        res.supply_current(el.vdd_src)
+            .ok_or(mcml_spice::SpiceError::EmptyWaveform {
+                op: "supply current",
+                len: 0,
+            })?;
+    let w = i.try_resample(FIG6_T_EDGE - 0.1e-9, FIG6_T_STOP - 0.1e-9, FIG6_N_SAMPLES)?;
+    Ok(w.values().to_vec())
+}
+
+/// The raw supply-current trace of a single fig. 6 plaintext — the
+/// golden-waveform regression hook: solver changes must keep these
+/// samples inside the committed tolerances.
+///
+/// # Errors
+///
+/// Propagates simulator errors.
+pub fn fig6_supply_trace(
+    params: &CellParams,
+    key: u8,
+    style: LogicStyle,
+    plaintext: u8,
+) -> Result<Vec<f64>> {
+    let nl: Netlist = ReducedAes::new(4).build_registered_netlist(style);
+    let el = checked_elaborate(&nl, params, &mcml_lint::LintEngine::with_default_rules())?;
+    let (v_lo, v_hi) = match style {
+        LogicStyle::Cmos => (0.0, params.tech.vdd),
+        _ => (params.v_low(), params.tech.vdd),
+    };
+    fig6_plaintext_trace(&el, v_lo, v_hi, key, plaintext)
 }
 
 /// TVLA extension (beyond the paper): fixed-vs-random Welch t-test on the

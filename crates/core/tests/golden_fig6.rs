@@ -1,0 +1,52 @@
+//! Golden-waveform regression for the fig. 6 transistor tier.
+//!
+//! Pins one plaintext's supply-current trace (PG-MCML, key 0xb,
+//! plaintext 0x3) against samples captured from the reference solver
+//! path. Solver-level changes — assembly reordering, factorisation
+//! strategy, step-size handling — may shift samples only within the
+//! tolerances below; anything larger is a physics change, not an
+//! optimisation.
+
+use mcml_cells::{CellParams, LogicStyle};
+use pg_mcml::experiments::fig6_supply_trace;
+
+/// Captured from the reference implementation (legacy full-restamp
+/// assembly + per-iteration factorisation): every 6th of the 60 samples
+/// of the resampled Vdd current (A).
+const GOLDEN_STRIDE: usize = 6;
+const GOLDEN_SAMPLES: [f64; 10] = [
+    1.997807770513804e-3,
+    1.9912301692238733e-3,
+    2.000289957344394e-3,
+    1.998945213251309e-3,
+    1.9985504824845796e-3,
+    1.998425244737777e-3,
+    1.9983534146545173e-3,
+    1.9982955312894423e-3,
+    1.998244929338689e-3,
+    1.9982008252221618e-3,
+];
+
+/// Relative tolerance on each pinned sample (0.01 %, comfortably above
+/// the Newton tolerances `vtol`/`itol` that bound legitimate solver
+/// noise, and far below the paper's 1 µA acquisition resolution on the
+/// ~2 mA tail current), plus an absolute floor at `itol`.
+const REL_TOL: f64 = 1e-4;
+const ABS_TOL: f64 = 1e-9;
+
+#[test]
+fn fig6_pg_mcml_trace_matches_golden() {
+    let trace = fig6_supply_trace(&CellParams::default(), 0xb, LogicStyle::PgMcml, 0x3)
+        .expect("transistor-tier trace");
+    assert_eq!(trace.len(), 60, "capture window sampling");
+    let picked: Vec<f64> = trace.iter().copied().step_by(GOLDEN_STRIDE).collect();
+    assert_eq!(picked.len(), GOLDEN_SAMPLES.len());
+    for (i, (got, want)) in picked.iter().zip(GOLDEN_SAMPLES).enumerate() {
+        let tol = ABS_TOL + REL_TOL * want.abs();
+        assert!(
+            (got - want).abs() <= tol,
+            "sample {}: got {got:e}, golden {want:e} (tol {tol:e})",
+            i * GOLDEN_STRIDE
+        );
+    }
+}

@@ -28,6 +28,18 @@ pub enum Counter {
     NrIterations,
     /// Linear-system factor/solve calls (`mcml-spice`).
     MatrixSolves,
+    /// Sparse solves that reused an existing symbolic factorisation
+    /// (elimination order + fill pattern) instead of re-analysing
+    /// (`mcml-spice`).
+    SymbolicReuse,
+    /// Numeric-only sparse refactorisations attempted on a fixed pivot
+    /// order; includes the rare attempts that fell back to a fresh
+    /// symbolic factorisation on a degraded pivot (`mcml-spice`).
+    NumericRefactor,
+    /// Constant linear matrix stamps served from the pre-accumulated
+    /// `StampPlan` base instead of being re-evaluated per Newton
+    /// iteration (`mcml-spice`).
+    LinearStampsSkipped,
     /// Characterisation-cache lookups (`mcml-char`).
     CacheLookups,
     /// Characterisation-cache lookups served from memory (`mcml-char`).
@@ -62,13 +74,16 @@ pub enum Counter {
 
 impl Counter {
     /// Every counter, in declaration order.
-    pub const ALL: [Counter; 21] = [
+    pub const ALL: [Counter; 24] = [
         Counter::DcSolves,
         Counter::Transients,
         Counter::TranSteps,
         Counter::TranRetries,
         Counter::NrIterations,
         Counter::MatrixSolves,
+        Counter::SymbolicReuse,
+        Counter::NumericRefactor,
+        Counter::LinearStampsSkipped,
         Counter::CacheLookups,
         Counter::CacheHits,
         Counter::CacheMisses,
@@ -99,6 +114,9 @@ impl Counter {
             Counter::TranRetries => "spice.tran_retries",
             Counter::NrIterations => "spice.nr_iterations",
             Counter::MatrixSolves => "spice.matrix_solves",
+            Counter::SymbolicReuse => "spice.symbolic_reuse",
+            Counter::NumericRefactor => "spice.numeric_refactor",
+            Counter::LinearStampsSkipped => "spice.linear_stamps_skipped",
             Counter::CacheLookups => "charlib.cache_lookups",
             Counter::CacheHits => "charlib.cache_hits",
             Counter::CacheMisses => "charlib.cache_misses",
@@ -127,6 +145,9 @@ impl Counter {
             Counter::TranRetries => "subdivisions",
             Counter::NrIterations => "iterations",
             Counter::MatrixSolves => "factor+solve calls",
+            Counter::SymbolicReuse => "reused factorisations",
+            Counter::NumericRefactor => "refactorisations",
+            Counter::LinearStampsSkipped => "stamps",
             Counter::CacheLookups | Counter::CacheHits | Counter::CacheMisses => "lookups",
             Counter::CellsCharacterized => "cells",
             Counter::SweepPoints => "points",
@@ -151,7 +172,10 @@ impl Counter {
             | Counter::TranSteps
             | Counter::TranRetries
             | Counter::NrIterations
-            | Counter::MatrixSolves => "mcml-spice",
+            | Counter::MatrixSolves
+            | Counter::SymbolicReuse
+            | Counter::NumericRefactor
+            | Counter::LinearStampsSkipped => "mcml-spice",
             Counter::CacheLookups
             | Counter::CacheHits
             | Counter::CacheMisses
@@ -169,8 +193,8 @@ impl Counter {
 }
 
 /// Shard count; power of two so the shard pick is a mask. 16 shards of
-/// 19×8 B keep concurrent workers on distinct cache-line groups without
-/// bloating the aggregate read.
+/// `Counter::COUNT`×8 B keep concurrent workers on distinct cache-line
+/// groups without bloating the aggregate read.
 const SHARDS: usize = 16;
 
 #[allow(clippy::declare_interior_mutable_const)] // the canonical static-array-of-atomics init

@@ -47,11 +47,19 @@ pub enum Stage {
     WorkerBusy,
     /// Static rule checking of netlists and circuits (`mcml-lint`).
     Lint,
+    /// MNA Jacobian/residual assembly inside the Newton loop
+    /// (`mcml-spice`).
+    MnaAssemble,
+    /// Linear-system factorisation — dense LU, sparse symbolic+numeric,
+    /// or sparse numeric-only refactorisation (`mcml-spice`).
+    LuFactor,
+    /// Triangular solves against the computed factors (`mcml-spice`).
+    LuSolve,
 }
 
 impl Stage {
     /// Every stage, in declaration order.
-    pub const ALL: [Stage; 13] = [
+    pub const ALL: [Stage; 16] = [
         Stage::Characterize,
         Stage::BiasSweep,
         Stage::CornerSweep,
@@ -65,6 +73,9 @@ impl Stage {
         Stage::ParallelMap,
         Stage::WorkerBusy,
         Stage::Lint,
+        Stage::MnaAssemble,
+        Stage::LuFactor,
+        Stage::LuSolve,
     ];
 
     /// Number of stages (size of the accumulator arrays).
@@ -87,6 +98,9 @@ impl Stage {
             Stage::ParallelMap => "parallel_map",
             Stage::WorkerBusy => "worker_busy",
             Stage::Lint => "lint",
+            Stage::MnaAssemble => "mna_assemble",
+            Stage::LuFactor => "lu_factor",
+            Stage::LuSolve => "lu_solve",
         }
     }
 }

@@ -116,13 +116,14 @@ pub(crate) fn branch_map(ckt: &Circuit) -> Vec<Option<usize>> {
 pub fn dc_op(ckt: &Circuit, opts: &DcOptions) -> Result<OpPoint> {
     ckt.validate()?;
     mcml_obs::incr(mcml_obs::Counter::DcSolves);
-    let engine = Engine::new(ckt);
+    let mut engine = Engine::new(ckt);
     let nr = opts.nr();
     let t = opts.time;
 
+    let n_node_unk = engine.n_node_unk;
     let finish = |x: Vec<f64>| OpPoint {
         x,
-        n_node_unk: engine.n_node_unk,
+        n_node_unk,
         branch_of_elem: branch_map(ckt),
     };
 

@@ -87,11 +87,11 @@ pub fn dc_sweep(
 
     let mut values = Vec::with_capacity(steps);
     let mut points = Vec::with_capacity(steps);
+    // One working clone for the whole sweep; only the swept source's
+    // waveform is rewritten per point.
+    let mut c = ckt.clone();
     for k in 0..steps {
         let x = from + (to - from) * k as f64 / (steps - 1) as f64;
-        // Clone the circuit with the source pinned at x. (Cloning per
-        // point is simple and cheap relative to the Newton solve.)
-        let mut c = ckt.clone();
         c.set_vsource_wave(source, SourceWave::dc(x));
         points.push(dc_op(&c, opts)?);
         values.push(x);

@@ -1,9 +1,19 @@
 //! Shared MNA assembly and damped Newton–Raphson iteration.
+//!
+//! The engine owns the per-circuit [`StampPlan`] plus every buffer the
+//! Newton loop needs (Jacobian values, residual, update, dense scratch,
+//! sparse LU factors), so after the first iteration the inner loop runs
+//! allocation-free: re-assembly refreshes a flat values buffer, the
+//! sparse backend reuses its symbolic factorisation numerically, and
+//! solves land in preallocated vectors.
 
+use crate::analysis::plan::StampPlan;
 use crate::circuit::{Circuit, NodeId};
 use crate::element::Element;
 use crate::error::SpiceError;
-use crate::matrix::{SolverKind, SystemMatrix};
+use crate::matrix::dense::DenseWorkspace;
+use crate::matrix::sparse::SparseLu;
+use crate::matrix::{SolverKind, SystemMatrix, AUTO_DENSE_LIMIT};
 use crate::Result;
 
 /// Per-capacitor companion-model state for transient analysis.
@@ -19,14 +29,16 @@ pub(crate) struct CapState {
 }
 
 /// Companion-model context handed to assembly during transient steps.
-#[derive(Debug, Clone)]
-pub(crate) struct CompanionCtx {
+/// Borrows the caller's capacitor states — building one per Newton solve
+/// is free.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct CompanionCtx<'c> {
     /// Current step size (s).
     pub h: f64,
     /// True for trapezoidal, false for backward Euler.
     pub trapezoidal: bool,
     /// Parallel to the circuit's element list; `Some` for capacitors.
-    pub caps: Vec<Option<CapState>>,
+    pub caps: &'c [Option<CapState>],
 }
 
 /// Newton–Raphson tuning knobs shared by DC and transient.
@@ -51,19 +63,63 @@ impl Default for NrOptions {
     }
 }
 
+/// Batched observability tallies for one Newton sequence, flushed once
+/// per `solve_nr` exit so the inner loop stays instrumentation-free.
+#[derive(Default)]
+struct NrTally {
+    iters: u64,
+    symbolic_reuse: u64,
+    numeric_refactor: u64,
+    stamps_skipped: u64,
+}
+
+impl NrTally {
+    fn flush(&self) {
+        use mcml_obs::{add, Counter};
+        add(Counter::NrIterations, self.iters);
+        add(Counter::MatrixSolves, self.iters);
+        add(Counter::SymbolicReuse, self.symbolic_reuse);
+        add(Counter::NumericRefactor, self.numeric_refactor);
+        add(Counter::LinearStampsSkipped, self.stamps_skipped);
+    }
+}
+
 pub(crate) struct Engine<'a> {
     pub ckt: &'a Circuit,
     pub n_node_unk: usize,
     pub n_unk: usize,
+    plan: StampPlan,
+    /// Jacobian values, parallel to the plan's pattern.
+    vals: Vec<f64>,
+    /// Residual `f(x)`.
+    f: Vec<f64>,
+    /// Right-hand side / Newton update (`−f`, overwritten by `dx`).
+    dx: Vec<f64>,
+    /// Scratch for the sparse backend's separate-rhs solve.
+    rhs: Vec<f64>,
+    dense: DenseWorkspace,
+    /// Sparse factors; `Some` once factored, reused numerically while the
+    /// fixed pivot order stays healthy.
+    lu: Option<SparseLu>,
 }
 
 impl<'a> Engine<'a> {
     pub fn new(ckt: &'a Circuit) -> Self {
         let n_node_unk = ckt.node_count() - 1;
+        let n_unk = n_node_unk + ckt.branch_count();
+        let plan = StampPlan::build(ckt, n_node_unk, n_unk);
+        let nnz = plan.pattern.nnz();
         Self {
             ckt,
             n_node_unk,
-            n_unk: n_node_unk + ckt.branch_count(),
+            n_unk,
+            plan,
+            vals: vec![0.0; nnz],
+            f: vec![0.0; n_unk],
+            dx: vec![0.0; n_unk],
+            rhs: vec![0.0; n_unk],
+            dense: DenseWorkspace::new(),
+            lu: None,
         }
     }
 
@@ -84,15 +140,19 @@ impl<'a> Engine<'a> {
         }
     }
 
-    /// Assemble Jacobian `mat` and residual `f` (KCL: sum of currents
-    /// leaving each node; KVL rows for voltage-source branches) at state
-    /// `x`, time `t`.
+    /// Reference assembly: build Jacobian `mat` and residual `f` (KCL:
+    /// sum of currents leaving each node; KVL rows for voltage-source
+    /// branches) at state `x`, time `t`, from scratch.
+    ///
+    /// The Newton loop no longer calls this — it uses the stamp plan —
+    /// but it stays as the independent oracle the equivalence tests
+    /// compare the plan against (`crate::testing`).
     #[allow(clippy::too_many_arguments)]
-    fn assemble(
+    pub fn assemble_reference(
         &self,
         x: &[f64],
         t: f64,
-        companion: Option<&CompanionCtx>,
+        companion: Option<&CompanionCtx<'_>>,
         gmin: f64,
         src_scale: f64,
         mat: &mut SystemMatrix,
@@ -220,37 +280,88 @@ impl<'a> Engine<'a> {
         }
     }
 
+    /// Factor (or numerically refactor) and solve `J·dx = −f` for the
+    /// current `vals`/`f`, leaving the update in `self.dx`.
+    fn solve_linear(&mut self, solver: SolverKind, tally: &mut NrTally) -> Result<()> {
+        let use_dense = match solver {
+            SolverKind::Dense => true,
+            SolverKind::Sparse => false,
+            SolverKind::Auto => self.n_unk <= AUTO_DENSE_LIMIT,
+        };
+        if use_dense {
+            for (d, fv) in self.dx.iter_mut().zip(&self.f) {
+                *d = -fv;
+            }
+            let _t = mcml_obs::span(mcml_obs::Stage::LuFactor);
+            return self
+                .dense
+                .solve_csc_into(&self.plan.pattern, &self.vals, &mut self.dx);
+        }
+
+        {
+            let _t = mcml_obs::span(mcml_obs::Stage::LuFactor);
+            match &mut self.lu {
+                Some(lu) => {
+                    // Numeric-only refactorisation on the cached symbolic
+                    // structure; a degraded pivot falls back to a fresh
+                    // symbolic factorisation (new pivot order).
+                    tally.numeric_refactor += 1;
+                    if lu.refactor(&self.plan.pattern, &self.vals).is_ok() {
+                        tally.symbolic_reuse += 1;
+                    } else {
+                        self.lu = Some(SparseLu::factor_csc(&self.plan.pattern, &self.vals)?);
+                    }
+                }
+                None => {
+                    self.lu = Some(SparseLu::factor_csc(&self.plan.pattern, &self.vals)?);
+                }
+            }
+        }
+        let lu = self.lu.as_ref().expect("factored above");
+        for (r, fv) in self.rhs.iter_mut().zip(&self.f) {
+            *r = -fv;
+        }
+        let _t = mcml_obs::span(mcml_obs::Stage::LuSolve);
+        lu.solve_into(&self.rhs, &mut self.dx);
+        Ok(())
+    }
+
     /// Damped Newton–Raphson from the warm start in `x`.
     #[allow(clippy::too_many_arguments)]
     pub fn solve_nr(
-        &self,
+        &mut self,
         x: &mut [f64],
         t: f64,
-        companion: Option<&CompanionCtx>,
+        companion: Option<&CompanionCtx<'_>>,
         gmin: f64,
         src_scale: f64,
         opts: &NrOptions,
         analysis: &'static str,
     ) -> Result<()> {
-        let mut mat = SystemMatrix::new(self.n_unk);
-        let mut f = vec![0.0; self.n_unk];
-        // Iteration accounting is batched into one `add` per exit path so
-        // the Newton loop itself stays free of instrumentation overhead.
-        let mut iters: u64 = 0;
+        let mut tally = NrTally::default();
         for iter in 0..opts.max_iter {
-            iters += 1;
-            self.assemble(x, t, companion, gmin, src_scale, &mut mat, &mut f);
-            let rhs: Vec<f64> = f.iter().map(|v| -v).collect();
-            let dx = match mat.solve(&rhs, opts.solver) {
-                Ok(dx) => dx,
-                Err(e) => {
-                    record_nr(iters);
-                    return Err(e);
-                }
-            };
+            tally.iters += 1;
+            {
+                let _t = mcml_obs::span(mcml_obs::Stage::MnaAssemble);
+                self.plan.assemble_into(
+                    self.ckt,
+                    x,
+                    t,
+                    companion,
+                    gmin,
+                    src_scale,
+                    &mut self.vals,
+                    &mut self.f,
+                );
+            }
+            tally.stamps_skipped += self.plan.linear_stamps;
+            if let Err(e) = self.solve_linear(opts.solver, &mut tally) {
+                tally.flush();
+                return Err(e);
+            }
 
             // Damping: cap the largest node-voltage update.
-            let max_dv = dx[..self.n_node_unk]
+            let max_dv = self.dx[..self.n_node_unk]
                 .iter()
                 .fold(0.0f64, |m, v| m.max(v.abs()));
             let damp = if max_dv > opts.vstep_limit {
@@ -258,11 +369,11 @@ impl<'a> Engine<'a> {
             } else {
                 1.0
             };
-            for (xi, di) in x.iter_mut().zip(dx.iter()) {
+            for (xi, di) in x.iter_mut().zip(self.dx.iter()) {
                 *xi += damp * di;
             }
             if !x.iter().all(|v| v.is_finite()) {
-                record_nr(iters);
+                tally.flush();
                 return Err(SpiceError::NoConvergence {
                     analysis,
                     time: t,
@@ -270,29 +381,21 @@ impl<'a> Engine<'a> {
                 });
             }
 
-            let max_f = f[..self.n_node_unk]
+            let max_f = self.f[..self.n_node_unk]
                 .iter()
                 .fold(0.0f64, |m, v| m.max(v.abs()));
             if damp == 1.0 && max_dv < opts.vtol && max_f < opts.itol {
-                record_nr(iters);
+                tally.flush();
                 return Ok(());
             }
         }
-        record_nr(iters);
+        tally.flush();
         Err(SpiceError::NoConvergence {
             analysis,
             time: t,
             iterations: opts.max_iter,
         })
     }
-}
-
-/// Record a finished Newton sequence: `n` iterations, each of which
-/// factored and solved the system once.
-#[inline]
-fn record_nr(n: u64) {
-    mcml_obs::add(mcml_obs::Counter::NrIterations, n);
-    mcml_obs::add(mcml_obs::Counter::MatrixSolves, n);
 }
 
 /// Companion conductance and history current for a capacitor.
@@ -320,6 +423,9 @@ pub(crate) fn init_cap_states(ckt: &Circuit, x: &[f64]) -> Vec<Option<CapState>>
         .collect()
 }
 
+/// Dense `(row-major matrix, residual)` snapshot of one assembly path.
+pub(crate) type DenseSystem = (Vec<f64>, Vec<f64>);
+
 impl Engine<'_> {
     /// Public voltage accessor used by the analyses when mapping states to
     /// waveforms.
@@ -330,5 +436,48 @@ impl Engine<'_> {
         } else {
             x[node.index() - 1]
         }
+    }
+
+    /// Assemble both paths to dense `(matrix, residual)` pairs — the
+    /// equivalence-test hook behind `crate::testing`.
+    pub(crate) fn assemble_both_dense(
+        &mut self,
+        x: &[f64],
+        t: f64,
+        companion: Option<&CompanionCtx<'_>>,
+        gmin: f64,
+        src_scale: f64,
+    ) -> (DenseSystem, DenseSystem) {
+        let n = self.n_unk;
+
+        let mut mat = SystemMatrix::new(n);
+        let mut f_ref = vec![0.0; n];
+        self.assemble_reference(x, t, companion, gmin, src_scale, &mut mat, &mut f_ref);
+        mat.consolidate();
+        let mut a_ref = vec![0.0; n * n];
+        for (r, row) in mat.rows().iter().enumerate() {
+            for &(c, v) in row {
+                a_ref[r * n + c] += v;
+            }
+        }
+
+        self.plan.assemble_into(
+            self.ckt,
+            x,
+            t,
+            companion,
+            gmin,
+            src_scale,
+            &mut self.vals,
+            &mut self.f,
+        );
+        let mut a_plan = vec![0.0; n * n];
+        for c in 0..n {
+            for (r, v) in self.plan.pattern.col(c, &self.vals) {
+                a_plan[r * n + c] += v;
+            }
+        }
+
+        ((a_ref, f_ref), (a_plan, self.f.clone()))
     }
 }

@@ -3,4 +3,5 @@
 pub mod dc;
 pub mod dcsweep;
 pub(crate) mod engine;
+pub(crate) mod plan;
 pub mod tran;

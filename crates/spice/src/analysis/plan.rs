@@ -1,0 +1,398 @@
+//! Per-circuit stamp plan: the Newton loop's fast assembly path.
+//!
+//! The legacy assembly path (`engine::Engine::assemble_reference`)
+//! rebuilds a [`SystemMatrix`](crate::matrix::SystemMatrix) from scratch
+//! every Newton iteration — push every stamp, sort-and-merge duplicates,
+//! convert to column-compressed form for the solver. All of that work is
+//! identical across iterations except for the handful of values that
+//! actually change (MOSFET conductances, capacitor companion stamps,
+//! source right-hand sides).
+//!
+//! A [`StampPlan`] hoists the invariant part out of the loop. Built once
+//! per `(circuit, analysis)`, it:
+//!
+//! * fixes the Jacobian sparsity pattern as a [`CscPattern`] (the union
+//!   of every element's stamp sites plus the gmin diagonal), handing each
+//!   stamp site a flat slot index into a values buffer;
+//! * pre-accumulates the constant linear part — resistor conductances and
+//!   the ±1 incidence entries of voltage-source rows — into `base_vals`,
+//!   so re-assembly starts from a `memcpy` instead of re-deriving them;
+//! * records, per element, exactly which slots and residual rows its
+//!   per-iteration contribution touches ([`PlanElem`]).
+//!
+//! [`StampPlan::assemble_into`] then refreshes a values buffer and
+//! residual in place with no allocation, no sorting and no format
+//! conversion. The residual is computed as `f = A_lin·x` (one sparse
+//! mat-vec over the linear + companion part) plus per-element
+//! corrections; MOSFET Jacobian entries are deliberately stamped *after*
+//! the mat-vec so the residual carries the device current `i_d`, not the
+//! linearised `J·x`.
+
+use crate::analysis::engine::{companion_terms, CompanionCtx};
+use crate::circuit::{Circuit, NodeId};
+use crate::element::Element;
+use crate::matrix::CscPattern;
+
+/// Sentinel slot for a stamp suppressed by a grounded terminal.
+const SLOT_NONE: usize = usize::MAX;
+
+/// Conductance-stamp slots of a two-terminal element between `a` and `b`:
+/// `[aa, ab, ba, bb]`, with [`SLOT_NONE`] where a terminal is ground.
+type CondSlots = [usize; 4];
+
+/// Per-element slice of the plan: which value slots and residual rows the
+/// element touches during re-assembly. Elements whose stamps are entirely
+/// constant (resistors) are [`PlanElem::Inert`] — their work happens in
+/// the base-values copy.
+enum PlanElem {
+    /// Fully covered by `base_vals`; nothing to do per iteration.
+    Inert,
+    /// Capacitor: companion conductance `geq` into the conductance slots,
+    /// history current into the residual rows.
+    Cap {
+        /// Residual row of terminal `a` (`None` when grounded).
+        fa: Option<usize>,
+        /// Residual row of terminal `b`.
+        fb: Option<usize>,
+        /// Conductance stamp slots.
+        g: CondSlots,
+    },
+    /// Voltage source: incidence entries live in `base_vals`; only the
+    /// KVL target `−V(t)·scale` changes per assembly.
+    Vsource {
+        /// KVL row (branch unknown index in the full system).
+        row: usize,
+    },
+    /// Current source: pure right-hand-side contribution.
+    Isource {
+        /// Residual row of terminal `p`.
+        fp: Option<usize>,
+        /// Residual row of terminal `n`.
+        fneg: Option<usize>,
+    },
+    /// MOSFET: device current into the drain/source residual rows,
+    /// small-signal conductances into two stamp-row slot quadruples.
+    Mos {
+        /// Residual row of the drain.
+        fd: Option<usize>,
+        /// Residual row of the source.
+        fs: Option<usize>,
+        /// Drain-row slots for columns `[g, d, s, b]`.
+        drow: CondSlots,
+        /// Source-row slots for columns `[g, d, s, b]` (negated stamps).
+        srow: CondSlots,
+    },
+}
+
+/// The per-circuit fast assembly plan. See the module docs.
+pub(crate) struct StampPlan {
+    /// Fixed sparsity pattern shared with the LU backends.
+    pub pattern: CscPattern,
+    /// Constant linear part of the Jacobian (resistors, vsource rows).
+    base_vals: Vec<f64>,
+    /// Diagonal slots `(i, i)` for the node unknowns, for gmin.
+    diag_slots: Vec<usize>,
+    /// Parallel to the circuit's element list.
+    elems: Vec<PlanElem>,
+    /// How many legacy matrix stamps the base copy replaces per assembly
+    /// (feeds the `spice.linear_stamps_skipped` counter).
+    pub linear_stamps: u64,
+}
+
+#[inline]
+fn unk(node: NodeId) -> Option<usize> {
+    if node.is_ground() {
+        None
+    } else {
+        Some(node.index() - 1)
+    }
+}
+
+#[inline]
+fn v(x: &[f64], node: NodeId) -> f64 {
+    match unk(node) {
+        Some(i) => x[i],
+        None => 0.0,
+    }
+}
+
+/// Collects stamp sites during plan construction and resolves them to
+/// slots once the full pattern is known.
+struct SiteCollector {
+    n: usize,
+    sites: Vec<(usize, usize)>,
+}
+
+impl SiteCollector {
+    /// Register a stamp site, returning its position (not yet a slot).
+    fn site(&mut self, r: usize, c: usize) -> usize {
+        debug_assert!(r < self.n && c < self.n);
+        self.sites.push((r, c));
+        self.sites.len() - 1
+    }
+
+    /// Register the (up to four) sites of a conductance between `a`/`b`.
+    fn cond_sites(&mut self, a: Option<usize>, b: Option<usize>) -> CondSlots {
+        let mut s = [SLOT_NONE; 4];
+        if let Some(ai) = a {
+            s[0] = self.site(ai, ai);
+            if let Some(bi) = b {
+                s[1] = self.site(ai, bi);
+            }
+        }
+        if let Some(bi) = b {
+            s[3] = self.site(bi, bi);
+            if let Some(ai) = a {
+                s[2] = self.site(bi, ai);
+            }
+        }
+        s
+    }
+}
+
+/// Map site positions to final slots, skipping [`SLOT_NONE`] sentinels.
+fn resolve(slots: &[usize], s: CondSlots) -> CondSlots {
+    s.map(|p| if p == SLOT_NONE { SLOT_NONE } else { slots[p] })
+}
+
+/// A [`PlanElem`] in the making: same shape, but holding site positions
+/// that are only resolved to slots once the full pattern is known.
+enum Pending {
+    Inert,
+    Cap {
+        fa: Option<usize>,
+        fb: Option<usize>,
+        g: CondSlots,
+    },
+    Vsource {
+        row: usize,
+    },
+    Isource {
+        fp: Option<usize>,
+        fneg: Option<usize>,
+    },
+    Mos {
+        fd: Option<usize>,
+        fs: Option<usize>,
+        drow: CondSlots,
+        srow: CondSlots,
+    },
+}
+
+impl StampPlan {
+    /// Build the plan for a circuit with `n_node_unk` node unknowns and
+    /// `n_unk` total unknowns.
+    pub fn build(ckt: &Circuit, n_node_unk: usize, n_unk: usize) -> Self {
+        let mut col = SiteCollector {
+            n: n_unk,
+            sites: Vec::new(),
+        };
+
+        // gmin sites on the node-unknown diagonal come first.
+        let diag_pos: Vec<usize> = (0..n_node_unk).map(|i| col.site(i, i)).collect();
+
+        // Pending constant contributions as (site position, value).
+        let mut base: Vec<(usize, f64)> = Vec::new();
+        let mut linear_stamps: u64 = 0;
+
+        let mut pending: Vec<Pending> = Vec::new();
+        for (_, _, elem) in ckt.elements() {
+            let p = match elem {
+                Element::Resistor { a, b, ohms } => {
+                    let g = 1.0 / ohms;
+                    let s = col.cond_sites(unk(*a), unk(*b));
+                    for (pos, val) in s.iter().zip([g, -g, -g, g]) {
+                        if *pos != SLOT_NONE {
+                            base.push((*pos, val));
+                            linear_stamps += 1;
+                        }
+                    }
+                    Pending::Inert
+                }
+                Element::Capacitor { a, b, .. } => {
+                    let (ua, ub) = (unk(*a), unk(*b));
+                    Pending::Cap {
+                        fa: ua,
+                        fb: ub,
+                        g: col.cond_sites(ua, ub),
+                    }
+                }
+                Element::Vsource { p, n, branch, .. } => {
+                    let row = n_node_unk + branch;
+                    // Incidence entries are constant ±1: into the base.
+                    for (node, sign) in [(p, 1.0), (n, -1.0)] {
+                        if let Some(i) = unk(*node) {
+                            base.push((col.site(i, row), sign));
+                            base.push((col.site(row, i), sign));
+                            linear_stamps += 2;
+                        }
+                    }
+                    Pending::Vsource { row }
+                }
+                Element::Isource { p, n, .. } => Pending::Isource {
+                    fp: unk(*p),
+                    fneg: unk(*n),
+                },
+                Element::Mos { d, g, s, b, .. } => {
+                    let (ud, ug, us, ub) = (unk(*d), unk(*g), unk(*s), unk(*b));
+                    let row_sites = |col: &mut SiteCollector, row: Option<usize>| {
+                        let mut slots = [SLOT_NONE; 4];
+                        if let Some(r) = row {
+                            for (slot, c) in slots.iter_mut().zip([ug, ud, us, ub]) {
+                                if let Some(ci) = c {
+                                    *slot = col.site(r, ci);
+                                }
+                            }
+                        }
+                        slots
+                    };
+                    let drow = row_sites(&mut col, ud);
+                    let srow = row_sites(&mut col, us);
+                    Pending::Mos {
+                        fd: ud,
+                        fs: us,
+                        drow,
+                        srow,
+                    }
+                }
+                // `Element` is non-exhaustive; new kinds must grow a plan
+                // arm before they can be simulated.
+                #[allow(unreachable_patterns)]
+                _ => unreachable!("element kind without a stamp plan"),
+            };
+            pending.push(p);
+        }
+
+        let (pattern, slots) = CscPattern::from_sites(n_unk, &col.sites);
+        let mut base_vals = vec![0.0f64; pattern.nnz()];
+        for (pos, val) in base {
+            base_vals[slots[pos]] += val;
+        }
+        let diag_slots: Vec<usize> = diag_pos.into_iter().map(|p| slots[p]).collect();
+        let elems = pending
+            .into_iter()
+            .map(|p| match p {
+                Pending::Inert => PlanElem::Inert,
+                Pending::Cap { fa, fb, g } => PlanElem::Cap {
+                    fa,
+                    fb,
+                    g: resolve(&slots, g),
+                },
+                Pending::Vsource { row } => PlanElem::Vsource { row },
+                Pending::Isource { fp, fneg } => PlanElem::Isource { fp, fneg },
+                Pending::Mos { fd, fs, drow, srow } => PlanElem::Mos {
+                    fd,
+                    fs,
+                    drow: resolve(&slots, drow),
+                    srow: resolve(&slots, srow),
+                },
+            })
+            .collect();
+
+        Self {
+            pattern,
+            base_vals,
+            diag_slots,
+            elems,
+            linear_stamps,
+        }
+    }
+
+    /// Refresh `vals` (Jacobian values, parallel to the pattern) and `f`
+    /// (residual) in place for state `x` at time `t`. Allocation-free.
+    ///
+    /// KCL sign convention matches the legacy path: `f[row]` accumulates
+    /// the currents *leaving* each node, and KVL rows hold
+    /// `v_p − v_n − V(t)·scale`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn assemble_into(
+        &self,
+        ckt: &Circuit,
+        x: &[f64],
+        t: f64,
+        companion: Option<&CompanionCtx<'_>>,
+        gmin: f64,
+        src_scale: f64,
+        vals: &mut [f64],
+        f: &mut [f64],
+    ) {
+        debug_assert_eq!(vals.len(), self.pattern.nnz());
+        debug_assert_eq!(f.len(), self.pattern.dim());
+
+        // 1. Constant linear part, then gmin on the node diagonal.
+        vals.copy_from_slice(&self.base_vals);
+        for &s in &self.diag_slots {
+            vals[s] += gmin;
+        }
+        f.iter_mut().for_each(|fv| *fv = 0.0);
+
+        // 2. Companion conductances (and history currents into f) must be
+        // in place before the mat-vec so `A_lin·x` covers `geq·v`.
+        if let Some(ctx) = companion {
+            for (plan, state) in self.elems.iter().zip(ctx.caps) {
+                let (PlanElem::Cap { fa, fb, g }, Some(cap)) = (plan, state) else {
+                    continue;
+                };
+                let (geq, hist) = companion_terms(cap, ctx.h, ctx.trapezoidal);
+                for (slot, val) in g.iter().zip([geq, -geq, -geq, geq]) {
+                    if *slot != SLOT_NONE {
+                        vals[*slot] += val;
+                    }
+                }
+                if let Some(ai) = fa {
+                    f[*ai] += hist;
+                }
+                if let Some(bi) = fb {
+                    f[*bi] -= hist;
+                }
+            }
+        }
+
+        // 3. Residual of the linear + companion part in one mat-vec:
+        // covers resistor and companion currents, gmin leakage, vsource
+        // incidence (branch currents into KCL rows, `v_p − v_n` into KVL
+        // rows).
+        self.pattern.spmv_add(vals, x, f);
+
+        // 4. Source right-hand sides and nonlinear devices. MOSFET
+        // Jacobian stamps happen *after* the mat-vec on purpose: the
+        // residual must carry the device current, not `J·x`.
+        for (plan, (_, _, elem)) in self.elems.iter().zip(ckt.elements()) {
+            match (plan, elem) {
+                (PlanElem::Vsource { row }, Element::Vsource { wave, .. }) => {
+                    f[*row] -= wave.value(t) * src_scale;
+                }
+                (PlanElem::Isource { fp, fneg }, Element::Isource { wave, .. }) => {
+                    let i = wave.value(t) * src_scale;
+                    if let Some(pi) = fp {
+                        f[*pi] += i;
+                    }
+                    if let Some(ni) = fneg {
+                        f[*ni] -= i;
+                    }
+                }
+                (PlanElem::Mos { fd, fs, drow, srow }, Element::Mos { d, g, s, b, dev }) => {
+                    let e = dev.eval(v(x, *g), v(x, *d), v(x, *s), v(x, *b));
+                    if let Some(di) = fd {
+                        f[*di] += e.id;
+                    }
+                    if let Some(si) = fs {
+                        f[*si] -= e.id;
+                    }
+                    let conds = [e.gm, e.gds, e.gms, e.gmb];
+                    for (slot, val) in drow.iter().zip(conds) {
+                        if *slot != SLOT_NONE {
+                            vals[*slot] += val;
+                        }
+                    }
+                    for (slot, val) in srow.iter().zip(conds) {
+                        if *slot != SLOT_NONE {
+                            vals[*slot] -= val;
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+}

@@ -178,22 +178,36 @@ pub fn transient(ckt: &Circuit, opts: &TranOptions) -> Result<TranResult> {
         ..DcOptions::default()
     };
     let op0 = ckt.dc_op_with(&dc_opts)?;
-    let engine = Engine::new(ckt);
+    let mut engine = Engine::new(ckt);
     let nr = opts.nr();
     let trapezoidal = opts.integrator == Integrator::Trapezoidal;
 
     let mut x = op0.state().to_vec();
     let mut caps = init_cap_states(ckt, &x);
 
-    let n_steps = (opts.t_stop / opts.dt).round() as usize;
+    // Step count covering [0, t_stop] exactly: when t_stop is not an
+    // integer multiple of dt, a naive `round` either drops the tail of
+    // the window or overshoots past t_stop; instead take `ceil` and clamp
+    // the final grid point to t_stop (the last step is simply shorter).
+    let ratio = opts.t_stop / opts.dt;
+    let n_steps = if (ratio - ratio.round()).abs() < 1e-6 * ratio.max(1.0) {
+        (ratio.round() as usize).max(1)
+    } else {
+        ratio.ceil() as usize
+    };
     let mut times = Vec::with_capacity(n_steps + 1);
     let mut states = Vec::with_capacity(n_steps + 1);
     times.push(0.0);
     states.push(x.clone());
 
+    let mut x_try = vec![0.0; x.len()];
     let mut t = 0.0;
     for step in 1..=n_steps {
-        let t_target = opts.dt * step as f64;
+        let t_target = if step == n_steps {
+            opts.t_stop
+        } else {
+            opts.dt * step as f64
+        };
         // March to the grid point, subdividing on failure.
         while t < t_target - opts.dt * 1e-9 {
             let mut h = t_target - t;
@@ -202,15 +216,15 @@ pub fn transient(ckt: &Circuit, opts: &TranOptions) -> Result<TranResult> {
                 let ctx = CompanionCtx {
                     h,
                     trapezoidal,
-                    caps: caps.clone(),
+                    caps: &caps,
                 };
-                let mut x_try = x.clone();
+                x_try.clone_from(&x);
                 match engine.solve_nr(&mut x_try, t + h, Some(&ctx), ckt.gmin, 1.0, &nr, "tran") {
                     Ok(()) => {
                         // Accept: update companion states.
                         mcml_obs::incr(mcml_obs::Counter::TranSteps);
                         update_caps(ckt, &mut caps, &x_try, h, trapezoidal);
-                        x = x_try;
+                        std::mem::swap(&mut x, &mut x_try);
                         t += h;
                         break;
                     }
@@ -403,6 +417,47 @@ mod tests {
         let full = c.transient(&TranOptions::new(4e-9, 10e-12)).unwrap();
         assert!(res.len() < full.len());
         assert!(!res.is_empty());
+    }
+
+    #[test]
+    fn endpoint_reached_when_t_stop_not_multiple_of_dt() {
+        // t_stop / dt = 3.33…: the old `round` step count stopped at
+        // 0.9 ns, silently dropping the last 0.1 ns of the window.
+        let (c, out, _) = rc_circuit();
+        let res = c.transient(&TranOptions::new(1e-9, 0.3e-9)).unwrap();
+        let times = res.times();
+        assert_eq!(*times.last().unwrap(), 1e-9, "ends exactly at t_stop");
+        assert!(times.windows(2).all(|w| w[1] > w[0]), "monotonic grid");
+        // Every full-dt grid point is still present.
+        for (i, expect) in [0.0, 0.3e-9, 0.6e-9, 0.9e-9, 1.0e-9].iter().enumerate() {
+            assert!((times[i] - expect).abs() < 1e-18, "grid point {i}");
+        }
+        // Waveform sampling at t_stop uses a real solution, not an
+        // extrapolation.
+        assert!(res.voltage(out).sample(1e-9).is_finite());
+    }
+
+    #[test]
+    fn endpoint_never_overshoots_t_stop() {
+        // t_stop / dt = 1.67: `round` used to march to 1.2 ns, past the
+        // requested end of the window.
+        let (c, _, _) = rc_circuit();
+        let res = c.transient(&TranOptions::new(1e-9, 0.6e-9)).unwrap();
+        let times = res.times();
+        assert_eq!(*times.last().unwrap(), 1e-9);
+        assert!(times.iter().all(|&t| t <= 1e-9));
+    }
+
+    #[test]
+    fn integer_grid_unchanged_by_endpoint_clamp() {
+        let (c, _, _) = rc_circuit();
+        let res = c.transient(&TranOptions::new(2e-9, 0.5e-9)).unwrap();
+        let expect = [0.0, 0.5e-9, 1.0e-9, 1.5e-9, 2e-9];
+        assert_eq!(res.len(), expect.len());
+        for (t, e) in res.times().iter().zip(expect) {
+            assert!((t - e).abs() < 1e-20, "{t} vs {e}");
+        }
+        assert_eq!(*res.times().last().unwrap(), 2e-9);
     }
 
     #[test]

@@ -54,3 +54,47 @@ pub use waveform::Waveform;
 
 /// Crate-wide result alias.
 pub type Result<T> = std::result::Result<T, SpiceError>;
+
+/// Test-only hooks: not part of the supported API.
+#[doc(hidden)]
+pub mod testing {
+    use crate::analysis::engine::{init_cap_states, CompanionCtx, Engine};
+    use crate::circuit::Circuit;
+
+    /// Dense `(row-major matrix, residual)` snapshot of one assembly path.
+    pub type DenseSystem = (Vec<f64>, Vec<f64>);
+
+    /// Dense `(row-major matrix, residual)` snapshots of one MNA assembly
+    /// through the legacy full-restamp path and the stamp-plan fast path,
+    /// in that order. `companion` is `(h, trapezoidal, state)` with the
+    /// capacitor voltages initialised from `state`.
+    #[must_use]
+    pub fn assemble_both_dense(
+        ckt: &Circuit,
+        x: &[f64],
+        t: f64,
+        companion: Option<(f64, bool, &[f64])>,
+        gmin: f64,
+        src_scale: f64,
+    ) -> (DenseSystem, DenseSystem) {
+        let mut engine = Engine::new(ckt);
+        match companion {
+            Some((h, trapezoidal, state)) => {
+                let caps = init_cap_states(ckt, state);
+                let ctx = CompanionCtx {
+                    h,
+                    trapezoidal,
+                    caps: &caps,
+                };
+                engine.assemble_both_dense(x, t, Some(&ctx), gmin, src_scale)
+            }
+            None => engine.assemble_both_dense(x, t, None, gmin, src_scale),
+        }
+    }
+
+    /// Number of unknowns (nodes + branches) the MNA system has.
+    #[must_use]
+    pub fn n_unknowns(ckt: &Circuit) -> usize {
+        ckt.node_count() - 1 + ckt.branch_count()
+    }
+}

@@ -3,30 +3,67 @@
 //! MNA matrices for individual standard cells have a few dozen unknowns;
 //! at that size a cache-friendly dense factorisation beats any sparse code.
 
-use super::SystemMatrix;
+use super::{CscPattern, SystemMatrix};
 use crate::error::SpiceError;
 
 /// Threshold below which a pivot is treated as numerically zero.
 const PIVOT_EPS: f64 = 1e-13;
 
-/// Solve `A·x = b` densely. `m` must already be consolidated.
+/// Reusable dense scratch matrix so the Newton loop's dense solves stop
+/// allocating an `n × n` buffer per iteration.
 ///
-/// # Errors
-///
-/// Returns [`SpiceError::SingularMatrix`] if no usable pivot exists in some
-/// column.
-pub fn solve_dense(m: &SystemMatrix, b: &[f64]) -> Result<Vec<f64>, SpiceError> {
-    let n = m.dim();
-    let mut a = vec![0.0_f64; n * n];
-    for (r, row) in m.rows().iter().enumerate() {
-        for &(c, v) in row {
-            a[r * n + c] += v;
-        }
-    }
-    let mut x = b.to_vec();
+/// Holds the working copy of `A` between solves; `solve_csc_into`
+/// scatters a [`CscPattern`] + values buffer into it and runs the same
+/// in-place partial-pivoting LU as [`solve_dense`], overwriting the
+/// right-hand side with the solution.
+#[derive(Debug, Default)]
+pub struct DenseWorkspace {
+    a: Vec<f64>,
+}
 
-    // In-place LU with partial pivoting, applying permutations to x as we
-    // go (Doolittle with immediate forward substitution).
+impl DenseWorkspace {
+    /// An empty workspace; buffers grow on first use.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Solve `A·x = b` where `A` is given as pattern + values and `bx`
+    /// holds `b` on entry and `x` on return. Allocation-free after the
+    /// first call at a given dimension.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpiceError::SingularMatrix`] if no usable pivot exists
+    /// in some column.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bx` does not match the pattern dimension.
+    pub fn solve_csc_into(
+        &mut self,
+        pattern: &CscPattern,
+        vals: &[f64],
+        bx: &mut [f64],
+    ) -> Result<(), SpiceError> {
+        let n = pattern.dim();
+        assert_eq!(bx.len(), n, "rhs length mismatch");
+        self.a.clear();
+        self.a.resize(n * n, 0.0);
+        let a = &mut self.a;
+        for c in 0..n {
+            for (r, v) in pattern.col(c, vals) {
+                a[r * n + c] += v;
+            }
+        }
+        lu_in_place(a, n, bx)
+    }
+}
+
+/// In-place partial-pivoting LU on a row-major `n × n` buffer, with the
+/// right-hand side eliminated alongside (Doolittle with immediate forward
+/// substitution) and overwritten by the solution.
+fn lu_in_place(a: &mut [f64], n: usize, x: &mut [f64]) -> Result<(), SpiceError> {
     for k in 0..n {
         // Pivot search in column k, rows k..n.
         let mut piv = k;
@@ -69,6 +106,25 @@ pub fn solve_dense(m: &SystemMatrix, b: &[f64]) -> Result<Vec<f64>, SpiceError> 
         }
         x[k] = acc / a[k * n + k];
     }
+    Ok(())
+}
+
+/// Solve `A·x = b` densely. `m` must already be consolidated.
+///
+/// # Errors
+///
+/// Returns [`SpiceError::SingularMatrix`] if no usable pivot exists in some
+/// column.
+pub fn solve_dense(m: &SystemMatrix, b: &[f64]) -> Result<Vec<f64>, SpiceError> {
+    let n = m.dim();
+    let mut a = vec![0.0_f64; n * n];
+    for (r, row) in m.rows().iter().enumerate() {
+        for &(c, v) in row {
+            a[r * n + c] += v;
+        }
+    }
+    let mut x = b.to_vec();
+    lu_in_place(&mut a, n, &mut x)?;
     Ok(x)
 }
 
@@ -130,6 +186,26 @@ mod tests {
     fn singular_detected() {
         let err = solve(&[(0, 0, 1.0), (1, 0, 1.0)], 2, &[1.0, 1.0]).unwrap_err();
         assert!(matches!(err, SpiceError::SingularMatrix { .. }));
+    }
+
+    #[test]
+    fn workspace_matches_solve_dense_and_reuses_buffer() {
+        let sites = [(0usize, 0usize), (0, 1), (1, 0), (1, 1)];
+        let (pattern, slots) = CscPattern::from_sites(2, &sites);
+        let mut vals = vec![0.0; pattern.nnz()];
+        for (&slot, v) in slots.iter().zip([2.0f64, 1.0, 1.0, 3.0]) {
+            vals[slot] += v;
+        }
+        let mut ws = DenseWorkspace::new();
+        let mut bx = vec![3.0, 5.0];
+        ws.solve_csc_into(&pattern, &vals, &mut bx).unwrap();
+        assert!((bx[0] - 0.8).abs() < 1e-12 && (bx[1] - 1.4).abs() < 1e-12);
+        // Second solve with different values reuses the same buffer.
+        vals[slots[1]] = 0.0;
+        vals[slots[2]] = 0.0;
+        let mut bx2 = vec![4.0, 6.0];
+        ws.solve_csc_into(&pattern, &vals, &mut bx2).unwrap();
+        assert!((bx2[0] - 2.0).abs() < 1e-12 && (bx2[1] - 2.0).abs() < 1e-12);
     }
 
     #[test]

@@ -1,13 +1,164 @@
 //! Linear-system assembly and LU solvers.
 //!
-//! The MNA Jacobian is assembled into a row-wise sparse [`SystemMatrix`];
-//! depending on size (or an explicit [`SolverKind`] choice) it is solved by
-//! dense partial-pivoting LU or by a left-looking Gilbert–Peierls sparse LU.
+//! Two assembly paths feed the solvers:
+//!
+//! * the legacy row-wise [`SystemMatrix`] accumulator (stamps appended,
+//!   consolidated on demand) — the reference path, still used by one-shot
+//!   solves and the equivalence tests, and
+//! * a fixed [`CscPattern`] plus a flat values buffer — the fast path the
+//!   Newton loop uses via `analysis::plan::StampPlan`, where the sparsity
+//!   pattern is computed once per circuit and only values change.
+//!
+//! Depending on size (or an explicit [`SolverKind`] choice) systems are
+//! solved by dense partial-pivoting LU ([`dense::DenseWorkspace`]) or by a
+//! left-looking Gilbert–Peierls sparse LU ([`sparse::SparseLu`]) with a
+//! symbolic/numeric split for allocation-free refactorisation.
 
 pub mod dense;
 pub mod sparse;
 
 use crate::error::SpiceError;
+
+/// Immutable column-compressed sparsity pattern of an MNA Jacobian.
+///
+/// Built once per `(circuit, analysis)` by the stamp plan; every Newton
+/// iteration then rewrites only a parallel values buffer (`vals[slot]`
+/// for slot indices handed out at construction). Both LU backends consume
+/// the pattern directly, so no per-iteration format conversion remains.
+#[derive(Debug, Clone)]
+pub struct CscPattern {
+    n: usize,
+    col_ptr: Vec<usize>,
+    row_idx: Vec<usize>,
+}
+
+impl CscPattern {
+    /// Build a pattern from (possibly duplicate) `(row, col)` stamp sites.
+    ///
+    /// Returns the pattern plus one slot index per input site: duplicate
+    /// sites share a slot, so stamping is `vals[slot] += v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any site is out of range.
+    #[must_use]
+    pub fn from_sites(n: usize, sites: &[(usize, usize)]) -> (Self, Vec<usize>) {
+        for &(r, c) in sites {
+            assert!(r < n && c < n, "site ({r},{c}) out of range {n}");
+        }
+        // Sort site indices by (col, row); equal sites collapse to a slot.
+        let mut order: Vec<usize> = (0..sites.len()).collect();
+        order.sort_unstable_by_key(|&i| (sites[i].1, sites[i].0));
+        let mut col_ptr = vec![0usize; n + 1];
+        let mut row_idx = Vec::with_capacity(sites.len());
+        let mut slots = vec![0usize; sites.len()];
+        let mut prev: Option<(usize, usize)> = None;
+        for &i in &order {
+            let (r, c) = sites[i];
+            if prev != Some((r, c)) {
+                row_idx.push(r);
+                col_ptr[c + 1] += 1;
+                prev = Some((r, c));
+            }
+            slots[i] = row_idx.len() - 1;
+        }
+        for c in 0..n {
+            col_ptr[c + 1] += col_ptr[c];
+        }
+        (
+            Self {
+                n,
+                col_ptr,
+                row_idx,
+            },
+            slots,
+        )
+    }
+
+    /// Build a pattern and values from a consolidated [`SystemMatrix`].
+    #[must_use]
+    pub fn from_system(m: &SystemMatrix) -> (Self, Vec<f64>) {
+        let n = m.dim();
+        let mut col_ptr = vec![0usize; n + 1];
+        for row in m.rows() {
+            for &(c, _) in row {
+                col_ptr[c + 1] += 1;
+            }
+        }
+        for c in 0..n {
+            col_ptr[c + 1] += col_ptr[c];
+        }
+        let nnz = col_ptr[n];
+        let mut row_idx = vec![0usize; nnz];
+        let mut vals = vec![0.0f64; nnz];
+        let mut next = col_ptr.clone();
+        for (r, row) in m.rows().iter().enumerate() {
+            for &(c, v) in row {
+                let p = next[c];
+                row_idx[p] = r;
+                vals[p] = v;
+                next[c] += 1;
+            }
+        }
+        (
+            Self {
+                n,
+                col_ptr,
+                row_idx,
+            },
+            vals,
+        )
+    }
+
+    /// Matrix dimension.
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// Number of structural non-zeros.
+    #[must_use]
+    pub fn nnz(&self) -> usize {
+        self.row_idx.len()
+    }
+
+    /// Value-slot range of column `j`.
+    #[inline]
+    #[must_use]
+    pub fn col_range(&self, j: usize) -> std::ops::Range<usize> {
+        self.col_ptr[j]..self.col_ptr[j + 1]
+    }
+
+    /// Row indices, parallel to the values buffer.
+    #[inline]
+    #[must_use]
+    pub fn row_indices(&self) -> &[usize] {
+        &self.row_idx
+    }
+
+    /// `(row, value)` pairs of column `j` for the given values buffer.
+    #[inline]
+    pub fn col<'a>(&'a self, j: usize, vals: &'a [f64]) -> impl Iterator<Item = (usize, f64)> + 'a {
+        self.col_range(j).map(move |p| (self.row_idx[p], vals[p]))
+    }
+
+    /// Accumulate `y += A·x` for the given values buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatches.
+    pub fn spmv_add(&self, vals: &[f64], x: &[f64], y: &mut [f64]) {
+        assert_eq!(vals.len(), self.nnz(), "values length mismatch");
+        assert!(x.len() == self.n && y.len() == self.n, "vector mismatch");
+        for (j, &xj) in x.iter().enumerate() {
+            if xj != 0.0 {
+                for p in self.col_range(j) {
+                    y[self.row_idx[p]] += vals[p] * xj;
+                }
+            }
+        }
+    }
+}
 
 /// Which factorisation backend to use.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]

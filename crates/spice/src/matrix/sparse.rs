@@ -1,4 +1,5 @@
-//! Left-looking Gilbert–Peierls sparse LU with partial pivoting.
+//! Left-looking Gilbert–Peierls sparse LU with partial pivoting and a
+//! symbolic/numeric split.
 //!
 //! Large transistor-level netlists (e.g. the reduced-AES security testbench
 //! of Fig. 6) produce MNA systems with thousands of unknowns but only a
@@ -6,62 +7,39 @@
 //! proportional to the flop count of the factors, following the classic
 //! Gilbert–Peierls algorithm (symbolic depth-first reachability per column,
 //! then a sparse triangular solve).
+//!
+//! The expensive part of every factorisation — the per-column DFS that
+//! discovers the fill-in pattern, plus the pivot-order search — depends
+//! only on the sparsity pattern, which the Newton loop keeps fixed. A
+//! first [`SparseLu::factor_csc`] therefore records the elimination
+//! order, fill pattern and row permutation; subsequent
+//! [`SparseLu::refactor`] calls on the same [`CscPattern`] replay the
+//! recorded structure and recompute numbers only, and
+//! [`SparseLu::solve_into`] back-substitutes without allocating. A
+//! refactorisation whose fixed pivot degrades numerically (threshold
+//! pivot test) fails over to a fresh full factorisation at the caller.
 
-use super::SystemMatrix;
+use super::{CscPattern, SystemMatrix};
 use crate::error::SpiceError;
 
 /// Threshold below which a pivot is treated as numerically zero.
 const PIVOT_EPS: f64 = 1e-13;
 
-/// Column-compressed copy of the assembled matrix.
-struct Csc {
-    n: usize,
-    col_ptr: Vec<usize>,
-    row_idx: Vec<usize>,
-    vals: Vec<f64>,
-}
+/// Threshold-pivoting guard for numeric-only refactorisation: the fixed
+/// pivot must retain at least this fraction of the column's largest
+/// candidate magnitude, bounding element growth per column to 1/τ.
+const REFACTOR_PIVOT_TAU: f64 = 1e-3;
 
-impl Csc {
-    fn from_rows(m: &SystemMatrix) -> Self {
-        let n = m.dim();
-        let mut counts = vec![0usize; n + 1];
-        for row in m.rows() {
-            for &(c, _) in row {
-                counts[c + 1] += 1;
-            }
-        }
-        for c in 0..n {
-            counts[c + 1] += counts[c];
-        }
-        let nnz = counts[n];
-        let mut row_idx = vec![0usize; nnz];
-        let mut vals = vec![0.0f64; nnz];
-        let mut next = counts.clone();
-        for (r, row) in m.rows().iter().enumerate() {
-            for &(c, v) in row {
-                let p = next[c];
-                row_idx[p] = r;
-                vals[p] = v;
-                next[c] += 1;
-            }
-        }
-        Csc {
-            n,
-            col_ptr: counts,
-            row_idx,
-            vals,
-        }
-    }
-
-    fn col(&self, j: usize) -> impl Iterator<Item = (usize, f64)> + '_ {
-        (self.col_ptr[j]..self.col_ptr[j + 1]).map(move |p| (self.row_idx[p], self.vals[p]))
-    }
-}
+const UNPIVOTED: usize = usize::MAX;
 
 /// LU factors with row permutation. `l_cols[k]` holds the strictly-lower
 /// entries of L's column `k` as `(original_row, value)`; `u_cols[k]` holds
 /// the strictly-upper entries of U's column `k` as
 /// `(pivot_position, value)`; `u_diag[k]` is the pivot.
+///
+/// The struct also carries the reusable symbolic state: the per-column
+/// elimination order discovered by the DFS and the row permutation, which
+/// [`SparseLu::refactor`] replays for numeric-only refactorisation.
 pub struct SparseLu {
     n: usize,
     l_cols: Vec<Vec<(usize, f64)>>,
@@ -69,31 +47,48 @@ pub struct SparseLu {
     u_diag: Vec<f64>,
     /// `pinv[original_row] = pivot position`.
     pinv: Vec<usize>,
+    /// `perm_row[pivot position] = original_row` (inverse of `pinv`).
+    perm_row: Vec<usize>,
+    /// Per-column elimination order (reach set in topological order), as
+    /// discovered by the symbolic DFS of the initial factorisation.
+    order: Vec<Vec<usize>>,
+    /// Dense workspace reused by refactor (cleared between columns).
+    work: Vec<f64>,
 }
 
 impl SparseLu {
-    /// Factor the consolidated matrix.
+    /// Factor the consolidated matrix (convenience wrapper that builds a
+    /// column-compressed copy first).
     ///
     /// # Errors
     ///
     /// Returns [`SpiceError::SingularMatrix`] if a column has no usable
     /// pivot.
     pub fn factor(m: &SystemMatrix) -> Result<Self, SpiceError> {
-        const UNPIVOTED: usize = usize::MAX;
+        let (pattern, vals) = CscPattern::from_system(m);
+        Self::factor_csc(&pattern, &vals)
+    }
 
-        let a = Csc::from_rows(m);
-        let n = a.n;
+    /// Full symbolic + numeric factorisation of `pattern` with the given
+    /// values.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpiceError::SingularMatrix`] if a column has no usable
+    /// pivot.
+    pub fn factor_csc(pattern: &CscPattern, vals: &[f64]) -> Result<Self, SpiceError> {
+        let n = pattern.dim();
 
         let mut l_cols: Vec<Vec<(usize, f64)>> = Vec::with_capacity(n);
         let mut u_cols: Vec<Vec<(usize, f64)>> = Vec::with_capacity(n);
         let mut u_diag = vec![0.0f64; n];
         let mut pinv = vec![UNPIVOTED; n];
+        let mut orders: Vec<Vec<usize>> = Vec::with_capacity(n);
 
         // Dense workspace for the current column and DFS bookkeeping.
         let mut x = vec![0.0f64; n];
         let mut mark = vec![usize::MAX; n]; // column stamp for visited rows
         let mut stack: Vec<(usize, usize)> = Vec::with_capacity(n);
-        let mut order: Vec<usize> = Vec::with_capacity(n);
 
         // The left-looking factorisation is written over column index k;
         // an iterator over `u_diag` would hide the algorithm's shape.
@@ -101,8 +96,8 @@ impl SparseLu {
         for k in 0..n {
             // --- symbolic: rows reachable from the pattern of A[:,k]
             // through already-pivoted columns of L, in topological order.
-            order.clear();
-            for (r, _) in a.col(k) {
+            let mut order: Vec<usize> = Vec::new();
+            for (r, _) in pattern.col(k, vals) {
                 if mark[r] == k {
                     continue;
                 }
@@ -140,7 +135,7 @@ impl SparseLu {
             order.reverse();
 
             // --- numeric: scatter A[:,k], then eliminate in topo order.
-            for (r, v) in a.col(k) {
+            for (r, v) in pattern.col(k, vals) {
                 x[r] = v;
             }
             for &r in &order {
@@ -172,7 +167,10 @@ impl SparseLu {
                 return Err(SpiceError::SingularMatrix { index: k });
             }
 
-            // --- store factors and clear the workspace.
+            // --- store factors and clear the workspace. Every reachable
+            // position is stored, including exact numeric zeros: the
+            // stored pattern must be the *symbolic* fill pattern so a
+            // later numeric-only refactor can deposit any value there.
             let pivot_val = x[ipiv];
             u_diag[k] = pivot_val;
             let mut ucol = Vec::new();
@@ -180,7 +178,7 @@ impl SparseLu {
             for &r in &order {
                 let v = x[r];
                 x[r] = 0.0;
-                if r == ipiv || v == 0.0 {
+                if r == ipiv {
                     continue;
                 }
                 match pinv[r] {
@@ -192,48 +190,146 @@ impl SparseLu {
             pinv[ipiv] = k;
             l_cols.push(lcol);
             u_cols.push(ucol);
+            orders.push(order);
         }
 
+        let mut perm_row = vec![0usize; n];
+        for (orig, &pos) in pinv.iter().enumerate() {
+            perm_row[pos] = orig;
+        }
         Ok(SparseLu {
             n,
             l_cols,
             u_cols,
             u_diag,
             pinv,
+            perm_row,
+            order: orders,
+            work: x,
         })
+    }
+
+    /// Numeric-only refactorisation: recompute L/U values for new matrix
+    /// values on the *same* sparsity pattern, replaying the recorded
+    /// elimination order and row permutation. No allocation, no DFS, no
+    /// pivot search.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpiceError::SingularMatrix`] when a fixed pivot fails the
+    /// threshold test (degraded below `REFACTOR_PIVOT_TAU` of its
+    /// column's largest candidate, or below `PIVOT_EPS` absolutely) —
+    /// the caller should fall back to [`SparseLu::factor_csc`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pattern` has a different dimension than the factored
+    /// matrix (refactor against a foreign pattern is a logic error).
+    pub fn refactor(&mut self, pattern: &CscPattern, vals: &[f64]) -> Result<(), SpiceError> {
+        assert_eq!(pattern.dim(), self.n, "pattern dimension mismatch");
+        let x = &mut self.work;
+        for k in 0..self.n {
+            // Scatter A[:,k] and eliminate in the recorded order; columns
+            // 0..k of L already hold their refactored values (left-looking).
+            for (r, v) in pattern.col(k, vals) {
+                x[r] = v;
+            }
+            for &r in &self.order[k] {
+                let col = self.pinv[r];
+                // Rows pivoted in an *earlier* column trigger updates; the
+                // rest belong to this column's L part. After the initial
+                // factorisation `pinv` is total, so "earlier" is `< k`.
+                if col < k {
+                    let xv = x[r];
+                    if xv != 0.0 {
+                        for &(rr, lv) in &self.l_cols[col] {
+                            x[rr] -= lv * xv;
+                        }
+                    }
+                }
+            }
+
+            // Threshold-pivot check against the fixed pivot row.
+            let ipiv = self.perm_row[k];
+            let pivot_val = x[ipiv];
+            let mut cand_max = pivot_val.abs();
+            for &(r, _) in &self.l_cols[k] {
+                cand_max = cand_max.max(x[r].abs());
+            }
+            if pivot_val.abs() < PIVOT_EPS || pivot_val.abs() < REFACTOR_PIVOT_TAU * cand_max {
+                // Clear the workspace before bailing so a later call
+                // starts clean.
+                for &r in &self.order[k] {
+                    x[r] = 0.0;
+                }
+                x[ipiv] = 0.0;
+                return Err(SpiceError::SingularMatrix { index: k });
+            }
+
+            self.u_diag[k] = pivot_val;
+            for entry in &mut self.u_cols[k] {
+                entry.1 = x[self.perm_row[entry.0]];
+            }
+            for entry in &mut self.l_cols[k] {
+                entry.1 = x[entry.0] / pivot_val;
+            }
+            for &r in &self.order[k] {
+                x[r] = 0.0;
+            }
+            x[ipiv] = 0.0;
+        }
+        Ok(())
     }
 
     /// Solve `A·x = b` using the computed factors.
     #[must_use]
     pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        let mut x = vec![0.0f64; self.n];
+        self.solve_into(b, &mut x);
+        x
+    }
+
+    /// Solve `A·x = b` into a caller-provided buffer — no allocation, for
+    /// call sites that loop (the Newton iteration, transient stepping).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b` or `x` do not match the system dimension.
+    pub fn solve_into(&self, b: &[f64], x: &mut [f64]) {
         assert_eq!(b.len(), self.n, "rhs length mismatch");
-        // Apply the row permutation: y[k] = b[row_of_pivot_k].
-        let mut perm_row = vec![0usize; self.n];
-        for (orig, &pos) in self.pinv.iter().enumerate() {
-            perm_row[pos] = orig;
+        assert_eq!(x.len(), self.n, "solution length mismatch");
+        // Apply the row permutation: x[k] = b[row_of_pivot_k].
+        for (k, xk) in x.iter_mut().enumerate() {
+            *xk = b[self.perm_row[k]];
         }
-        let mut y: Vec<f64> = (0..self.n).map(|k| b[perm_row[k]]).collect();
 
         // Forward substitution with unit-diagonal L.
         for k in 0..self.n {
-            let yk = y[k];
-            if yk != 0.0 {
+            let xk = x[k];
+            if xk != 0.0 {
                 for &(orig_row, v) in &self.l_cols[k] {
-                    y[self.pinv[orig_row]] -= v * yk;
+                    x[self.pinv[orig_row]] -= v * xk;
                 }
             }
         }
         // Back substitution with U.
         for k in (0..self.n).rev() {
-            y[k] /= self.u_diag[k];
-            let yk = y[k];
-            if yk != 0.0 {
+            x[k] /= self.u_diag[k];
+            let xk = x[k];
+            if xk != 0.0 {
                 for &(pos, v) in &self.u_cols[k] {
-                    y[pos] -= v * yk;
+                    x[pos] -= v * xk;
                 }
             }
         }
-        y
+    }
+
+    /// Structural non-zero count of the factors (fill-in included).
+    #[must_use]
+    pub fn factor_nnz(&self) -> usize {
+        self.n
+            + self.l_cols.iter().map(Vec::len).sum::<usize>()
+            + self.u_cols.iter().map(Vec::len).sum::<usize>()
     }
 }
 
@@ -322,6 +418,26 @@ mod tests {
     }
 
     #[test]
+    fn solve_into_matches_solve() {
+        let m = mat(
+            3,
+            &[
+                (0, 0, 4.0),
+                (0, 2, 1.0),
+                (1, 1, 3.0),
+                (2, 0, 1.0),
+                (2, 2, 2.0),
+            ],
+        );
+        let lu = SparseLu::factor(&m).unwrap();
+        let b = [1.0, 2.0, 3.0];
+        let x1 = lu.solve(&b);
+        let mut x2 = vec![0.0; 3];
+        lu.solve_into(&b, &mut x2);
+        assert_eq!(x1, x2);
+    }
+
+    #[test]
     fn mna_like_zero_diagonal() {
         // Structure of a voltage source row: zero diagonal block.
         // [G  1; 1  0] [v; i] = [0; V]
@@ -330,5 +446,75 @@ mod tests {
         let x = solve_sparse(&m, &[0.0, 1.2]).unwrap();
         assert!((x[0] - 1.2).abs() < 1e-12, "node voltage pinned");
         assert!((x[1] + g * 1.2).abs() < 1e-15, "branch current");
+    }
+
+    /// Deterministic PRNG-driven refactor check: numeric-only
+    /// refactorisation on changed values must match a fresh factorisation
+    /// on many random systems.
+    #[test]
+    fn refactor_matches_fresh_factor() {
+        let n = 40;
+        let mut state = 0x5eed_u64;
+        let mut rnd = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        };
+        // Fixed pattern: diagonal plus a few off-diagonal sites.
+        let mut sites = Vec::new();
+        for r in 0..n {
+            sites.push((r, r));
+            for _ in 0..3 {
+                let c = ((rnd().abs() * n as f64) as usize).min(n - 1);
+                sites.push((r, c));
+            }
+        }
+        let (pattern, slots) = CscPattern::from_sites(n, &sites);
+        let fill = |rnd: &mut dyn FnMut() -> f64| {
+            let mut vals = vec![0.0f64; pattern.nnz()];
+            for (site, &slot) in sites.iter().zip(&slots) {
+                let diag_boost = if site.0 == site.1 { 6.0 } else { 0.0 };
+                vals[slot] += rnd() + diag_boost;
+            }
+            vals
+        };
+        let vals0 = fill(&mut rnd);
+        let mut lu = SparseLu::factor_csc(&pattern, &vals0).unwrap();
+        let b: Vec<f64> = (0..n).map(|i| (i as f64).cos()).collect();
+        for _ in 0..10 {
+            let vals = fill(&mut rnd);
+            lu.refactor(&pattern, &vals).expect("refactor");
+            let x_re = lu.solve(&b);
+            let fresh = SparseLu::factor_csc(&pattern, &vals).unwrap();
+            let x_fresh = fresh.solve(&b);
+            for (a, c) in x_re.iter().zip(&x_fresh) {
+                assert!((a - c).abs() < 1e-9, "refactor {a} vs fresh {c}");
+            }
+            // Residual check against the actual matrix values.
+            let mut ax = vec![0.0; n];
+            pattern.spmv_add(&vals, &x_re, &mut ax);
+            for (r, (axr, br)) in ax.iter().zip(&b).enumerate() {
+                assert!((axr - br).abs() < 1e-8, "row {r}: {axr} vs {br}");
+            }
+        }
+    }
+
+    #[test]
+    fn refactor_rejects_degraded_pivot() {
+        // Factor with a healthy diagonal, then refactor with the first
+        // pivot zeroed out: the threshold test must reject it.
+        let sites = [(0usize, 0usize), (0, 1), (1, 0), (1, 1)];
+        let (pattern, slots) = CscPattern::from_sites(2, &sites);
+        let mut vals = vec![0.0; pattern.nnz()];
+        for (&(_r, _c), (&slot, v)) in sites.iter().zip(slots.iter().zip([4.0f64, 1.0, 1.0, 4.0])) {
+            vals[slot] = v;
+        }
+        let mut lu = SparseLu::factor_csc(&pattern, &vals).unwrap();
+        let mut bad = vals.clone();
+        bad[slots[0]] = 1e-16; // a(0,0) ~ 0 with a(1,0) = 1: pivot degraded
+        assert!(lu.refactor(&pattern, &bad).is_err());
+        // The workspace must be clean: a good refactor afterwards works.
+        lu.refactor(&pattern, &vals).unwrap();
+        let x = lu.solve(&[5.0, 5.0]);
+        assert!((x[0] - 1.0).abs() < 1e-12 && (x[1] - 1.0).abs() < 1e-12);
     }
 }
