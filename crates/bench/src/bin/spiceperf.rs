@@ -51,6 +51,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         fig6_tier.solves_per_sec,
         row.rank
     );
+    println!(
+        "             adaptive: {} accepted steps, {} LTE rejects, {} step growths",
+        fig6_tier.adaptive_steps, fig6_tier.lte_rejects, fig6_tier.h_growths
+    );
 
     // Tier 2: the table 2/3 characterisation workload — every cell of the
     // PG-MCML library on a cold cache (dense-path DC + transients).

@@ -23,6 +23,9 @@
 //!         symbolic_reuse: 900,
 //!         numeric_refactor: 900,
 //!         linear_stamps_skipped: 50_000,
+//!         lte_rejects: 3,
+//!         adaptive_steps: 120,
+//!         h_growths: 40,
 //!         solves_per_sec: 666.7,
 //!     }],
 //! });
@@ -56,6 +59,14 @@ pub struct TierPerf {
     pub numeric_refactor: u64,
     /// `spice.linear_stamps_skipped` delta over the tier (deterministic).
     pub linear_stamps_skipped: u64,
+    /// `spice.lte_rejects` delta over the tier (deterministic; 0 on
+    /// fixed-step tiers and on trajectory points predating adaptive
+    /// stepping).
+    pub lte_rejects: u64,
+    /// `spice.adaptive_steps` delta over the tier (deterministic; ditto).
+    pub adaptive_steps: u64,
+    /// `spice.h_growths` delta over the tier (deterministic; ditto).
+    pub h_growths: u64,
     /// Linear solves per wall-clock second (machine-dependent).
     pub solves_per_sec: f64,
 }
@@ -86,6 +97,9 @@ pub struct CounterSnap {
     symbolic_reuse: u64,
     numeric_refactor: u64,
     linear_stamps_skipped: u64,
+    lte_rejects: u64,
+    adaptive_steps: u64,
+    h_growths: u64,
 }
 
 impl CounterSnap {
@@ -99,6 +113,9 @@ impl CounterSnap {
             symbolic_reuse: mcml_obs::total(Counter::SymbolicReuse),
             numeric_refactor: mcml_obs::total(Counter::NumericRefactor),
             linear_stamps_skipped: mcml_obs::total(Counter::LinearStampsSkipped),
+            lte_rejects: mcml_obs::total(Counter::LteRejects),
+            adaptive_steps: mcml_obs::total(Counter::AdaptiveSteps),
+            h_growths: mcml_obs::total(Counter::HGrowths),
         }
     }
 }
@@ -121,6 +138,9 @@ pub fn measure_tier<T>(tier: &str, f: impl FnOnce() -> T) -> (TierPerf, T) {
             symbolic_reuse: after.symbolic_reuse - before.symbolic_reuse,
             numeric_refactor: after.numeric_refactor - before.numeric_refactor,
             linear_stamps_skipped: after.linear_stamps_skipped - before.linear_stamps_skipped,
+            lte_rejects: after.lte_rejects - before.lte_rejects,
+            adaptive_steps: after.adaptive_steps - before.adaptive_steps,
+            h_growths: after.h_growths - before.h_growths,
             solves_per_sec: solves as f64 / wall_s.max(1e-9),
         },
         out,
@@ -181,6 +201,12 @@ impl Trajectory {
                     "          \"linear_stamps_skipped\": {},\n",
                     t.linear_stamps_skipped
                 ));
+                s.push_str(&format!("          \"lte_rejects\": {},\n", t.lte_rejects));
+                s.push_str(&format!(
+                    "          \"adaptive_steps\": {},\n",
+                    t.adaptive_steps
+                ));
+                s.push_str(&format!("          \"h_growths\": {},\n", t.h_growths));
                 s.push_str(&format!(
                     "          \"solves_per_sec\": {:.1}\n",
                     t.solves_per_sec
@@ -241,6 +267,12 @@ impl Trajectory {
                     symbolic_reuse: int(tobj, "symbolic_reuse")?,
                     numeric_refactor: int(tobj, "numeric_refactor")?,
                     linear_stamps_skipped: int(tobj, "linear_stamps_skipped")?,
+                    // Adaptive-stepping counters postdate the first
+                    // trajectory points; absent keys read as 0 so the
+                    // committed history keeps parsing.
+                    lte_rejects: int_or(tobj, "lte_rejects", 0)?,
+                    adaptive_steps: int_or(tobj, "adaptive_steps", 0)?,
+                    h_growths: int_or(tobj, "h_growths", 0)?,
                     solves_per_sec: num(tobj, "solves_per_sec")?,
                 });
             }
@@ -349,6 +381,16 @@ fn int(obj: &[(String, Json)], key: &str) -> Result<u64, String> {
         return Err(format!("`{key}` must be a non-negative integer, got {v}"));
     }
     Ok(v as u64)
+}
+
+/// Like [`int`], but a missing key reads as `default` (for fields added
+/// to the schema after points were already committed).
+fn int_or(obj: &[(String, Json)], key: &str, default: u64) -> Result<u64, String> {
+    if obj.iter().any(|(k, _)| k == key) {
+        int(obj, key)
+    } else {
+        Ok(default)
+    }
 }
 
 /// Minimal JSON value for the trajectory schema (objects keep key order).
@@ -561,6 +603,9 @@ mod tests {
             symbolic_reuse: 0,
             numeric_refactor: 0,
             linear_stamps_skipped: 0,
+            lte_rejects: 0,
+            adaptive_steps: nr / 4,
+            h_growths: 0,
             solves_per_sec: nr as f64 / 0.5,
         }
     }
@@ -594,6 +639,32 @@ mod tests {
     #[test]
     fn schema_mismatch_rejected() {
         assert!(Trajectory::from_json(r#"{"schema": "other/9", "points": []}"#).is_err());
+    }
+
+    #[test]
+    fn points_without_adaptive_counters_parse_as_zero() {
+        // Trajectory points committed before the adaptive counters
+        // existed carry no lte_rejects/adaptive_steps/h_growths keys.
+        let json = r#"{
+          "schema": "mcml-bench-perf/1",
+          "points": [{
+            "label": "pr4-legacy",
+            "tiers": [{
+              "tier": "fig6_tran", "wall_s": 1.0,
+              "nr_iterations": 10, "matrix_solves": 10, "tran_steps": 5,
+              "symbolic_reuse": 0, "numeric_refactor": 0,
+              "linear_stamps_skipped": 0, "solves_per_sec": 10.0
+            }]
+          }]
+        }"#;
+        let t = Trajectory::from_json(json).unwrap();
+        let tier = &t.points[0].tiers[0];
+        assert_eq!(tier.lte_rejects, 0);
+        assert_eq!(tier.adaptive_steps, 0);
+        assert_eq!(tier.h_growths, 0);
+        // And the re-serialised form round-trips with the new keys.
+        let back = Trajectory::from_json(&t.to_json()).unwrap();
+        assert_eq!(back, t);
     }
 
     #[test]

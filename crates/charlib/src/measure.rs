@@ -206,18 +206,22 @@ pub fn measure_static_power(
             .input_names()
             .iter()
             .position(|&n| n == "clk")
-            .expect("sequential cell has clk");
+            .ok_or_else(|| missing("sequential cell has no clk pin"))?;
         tb.set_input_wave(
             clk_idx,
             LogicWave::script(false, vec![(0.5e-9, true), (1.5e-9, false)]),
         );
         let (built, res) = tb.run(4.0e-9, 5.0e-12)?;
-        let i = built.supply_current(&res).mean_between(3.0e-9, 4.0e-9);
+        let i = built
+            .supply_current(&res)
+            .try_mean_between(3.0e-9, 4.0e-9)?;
         return Ok(i * params.tech.vdd);
     }
     let built = tb.build();
     let op = built.ckt.dc_op()?;
-    let i = op.supply_current(built.vdd_src).expect("vdd");
+    let i = op
+        .supply_current(built.vdd_src)
+        .ok_or_else(|| missing("no vdd supply current"))?;
     Ok(i * params.tech.vdd)
 }
 
@@ -237,7 +241,9 @@ pub fn measure_sleep_leakage(
     tb.set_sleep(LogicWave::constant(false));
     let built = tb.build();
     let op = built.ckt.dc_op()?;
-    let i = op.supply_current(built.vdd_src).expect("vdd");
+    let i = op
+        .supply_current(built.vdd_src)
+        .ok_or_else(|| missing("no vdd supply current"))?;
     Ok(i * params.tech.vdd)
 }
 
@@ -267,9 +273,9 @@ pub fn measure_dynamic_energy(
     let (built, res) = tb.run(4.0e-9, 4.0e-12)?;
     let i = built.supply_current(&res);
     // Baseline: average current in the quiet pre-edge window.
-    let baseline = i.mean_between(0.2e-9, 0.8e-9);
+    let baseline = i.try_mean_between(0.2e-9, 0.8e-9)?;
     let window =
-        i.integral_between(t_rise - 0.1e-9, t_fall - 0.1e-9) - baseline * (t_fall - t_rise);
+        i.try_integral_between(t_rise - 0.1e-9, t_fall - 0.1e-9)? - baseline * (t_fall - t_rise);
     Ok((window * params.tech.vdd).abs())
 }
 

@@ -8,7 +8,8 @@
 //! optimisation.
 
 use mcml_cells::{CellParams, LogicStyle};
-use pg_mcml::experiments::fig6_supply_trace;
+use mcml_spice::TranOptions;
+use pg_mcml::experiments::{fig6_supply_trace, fig6_supply_trace_with, fig6_tran_options};
 
 /// Captured from the reference implementation (legacy full-restamp
 /// assembly + per-iteration factorisation): every 6th of the 60 samples
@@ -49,4 +50,31 @@ fn fig6_pg_mcml_trace_matches_golden() {
             i * GOLDEN_STRIDE
         );
     }
+}
+
+/// The fig. 6 tier runs with grid-aligned adaptive stepping
+/// (`fig6_tran_options`); this proves the policy drifts no more than
+/// 0.01 % from the fixed-step reference at *every* one of the 60
+/// samples — not just the ten pinned above — so the golden values did
+/// not need re-pinning when adaptive stepping was enabled.
+#[test]
+fn fig6_adaptive_drift_vs_fixed_below_pin_tolerance() {
+    let params = CellParams::default();
+    let fixed = fig6_supply_trace_with(
+        &params,
+        0xb,
+        LogicStyle::PgMcml,
+        0x3,
+        &TranOptions::new(3.6e-9, 10e-12),
+    )
+    .expect("fixed-step trace");
+    let adaptive =
+        fig6_supply_trace_with(&params, 0xb, LogicStyle::PgMcml, 0x3, &fig6_tran_options())
+            .expect("adaptive trace");
+    assert_eq!(fixed.len(), adaptive.len());
+    let mut worst = 0.0f64;
+    for (f, a) in fixed.iter().zip(&adaptive) {
+        worst = worst.max((a - f).abs() / f.abs().max(ABS_TOL));
+    }
+    assert!(worst <= REL_TOL, "worst adaptive-vs-fixed drift {worst:e}");
 }

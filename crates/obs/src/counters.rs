@@ -24,6 +24,14 @@ pub enum Counter {
     TranSteps,
     /// Transient step subdivisions after a Newton failure (`mcml-spice`).
     TranRetries,
+    /// Adaptive transient steps rejected by the LTE controller
+    /// (`mcml-spice`).
+    LteRejects,
+    /// Steps accepted by the adaptive LTE controller — a subset of
+    /// `TranSteps` taken on the variable grid (`mcml-spice`).
+    AdaptiveSteps,
+    /// Adaptive step-size growths in quiet regions (`mcml-spice`).
+    HGrowths,
     /// Newton–Raphson iterations (`mcml-spice`).
     NrIterations,
     /// Linear-system factor/solve calls (`mcml-spice`).
@@ -74,11 +82,14 @@ pub enum Counter {
 
 impl Counter {
     /// Every counter, in declaration order.
-    pub const ALL: [Counter; 24] = [
+    pub const ALL: [Counter; 27] = [
         Counter::DcSolves,
         Counter::Transients,
         Counter::TranSteps,
         Counter::TranRetries,
+        Counter::LteRejects,
+        Counter::AdaptiveSteps,
+        Counter::HGrowths,
         Counter::NrIterations,
         Counter::MatrixSolves,
         Counter::SymbolicReuse,
@@ -112,6 +123,9 @@ impl Counter {
             Counter::Transients => "spice.transients",
             Counter::TranSteps => "spice.tran_steps",
             Counter::TranRetries => "spice.tran_retries",
+            Counter::LteRejects => "spice.lte_rejects",
+            Counter::AdaptiveSteps => "spice.adaptive_steps",
+            Counter::HGrowths => "spice.h_growths",
             Counter::NrIterations => "spice.nr_iterations",
             Counter::MatrixSolves => "spice.matrix_solves",
             Counter::SymbolicReuse => "spice.symbolic_reuse",
@@ -143,6 +157,9 @@ impl Counter {
             Counter::Transients => "analyses",
             Counter::TranSteps => "accepted steps",
             Counter::TranRetries => "subdivisions",
+            Counter::LteRejects => "rejected steps",
+            Counter::AdaptiveSteps => "accepted steps",
+            Counter::HGrowths => "step growths",
             Counter::NrIterations => "iterations",
             Counter::MatrixSolves => "factor+solve calls",
             Counter::SymbolicReuse => "reused factorisations",
@@ -171,6 +188,9 @@ impl Counter {
             | Counter::Transients
             | Counter::TranSteps
             | Counter::TranRetries
+            | Counter::LteRejects
+            | Counter::AdaptiveSteps
+            | Counter::HGrowths
             | Counter::NrIterations
             | Counter::MatrixSolves
             | Counter::SymbolicReuse

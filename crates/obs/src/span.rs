@@ -35,6 +35,9 @@ pub enum Stage {
     TraceAcquisition,
     /// Transistor-level SPICE tier of fig. 6 (`mcml-core`).
     SpiceTier,
+    /// One transient analysis, DC operating point to final step
+    /// (`mcml-spice`).
+    Transient,
     /// Correlation power analysis (`mcml-dpa`).
     Cpa,
     /// Welch t-test leakage assessment (`mcml-dpa`).
@@ -59,7 +62,7 @@ pub enum Stage {
 
 impl Stage {
     /// Every stage, in declaration order.
-    pub const ALL: [Stage; 16] = [
+    pub const ALL: [Stage; 17] = [
         Stage::Characterize,
         Stage::BiasSweep,
         Stage::CornerSweep,
@@ -68,6 +71,7 @@ impl Stage {
         Stage::SleepTree,
         Stage::TraceAcquisition,
         Stage::SpiceTier,
+        Stage::Transient,
         Stage::Cpa,
         Stage::Tvla,
         Stage::ParallelMap,
@@ -93,6 +97,7 @@ impl Stage {
             Stage::SleepTree => "sleep_tree",
             Stage::TraceAcquisition => "trace_acquisition",
             Stage::SpiceTier => "spice_tier",
+            Stage::Transient => "transient",
             Stage::Cpa => "cpa",
             Stage::Tvla => "tvla",
             Stage::ParallelMap => "parallel_map",

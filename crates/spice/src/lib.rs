@@ -45,7 +45,7 @@ pub mod waveform;
 
 pub use analysis::dc::{DcOptions, OpPoint};
 pub use analysis::dcsweep::{dc_sweep, DcSweepResult};
-pub use analysis::tran::{Integrator, TranOptions, TranResult};
+pub use analysis::tran::{AdaptiveOptions, Integrator, TranOptions, TranResult};
 pub use circuit::{Circuit, ElementId, NodeId};
 pub use element::Element;
 pub use error::SpiceError;

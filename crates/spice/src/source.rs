@@ -150,6 +150,71 @@ impl SourceWave {
         self.value(0.0)
     }
 
+    /// Append the waveform's discontinuity times in `(0, t_stop]` to `out`.
+    ///
+    /// Breakpoints are the instants where the waveform's slope changes
+    /// (pulse edge corners, PWL knots, a sine's start-of-oscillation).
+    /// The adaptive transient stepper lands a step exactly on each one so
+    /// an edge can never fall unseen inside a long quiet-region step.
+    /// Times are appended unsorted and may duplicate across sources; the
+    /// caller sorts and dedups the merged list.
+    pub fn breakpoints(&self, t_stop: f64, out: &mut Vec<f64>) {
+        let mut push = |t: f64| {
+            if t > 0.0 && t <= t_stop {
+                out.push(t);
+            }
+        };
+        match self {
+            SourceWave::Dc(_) => {}
+            SourceWave::Pulse {
+                delay,
+                rise,
+                fall,
+                width,
+                period,
+                ..
+            } => {
+                let rise = rise.max(1e-15);
+                let fall = fall.max(1e-15);
+                let corners = [0.0, rise, rise + width, rise + width + fall];
+                if *period > 0.0 && period.is_finite() {
+                    let mut start = *delay;
+                    while start <= t_stop {
+                        for c in corners {
+                            push(start + c);
+                        }
+                        start += period;
+                    }
+                } else {
+                    for c in corners {
+                        push(delay + c);
+                    }
+                }
+            }
+            SourceWave::Pwl(points) => {
+                for &(t, _) in points {
+                    push(t);
+                }
+            }
+            SourceWave::Sine { delay, .. } => push(*delay),
+        }
+    }
+
+    /// Upper bound on the step size that still resolves the waveform's
+    /// curvature, or `None` for piecewise-linear sources (whose shape is
+    /// captured exactly by their [`breakpoints`](Self::breakpoints)).
+    ///
+    /// Only the sinusoid constrains the step between breakpoints: a
+    /// sixteenth of a period keeps a linear-interpolation dense output
+    /// within a fraction of a percent of the true curve.
+    #[must_use]
+    pub fn max_step_hint(&self) -> Option<f64> {
+        match self {
+            SourceWave::Sine { freq, .. } if *freq > 0.0 => Some(1.0 / (16.0 * freq)),
+            _ => None,
+        }
+    }
+
     /// Largest value the source ever takes (used for scaling heuristics).
     #[must_use]
     pub fn amplitude(&self) -> f64 {
@@ -232,6 +297,52 @@ mod tests {
         };
         assert_eq!(s.value(0.0), 0.5);
         assert!((s.value(1.25) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pulse_breakpoints_repeat_per_period() {
+        let s = SourceWave::Pulse {
+            v1: 0.0,
+            v2: 1.0,
+            delay: 1e-9,
+            rise: 0.1e-9,
+            fall: 0.1e-9,
+            width: 0.8e-9,
+            period: 2e-9,
+        };
+        let mut bps = Vec::new();
+        s.breakpoints(4e-9, &mut bps);
+        // Two periods fit; the very last corner may fall on t_stop ± ulp.
+        assert!(bps.len() >= 7, "got {} corners", bps.len());
+        let near = |t: f64| bps.iter().any(|&b| (b - t).abs() < 1e-15);
+        assert!(near(1e-9), "first edge start");
+        assert!(near(3e-9), "second-period edge start");
+        assert!(bps.iter().all(|&t| t > 0.0 && t <= 4e-9));
+    }
+
+    #[test]
+    fn pwl_breakpoints_are_knots() {
+        let s = SourceWave::step(0.0, 1.0, 1e-9);
+        let mut bps = Vec::new();
+        s.breakpoints(2e-9, &mut bps);
+        // t=0 knot is excluded (not in (0, t_stop]).
+        assert_eq!(bps, vec![1e-9, 1e-9 + 1e-12]);
+    }
+
+    #[test]
+    fn dc_has_no_breakpoints_and_sine_hints_step() {
+        let mut bps = Vec::new();
+        SourceWave::dc(1.0).breakpoints(1.0, &mut bps);
+        assert!(bps.is_empty());
+        assert_eq!(SourceWave::dc(1.0).max_step_hint(), None);
+        let sine = SourceWave::Sine {
+            offset: 0.0,
+            ampl: 1.0,
+            freq: 1e9,
+            delay: 0.0,
+        };
+        let hint = sine.max_step_hint().expect("sine hints");
+        assert!((hint - 1.0 / 16e9).abs() < 1e-24);
     }
 
     #[test]

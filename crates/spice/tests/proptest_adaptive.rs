@@ -1,0 +1,208 @@
+//! Property-based equivalence of adaptive and fixed-step transients.
+//!
+//! The LTE-controlled adaptive path must reproduce the fixed-step
+//! reference within the configured tolerance — over random RC ladders
+//! and MOS inverter stages, for both integrators — while the dense
+//! output keeps the recorded grid bitwise identical. A dedicated test
+//! proves the adaptive path resolves a pulse narrower than the base
+//! `dt` that the fixed grid steps straight across.
+
+use proptest::prelude::*;
+
+use mcml_device::{MosParams, Mosfet};
+use mcml_spice::{Circuit, Integrator, SourceWave, TranOptions};
+
+/// Worst absolute difference between two results' node voltage at the
+/// shared recorded grid.
+fn worst_dev(
+    a: &mcml_spice::TranResult,
+    b: &mcml_spice::TranResult,
+    node: mcml_spice::NodeId,
+) -> f64 {
+    let (wa, wb) = (a.voltage(node), b.voltage(node));
+    wa.iter()
+        .zip(wb.iter())
+        .map(|((_, x), (_, y))| (x - y).abs())
+        .fold(0.0f64, f64::max)
+}
+
+/// Driven RC ladder: `stages` sections of series R and shunt C.
+fn rc_ladder(
+    stages: usize,
+    rs: &[f64],
+    cs: &[f64],
+    wave: SourceWave,
+) -> (Circuit, Vec<mcml_spice::NodeId>) {
+    let mut c = Circuit::new();
+    let vin = c.node("in");
+    c.vsource("V", vin, Circuit::GND, wave);
+    let mut prev = vin;
+    let mut taps = Vec::new();
+    for k in 0..stages {
+        let n = c.node(&format!("n{k}"));
+        c.resistor(&format!("R{k}"), prev, n, rs[k]);
+        c.capacitor(&format!("C{k}"), n, Circuit::GND, cs[k]);
+        taps.push(n);
+        prev = n;
+    }
+    (c, taps)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Adaptive ≡ fixed on random RC ladders, both integrators.
+    #[test]
+    fn adaptive_matches_fixed_on_rc_ladders(
+        stages in 1usize..4,
+        rs in collection::vec(0.5e3f64..20e3, 4),
+        cs in collection::vec(0.2e-12f64..2e-12, 4),
+        edge_at in 0.5e-9f64..2e-9,
+        v_hi in 0.5f64..1.5,
+        trapezoidal in any::<bool>(),
+    ) {
+        let wave = SourceWave::step(0.0, v_hi, edge_at);
+        let (c, taps) = rc_ladder(stages, &rs, &cs, wave);
+        let integ = if trapezoidal { Integrator::Trapezoidal } else { Integrator::BackwardEuler };
+        let base = TranOptions::new(10e-9, 10e-12).with_integrator(integ);
+        let fixed = c.transient(&base).unwrap();
+        let adap = c.transient(&base.adaptive(1e-4, 1e-13, 1e-9)).unwrap();
+        prop_assert_eq!(fixed.times(), adap.times(), "dense output keeps the grid");
+        for &tap in &taps {
+            let dev = worst_dev(&fixed, &adap, tap);
+            // Per-step LTE reltol 1e-4 against a <=1.5 V swing; the global
+            // budget accumulated over the trace stays well under 1 %.
+            prop_assert!(dev < 0.01 * v_hi, "tap deviates by {dev}");
+        }
+        prop_assert!(
+            adap.steps_taken() <= fixed.steps_taken(),
+            "controller must not take more steps than the fixed grid ({} vs {})",
+            adap.steps_taken(),
+            fixed.steps_taken()
+        );
+    }
+
+    /// Adaptive ≡ fixed on a MOS inverter driving a random load, both
+    /// integrators.
+    #[test]
+    fn adaptive_matches_fixed_on_mos_inverter(
+        w_n in 0.5e-6f64..4e-6,
+        c_load in 2e-15f64..50e-15,
+        edge_at in 0.5e-9f64..1.5e-9,
+        trapezoidal in any::<bool>(),
+    ) {
+        let mut c = Circuit::new();
+        let vdd = c.node("vdd");
+        let vin = c.node("in");
+        let out = c.node("out");
+        c.vsource("VDD", vdd, Circuit::GND, SourceWave::dc(1.2));
+        c.vsource("VIN", vin, Circuit::GND, SourceWave::step(0.0, 1.2, edge_at));
+        c.mosfet(
+            "MP",
+            out,
+            vin,
+            vdd,
+            vdd,
+            Mosfet::pmos(MosParams::pmos_lvt_90(), 2.0 * w_n, 0.1e-6),
+        );
+        c.mosfet(
+            "MN",
+            out,
+            vin,
+            Circuit::GND,
+            Circuit::GND,
+            Mosfet::nmos(MosParams::nmos_lvt_90(), w_n, 0.1e-6),
+        );
+        c.capacitor("CL", out, Circuit::GND, c_load);
+        let integ = if trapezoidal { Integrator::Trapezoidal } else { Integrator::BackwardEuler };
+        let base = TranOptions::new(4e-9, 5e-12).with_integrator(integ);
+        let fixed = c.transient(&base).unwrap();
+        let adap = c.transient(&base.adaptive(1e-4, 1e-13, 200e-12)).unwrap();
+        prop_assert_eq!(fixed.times(), adap.times());
+        // At the switching instant the two discretisations legitimately
+        // differ (the fixed 5 ps grid smears the 1 ps input edge and is
+        // itself coarse against the output pole), so the edge window
+        // only guards against gross divergence while the quiet/settled
+        // regions must agree tightly.
+        let (wf, wa) = (fixed.voltage(out), adap.voltage(out));
+        let mut edge_dev = 0.0f64;
+        let mut calm_dev = 0.0f64;
+        for ((t, x), (_, y)) in wf.iter().zip(wa.iter()) {
+            if t > edge_at - 10e-12 && t < edge_at + 1.5e-9 {
+                // During the transition a sub-grid time shift between the
+                // two discretisations shows up as a full-swing pointwise
+                // difference, so compare modulo a ±10 ps shift.
+                let d = (-4i32..=4)
+                    .map(|k| (x - wa.sample(t + f64::from(k) * 2.5e-12)).abs())
+                    .fold(f64::INFINITY, f64::min);
+                edge_dev = edge_dev.max(d);
+            } else {
+                calm_dev = calm_dev.max((x - y).abs());
+            }
+        }
+        prop_assert!(calm_dev < 5e-3, "settled region deviates by {calm_dev}");
+        // Generous bound: the fixed 5 ps reference is itself first-order
+        // inaccurate across the switching edge; gross divergence (a
+        // missed transition, ringing) would blow far past this.
+        prop_assert!(edge_dev < 0.25, "edge region deviates by {edge_dev}");
+    }
+}
+
+/// A 100 ps insertion spike under a 500 ps base grid: the fixed path
+/// steps straight across it (the source is only evaluated at grid
+/// times, after the pulse has ended), while the adaptive path lands on
+/// the pulse corners and carries the correct capacitor charge out of
+/// the spike. This is the fig. 5 wake-up-spike scenario in miniature.
+#[test]
+fn adaptive_resolves_pulse_narrower_than_dt() {
+    let build = || {
+        let mut c = Circuit::new();
+        let vin = c.node("in");
+        let out = c.node("out");
+        c.vsource(
+            "V",
+            vin,
+            Circuit::GND,
+            SourceWave::Pulse {
+                v1: 0.0,
+                v2: 1.0,
+                delay: 0.7e-9,
+                rise: 20e-12,
+                fall: 20e-12,
+                width: 100e-12,
+                period: f64::INFINITY,
+            },
+        );
+        // tau = 200 ps: the capacitor charges appreciably during the
+        // spike and still holds most of it at the next grid point.
+        c.resistor("R", vin, out, 1.0e3);
+        c.capacitor("C", out, Circuit::GND, 0.2e-12);
+        (c, out)
+    };
+    let coarse_dt = 500e-12;
+    let t_stop = 2e-9;
+
+    // Ground truth: fixed-step at 1 ps.
+    let (c, out) = build();
+    let truth = c.transient(&TranOptions::new(t_stop, 1e-12)).unwrap();
+    let v_truth = truth.voltage(out).sample(1e-9);
+    assert!(v_truth > 0.05, "spike must charge the cap: {v_truth}");
+
+    // Fixed at the coarse base dt never sees the pulse.
+    let fixed = c.transient(&TranOptions::new(t_stop, coarse_dt)).unwrap();
+    let v_fixed = fixed.voltage(out).sample(1e-9);
+    assert!(
+        (v_fixed - v_truth).abs() > 0.5 * v_truth,
+        "coarse fixed grid unexpectedly resolved the spike: {v_fixed} vs {v_truth}"
+    );
+
+    // Adaptive at the same coarse base dt lands on the pulse corners.
+    let adap = c
+        .transient(&TranOptions::new(t_stop, coarse_dt).adaptive(1e-4, 1e-14, coarse_dt))
+        .unwrap();
+    let v_adap = adap.voltage(out).sample(1e-9);
+    assert!(
+        (v_adap - v_truth).abs() < 0.05 * v_truth,
+        "adaptive missed the spike: {v_adap} vs truth {v_truth}"
+    );
+}
