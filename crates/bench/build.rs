@@ -1,0 +1,21 @@
+//! Captures `rustc --version` at build time so perf trajectory points
+//! can record the compiler in their host block (`MCML_RUSTC_VERSION`,
+//! read by `mcml_bench::perf::HostInfo::capture`). Wall numbers from
+//! different compilers are not comparable; the host block makes that
+//! visible in `BENCH_spice.json` instead of leaving it implicit.
+
+fn main() {
+    println!("cargo:rerun-if-changed=build.rs");
+    let rustc = std::env::var("RUSTC").unwrap_or_else(|_| "rustc".to_owned());
+    let version = std::process::Command::new(rustc)
+        .arg("--version")
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_owned())
+        .filter(|s| !s.is_empty());
+    if let Some(v) = version {
+        println!("cargo:rustc-env=MCML_RUSTC_VERSION={v}");
+    }
+}

@@ -8,15 +8,32 @@
 //! float formatting) and parsed back by a minimal scanner so the
 //! `perfcheck` regression gate needs no external dependencies.
 //!
+//! # Honest wall-clock numbers (`mcml-bench-perf/2`)
+//!
+//! Single-shot wall times conflate the workload with cold caches, lazy
+//! page faults, and scheduler noise. Schema 2 points therefore come from
+//! [`measure_tier_reps`]: one **untimed warmup**, then N timed
+//! repetitions; `wall_s` is the **median**, with `wall_min_s`/`wall_max_s`
+//! recording the observed spread so a reader can judge the noise floor.
+//! Each point also carries a host block (core count, `MCML_THREADS`,
+//! build profile, rustc version) because a wall number without its
+//! environment is not comparable to anything. Schema 1 files still parse:
+//! their points read back as `reps: 1`, no host block, and
+//! min = max = the single-shot wall.
+//!
 //! ```
 //! use mcml_bench::perf::{PerfPoint, TierPerf, Trajectory};
 //!
 //! let mut traj = Trajectory::default();
 //! traj.points.push(PerfPoint {
 //!     label: "example".to_owned(),
+//!     reps: 5,
+//!     host: None,
 //!     tiers: vec![TierPerf {
 //!         tier: "fig6_tran".to_owned(),
 //!         wall_s: 1.5,
+//!         wall_min_s: 1.4,
+//!         wall_max_s: 1.7,
 //!         nr_iterations: 1000,
 //!         matrix_solves: 1000,
 //!         tran_steps: 360,
@@ -26,6 +43,8 @@
 //!         lte_rejects: 3,
 //!         adaptive_steps: 120,
 //!         h_growths: 40,
+//!         mos_evals: 80_000,
+//!         mos_bypassed: 20_000,
 //!         solves_per_sec: 666.7,
 //!     }],
 //! });
@@ -38,15 +57,26 @@ use mcml_obs::Counter;
 use std::time::Instant;
 
 /// Schema identifier written into every trajectory file.
-pub const SCHEMA: &str = "mcml-bench-perf/1";
+pub const SCHEMA: &str = "mcml-bench-perf/2";
+
+/// The predecessor schema (single-shot walls, no host block); still
+/// accepted by [`Trajectory::from_json`].
+pub const SCHEMA_V1: &str = "mcml-bench-perf/1";
 
 /// One measured tier inside a trajectory point.
 #[derive(Debug, Clone, PartialEq)]
 pub struct TierPerf {
     /// Tier name, stable across PRs (e.g. `"fig6_tran"`).
     pub tier: String,
-    /// Wall-clock seconds for the tier (machine-dependent).
+    /// Wall-clock seconds for the tier: the **median** of the timed
+    /// repetitions (machine-dependent).
     pub wall_s: f64,
+    /// Fastest timed repetition (s). Equal to `wall_s` for single-shot
+    /// (schema 1) points.
+    pub wall_min_s: f64,
+    /// Slowest timed repetition (s). Equal to `wall_s` for single-shot
+    /// (schema 1) points.
+    pub wall_max_s: f64,
     /// `spice.nr_iterations` delta over the tier (deterministic).
     pub nr_iterations: u64,
     /// `spice.matrix_solves` delta over the tier (deterministic).
@@ -67,8 +97,47 @@ pub struct TierPerf {
     pub adaptive_steps: u64,
     /// `spice.h_growths` delta over the tier (deterministic; ditto).
     pub h_growths: u64,
+    /// `spice.mos_evals` delta over the tier (deterministic; 0 on
+    /// trajectory points predating the quiescent-device bypass).
+    pub mos_evals: u64,
+    /// `spice.mos_bypassed` delta over the tier (deterministic; ditto).
+    pub mos_bypassed: u64,
     /// Linear solves per wall-clock second (machine-dependent).
     pub solves_per_sec: f64,
+}
+
+/// The measurement environment recorded with a trajectory point. Wall
+/// numbers are only comparable within one host block.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HostInfo {
+    /// Logical cores the OS reported (0 when unknown).
+    pub cores: u64,
+    /// The `MCML_THREADS` setting in effect, or `"unset"`.
+    pub mcml_threads: String,
+    /// Build profile the binary was compiled with (`release`/`debug`).
+    pub profile: String,
+    /// `rustc --version` of the compiler that built the binary, or
+    /// `"unknown"` when the build script could not run it.
+    pub rustc: String,
+}
+
+impl HostInfo {
+    /// Capture the current process environment.
+    #[must_use]
+    pub fn capture() -> Self {
+        Self {
+            cores: std::thread::available_parallelism().map_or(0, |n| n.get() as u64),
+            mcml_threads: std::env::var("MCML_THREADS").unwrap_or_else(|_| "unset".to_owned()),
+            profile: if cfg!(debug_assertions) {
+                "debug".to_owned()
+            } else {
+                "release".to_owned()
+            },
+            rustc: option_env!("MCML_RUSTC_VERSION")
+                .unwrap_or("unknown")
+                .to_owned(),
+        }
+    }
 }
 
 /// One labelled trajectory point: the tiers measured by a single run.
@@ -76,6 +145,13 @@ pub struct TierPerf {
 pub struct PerfPoint {
     /// Point label, conventionally `pr<N>-<short-description>`.
     pub label: String,
+    /// Timed repetitions behind each tier's wall stats (1 for points
+    /// parsed from schema 1 files).
+    pub reps: u32,
+    /// Measurement environment; `None` for points parsed from schema 1
+    /// files (the key is omitted on re-serialisation, keeping old points
+    /// byte-stable).
+    pub host: Option<HostInfo>,
     /// Per-tier measurements.
     pub tiers: Vec<TierPerf>,
 }
@@ -100,6 +176,8 @@ pub struct CounterSnap {
     lte_rejects: u64,
     adaptive_steps: u64,
     h_growths: u64,
+    mos_evals: u64,
+    mos_bypassed: u64,
 }
 
 impl CounterSnap {
@@ -116,11 +194,15 @@ impl CounterSnap {
             lte_rejects: mcml_obs::total(Counter::LteRejects),
             adaptive_steps: mcml_obs::total(Counter::AdaptiveSteps),
             h_growths: mcml_obs::total(Counter::HGrowths),
+            mos_evals: mcml_obs::total(Counter::MosEvals),
+            mos_bypassed: mcml_obs::total(Counter::MosBypassed),
         }
     }
 }
 
-/// Run `f` as one timed tier and package the counter deltas.
+/// Run `f` as one single-shot timed tier and package the counter deltas.
+/// `wall_min_s`/`wall_max_s` equal `wall_s`. Prefer [`measure_tier_reps`]
+/// for numbers that get committed to the trajectory.
 pub fn measure_tier<T>(tier: &str, f: impl FnOnce() -> T) -> (TierPerf, T) {
     let before = CounterSnap::now();
     let start = Instant::now();
@@ -132,6 +214,8 @@ pub fn measure_tier<T>(tier: &str, f: impl FnOnce() -> T) -> (TierPerf, T) {
         TierPerf {
             tier: tier.to_owned(),
             wall_s,
+            wall_min_s: wall_s,
+            wall_max_s: wall_s,
             nr_iterations: after.nr_iterations - before.nr_iterations,
             matrix_solves: solves,
             tran_steps: after.tran_steps - before.tran_steps,
@@ -141,10 +225,76 @@ pub fn measure_tier<T>(tier: &str, f: impl FnOnce() -> T) -> (TierPerf, T) {
             lte_rejects: after.lte_rejects - before.lte_rejects,
             adaptive_steps: after.adaptive_steps - before.adaptive_steps,
             h_growths: after.h_growths - before.h_growths,
+            mos_evals: after.mos_evals - before.mos_evals,
+            mos_bypassed: after.mos_bypassed - before.mos_bypassed,
             solves_per_sec: solves as f64 / wall_s.max(1e-9),
         },
         out,
     )
+}
+
+/// Median of a sorted slice: the middle element, or the mean of the two
+/// middle elements for even lengths.
+fn median_sorted(sorted: &[f64]) -> f64 {
+    let n = sorted.len();
+    if n % 2 == 1 {
+        sorted[n / 2]
+    } else {
+        0.5 * (sorted[n / 2 - 1] + sorted[n / 2])
+    }
+}
+
+/// Run `f` as one tier with honest repetition statistics: one untimed
+/// warmup, then `reps` (min 1) timed repetitions. `prepare` runs before
+/// the warmup and before every timed repetition, *outside* the timed
+/// window — the place to reset caches so every repetition starts from the
+/// same declared state.
+///
+/// `wall_s` is the median of the timed walls; `wall_min_s`/`wall_max_s`
+/// bound the spread. Counters come from the first timed repetition; the
+/// deltas are deterministic for a fixed workload, and a repetition that
+/// disagrees trips a stderr warning (it means the workload itself is not
+/// repetition-invariant, so the whole tier measurement is suspect).
+/// Returns the last repetition's output.
+pub fn measure_tier_reps<T>(
+    tier: &str,
+    reps: u32,
+    mut prepare: impl FnMut(),
+    mut f: impl FnMut() -> T,
+) -> (TierPerf, T) {
+    let reps = reps.max(1);
+    // Untimed warmup: faults in code pages, fills model caches, and warms
+    // the allocator so the timed repetitions measure steady state.
+    prepare();
+    let mut out = f();
+    let mut walls = Vec::with_capacity(reps as usize);
+    let mut first: Option<TierPerf> = None;
+    for rep in 0..reps {
+        prepare();
+        let (t, o) = measure_tier(tier, &mut f);
+        out = o;
+        walls.push(t.wall_s);
+        match &first {
+            Some(f0)
+                if (f0.nr_iterations, f0.matrix_solves, f0.tran_steps)
+                    != (t.nr_iterations, t.matrix_solves, t.tran_steps) =>
+            {
+                eprintln!(
+                    "warning: tier `{tier}` repetition {rep} solver counters diverge from \
+                     repetition 0 — the workload is not repetition-invariant"
+                );
+            }
+            Some(_) => {}
+            None => first = Some(t),
+        }
+    }
+    walls.sort_by(f64::total_cmp);
+    let mut tp = first.expect("reps >= 1");
+    tp.wall_s = median_sorted(&walls);
+    tp.wall_min_s = walls[0];
+    tp.wall_max_s = walls[walls.len() - 1];
+    tp.solves_per_sec = tp.matrix_solves as f64 / tp.wall_s.max(1e-9);
+    (tp, out)
 }
 
 fn json_escape(s: &str) -> String {
@@ -172,6 +322,24 @@ impl Trajectory {
                 "      \"label\": \"{}\",\n",
                 json_escape(&p.label)
             ));
+            s.push_str(&format!("      \"reps\": {},\n", p.reps));
+            if let Some(h) = &p.host {
+                s.push_str("      \"host\": {\n");
+                s.push_str(&format!("        \"cores\": {},\n", h.cores));
+                s.push_str(&format!(
+                    "        \"mcml_threads\": \"{}\",\n",
+                    json_escape(&h.mcml_threads)
+                ));
+                s.push_str(&format!(
+                    "        \"profile\": \"{}\",\n",
+                    json_escape(&h.profile)
+                ));
+                s.push_str(&format!(
+                    "        \"rustc\": \"{}\"\n",
+                    json_escape(&h.rustc)
+                ));
+                s.push_str("      },\n");
+            }
             s.push_str("      \"tiers\": [\n");
             for (ti, t) in p.tiers.iter().enumerate() {
                 s.push_str("        {\n");
@@ -180,6 +348,8 @@ impl Trajectory {
                     json_escape(&t.tier)
                 ));
                 s.push_str(&format!("          \"wall_s\": {:.6},\n", t.wall_s));
+                s.push_str(&format!("          \"wall_min_s\": {:.6},\n", t.wall_min_s));
+                s.push_str(&format!("          \"wall_max_s\": {:.6},\n", t.wall_max_s));
                 s.push_str(&format!(
                     "          \"nr_iterations\": {},\n",
                     t.nr_iterations
@@ -207,6 +377,11 @@ impl Trajectory {
                     t.adaptive_steps
                 ));
                 s.push_str(&format!("          \"h_growths\": {},\n", t.h_growths));
+                s.push_str(&format!("          \"mos_evals\": {},\n", t.mos_evals));
+                s.push_str(&format!(
+                    "          \"mos_bypassed\": {},\n",
+                    t.mos_bypassed
+                ));
                 s.push_str(&format!(
                     "          \"solves_per_sec\": {:.1}\n",
                     t.solves_per_sec
@@ -240,8 +415,10 @@ impl Trajectory {
         let schema = get(obj, "schema")?
             .as_str()
             .ok_or("`schema` must be a string")?;
-        if schema != SCHEMA {
-            return Err(format!("unsupported schema `{schema}` (want `{SCHEMA}`)"));
+        if schema != SCHEMA && schema != SCHEMA_V1 {
+            return Err(format!(
+                "unsupported schema `{schema}` (want `{SCHEMA}` or `{SCHEMA_V1}`)"
+            ));
         }
         let mut points = Vec::new();
         for p in get(obj, "points")?
@@ -255,12 +432,17 @@ impl Trajectory {
                 .ok_or("`tiers` must be an array")?
             {
                 let tobj = t.as_object().ok_or("tier must be an object")?;
+                let wall_s = num(tobj, "wall_s")?;
                 tiers.push(TierPerf {
                     tier: get(tobj, "tier")?
                         .as_str()
                         .ok_or("`tier` must be a string")?
                         .to_owned(),
-                    wall_s: num(tobj, "wall_s")?,
+                    wall_s,
+                    // Schema 1 points were single-shot: the one wall they
+                    // recorded is both the floor and the ceiling.
+                    wall_min_s: num_or(tobj, "wall_min_s", wall_s)?,
+                    wall_max_s: num_or(tobj, "wall_max_s", wall_s)?,
                     nr_iterations: int(tobj, "nr_iterations")?,
                     matrix_solves: int(tobj, "matrix_solves")?,
                     tran_steps: int(tobj, "tran_steps")?,
@@ -273,14 +455,42 @@ impl Trajectory {
                     lte_rejects: int_or(tobj, "lte_rejects", 0)?,
                     adaptive_steps: int_or(tobj, "adaptive_steps", 0)?,
                     h_growths: int_or(tobj, "h_growths", 0)?,
+                    // The bypass counters postdate schema 1 likewise.
+                    mos_evals: int_or(tobj, "mos_evals", 0)?,
+                    mos_bypassed: int_or(tobj, "mos_bypassed", 0)?,
                     solves_per_sec: num(tobj, "solves_per_sec")?,
                 });
             }
+            let host = match pobj.iter().find(|(k, _)| k == "host") {
+                None => None,
+                Some((_, h)) => {
+                    let hobj = h.as_object().ok_or("`host` must be an object")?;
+                    Some(HostInfo {
+                        cores: int(hobj, "cores")?,
+                        mcml_threads: get(hobj, "mcml_threads")?
+                            .as_str()
+                            .ok_or("`mcml_threads` must be a string")?
+                            .to_owned(),
+                        profile: get(hobj, "profile")?
+                            .as_str()
+                            .ok_or("`profile` must be a string")?
+                            .to_owned(),
+                        rustc: get(hobj, "rustc")?
+                            .as_str()
+                            .ok_or("`rustc` must be a string")?
+                            .to_owned(),
+                    })
+                }
+            };
             points.push(PerfPoint {
                 label: get(pobj, "label")?
                     .as_str()
                     .ok_or("`label` must be a string")?
                     .to_owned(),
+                // Schema 1 points were single-shot.
+                reps: u32::try_from(int_or(pobj, "reps", 1)?)
+                    .map_err(|_| "`reps` out of range".to_owned())?,
+                host,
                 tiers,
             });
         }
@@ -288,6 +498,8 @@ impl Trajectory {
     }
 
     /// Load a trajectory from disk; a missing file is an empty trajectory.
+    /// (The writer's behaviour: `spiceperf` starting a fresh file. Gates
+    /// that *require* a baseline should use [`Trajectory::load_required`].)
     ///
     /// # Errors
     ///
@@ -300,8 +512,31 @@ impl Trajectory {
         }
     }
 
-    /// Append `point` (replacing any existing point with the same label)
-    /// and write the file back.
+    /// Load a trajectory that must exist: a missing file is an error, not
+    /// an empty trajectory — so a regression gate pointed at a mistyped or
+    /// never-generated path fails loudly instead of passing vacuously.
+    ///
+    /// # Errors
+    ///
+    /// Returns a clear message for a missing file, other I/O failures,
+    /// truncated JSON, or an unknown schema.
+    pub fn load_required(path: &std::path::Path) -> Result<Self, String> {
+        match std::fs::read_to_string(path) {
+            Ok(text) => Self::from_json(&text)
+                .map_err(|e| format!("{}: not a perf trajectory: {e}", path.display())),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Err(format!(
+                "{}: trajectory file not found (run spiceperf to generate it)",
+                path.display()
+            )),
+            Err(e) => Err(format!("read {}: {e}", path.display())),
+        }
+    }
+
+    /// Append `point` — or, when a point with the same label already
+    /// exists, replace it **in place**, keeping its position in the
+    /// series — and write the file back. (Remove-then-push would silently
+    /// move a re-run historical point to the end, corrupting both the
+    /// chronology and what [`Trajectory::latest`] reports.)
     ///
     /// # Errors
     ///
@@ -311,8 +546,10 @@ impl Trajectory {
         point: PerfPoint,
         path: &std::path::Path,
     ) -> Result<(), String> {
-        self.points.retain(|p| p.label != point.label);
-        self.points.push(point);
+        match self.points.iter_mut().find(|p| p.label == point.label) {
+            Some(existing) => *existing = point,
+            None => self.points.push(point),
+        }
         std::fs::write(path, self.to_json()).map_err(|e| format!("write {}: {e}", path.display()))
     }
 
@@ -348,8 +585,16 @@ pub fn compare_points(baseline: &PerfPoint, candidate: &PerfPoint, tolerance: f6
                 cand_tier.matrix_solves,
             ),
             ("tran_steps", base_tier.tran_steps, cand_tier.tran_steps),
+            // Model evaluations are deterministic too, but baselines
+            // recorded before the counter existed read back as 0 — a
+            // zero baseline would turn any candidate into a violation,
+            // so the check only arms once a real baseline exists.
+            ("mos_evals", base_tier.mos_evals, cand_tier.mos_evals),
         ];
         for (name, base, cand) in checks {
+            if base == 0 && name == "mos_evals" {
+                continue;
+            }
             let limit = (base as f64 * (1.0 + tolerance)).ceil() as u64;
             if cand > limit {
                 violations.push(format!(
@@ -360,6 +605,33 @@ pub fn compare_points(baseline: &PerfPoint, candidate: &PerfPoint, tolerance: f6
         }
     }
     violations
+}
+
+/// Compare wall-clock medians against a noise band: every tier present in
+/// both points must not exceed the baseline's `wall_s` by more than
+/// `band` (e.g. `0.30` for +30 %). Wall time is machine- and load-
+/// dependent, so callers should treat these as warnings by default and
+/// only fail on them when explicitly asked (`perfcheck --wall-strict`).
+#[must_use]
+pub fn compare_wall(baseline: &PerfPoint, candidate: &PerfPoint, band: f64) -> Vec<String> {
+    let mut notes = Vec::new();
+    for base_tier in &baseline.tiers {
+        let Some(cand_tier) = candidate.tiers.iter().find(|t| t.tier == base_tier.tier) else {
+            continue; // compare_points already reports missing tiers
+        };
+        let limit = base_tier.wall_s * (1.0 + band);
+        if cand_tier.wall_s > limit {
+            notes.push(format!(
+                "tier `{}`: wall_s {:.3}s -> {:.3}s exceeds the +{:.0}% noise band (limit {:.3}s)",
+                base_tier.tier,
+                base_tier.wall_s,
+                cand_tier.wall_s,
+                band * 100.0,
+                limit
+            ));
+        }
+    }
+    notes
 }
 
 fn get<'a>(obj: &'a [(String, Json)], key: &str) -> Result<&'a Json, String> {
@@ -388,6 +660,15 @@ fn int(obj: &[(String, Json)], key: &str) -> Result<u64, String> {
 fn int_or(obj: &[(String, Json)], key: &str, default: u64) -> Result<u64, String> {
     if obj.iter().any(|(k, _)| k == key) {
         int(obj, key)
+    } else {
+        Ok(default)
+    }
+}
+
+/// Like [`num`], but a missing key reads as `default` (ditto).
+fn num_or(obj: &[(String, Json)], key: &str, default: f64) -> Result<f64, String> {
+    if obj.iter().any(|(k, _)| k == key) {
+        num(obj, key)
     } else {
         Ok(default)
     }
@@ -597,6 +878,8 @@ mod tests {
         TierPerf {
             tier: name.to_owned(),
             wall_s: 0.5,
+            wall_min_s: 0.4,
+            wall_max_s: 0.7,
             nr_iterations: nr,
             matrix_solves: nr,
             tran_steps: nr / 2,
@@ -606,7 +889,23 @@ mod tests {
             lte_rejects: 0,
             adaptive_steps: nr / 4,
             h_growths: 0,
+            mos_evals: nr * 8,
+            mos_bypassed: nr * 2,
             solves_per_sec: nr as f64 / 0.5,
+        }
+    }
+
+    fn point(label: &str, tiers: Vec<TierPerf>) -> PerfPoint {
+        PerfPoint {
+            label: label.to_owned(),
+            reps: 5,
+            host: Some(HostInfo {
+                cores: 8,
+                mcml_threads: "1".to_owned(),
+                profile: "release".to_owned(),
+                rustc: "rustc 1.0.0-test".to_owned(),
+            }),
+            tiers,
         }
     }
 
@@ -614,12 +913,15 @@ mod tests {
     fn round_trip_is_byte_stable() {
         let traj = Trajectory {
             points: vec![
-                PerfPoint {
-                    label: "pr3-baseline".to_owned(),
-                    tiers: vec![tier("fig6_tran", 1000), tier("table3_tran", 400)],
-                },
+                point(
+                    "pr3-baseline",
+                    vec![tier("fig6_tran", 1000), tier("table3_tran", 400)],
+                ),
+                // A legacy-shaped point: single-shot, no host block.
                 PerfPoint {
                     label: "pr4-plan".to_owned(),
+                    reps: 1,
+                    host: None,
                     tiers: vec![tier("fig6_tran", 900)],
                 },
             ],
@@ -668,18 +970,103 @@ mod tests {
     }
 
     #[test]
+    fn schema_v1_points_upgrade_to_v2_semantics() {
+        // A full schema-1 point: single-shot wall, no spread, no reps, no
+        // host, no bypass counters.
+        let json = r#"{
+          "schema": "mcml-bench-perf/1",
+          "points": [{
+            "label": "pr5-adaptive-tran",
+            "tiers": [{
+              "tier": "fig6_tran", "wall_s": 2.5,
+              "nr_iterations": 100, "matrix_solves": 100, "tran_steps": 50,
+              "symbolic_reuse": 90, "numeric_refactor": 90,
+              "linear_stamps_skipped": 1000, "lte_rejects": 2,
+              "adaptive_steps": 40, "h_growths": 10, "solves_per_sec": 40.0
+            }]
+          }]
+        }"#;
+        let t = Trajectory::from_json(json).unwrap();
+        let p = &t.points[0];
+        assert_eq!(p.reps, 1, "schema 1 points were single-shot");
+        assert!(p.host.is_none(), "schema 1 recorded no environment");
+        let tier = &p.tiers[0];
+        assert_eq!(tier.wall_min_s, tier.wall_s);
+        assert_eq!(tier.wall_max_s, tier.wall_s);
+        assert_eq!(tier.mos_evals, 0);
+        assert_eq!(tier.mos_bypassed, 0);
+        // Re-serialising upgrades the file to schema 2 and the upgraded
+        // form round-trips byte-identically.
+        let v2 = t.to_json();
+        assert!(v2.contains("mcml-bench-perf/2"));
+        let back = Trajectory::from_json(&v2).unwrap();
+        assert_eq!(back, t);
+        assert_eq!(back.to_json(), v2);
+    }
+
+    #[test]
+    fn emitted_tier_json_carries_bypass_counters() {
+        let traj = Trajectory {
+            points: vec![point("pr6", vec![tier("fig6_tran", 100)])],
+        };
+        let json = traj.to_json();
+        assert!(json.contains("\"mos_evals\": 800"));
+        assert!(json.contains("\"mos_bypassed\": 200"));
+        assert!(json.contains("\"wall_min_s\": 0.400000"));
+        assert!(json.contains("\"wall_max_s\": 0.700000"));
+        assert!(json.contains("\"reps\": 5"));
+        assert!(json.contains("\"mcml_threads\": \"1\""));
+    }
+
+    #[test]
+    fn median_of_reps_is_robust_to_one_outlier() {
+        // Odd count: the middle element, unmoved by a slow tail.
+        assert_eq!(median_sorted(&[1.0, 1.1, 9.0]), 1.1);
+        // Even count: mean of the two middle elements (exactly
+        // representable values keep the assertion float-safe).
+        assert_eq!(median_sorted(&[1.0, 1.25, 1.75, 9.0]), 1.5);
+        // Single shot: the only sample.
+        assert_eq!(median_sorted(&[2.0]), 2.0);
+    }
+
+    #[test]
+    fn measure_tier_reps_reports_median_and_spread() {
+        let mut calls = 0u32;
+        let (t, _) = measure_tier_reps(
+            "toy",
+            4,
+            || {},
+            || {
+                calls += 1;
+                // Make later repetitions measurably slower so min/median/max
+                // separate without relying on scheduler noise.
+                std::thread::sleep(std::time::Duration::from_millis(u64::from(calls) * 2));
+            },
+        );
+        assert_eq!(calls, 5, "one warmup plus four timed repetitions");
+        assert!(t.wall_min_s <= t.wall_s && t.wall_s <= t.wall_max_s);
+        assert!(
+            t.wall_max_s > t.wall_min_s,
+            "staircase sleeps must produce a spread"
+        );
+    }
+
+    #[test]
     fn compare_flags_regressions_over_tolerance() {
         let base = PerfPoint {
             label: "a".to_owned(),
             tiers: vec![tier("fig6_tran", 1000)],
+            ..PerfPoint::default()
         };
         let good = PerfPoint {
             label: "b".to_owned(),
             tiers: vec![tier("fig6_tran", 1099)],
+            ..PerfPoint::default()
         };
         let bad = PerfPoint {
             label: "c".to_owned(),
             tiers: vec![tier("fig6_tran", 1200)],
+            ..PerfPoint::default()
         };
         assert!(compare_points(&base, &good, 0.10).is_empty());
         let v = compare_points(&base, &bad, 0.10);
@@ -691,10 +1078,12 @@ mod tests {
         let base = PerfPoint {
             label: "a".to_owned(),
             tiers: vec![tier("fig6_tran", 10)],
+            ..PerfPoint::default()
         };
         let cand = PerfPoint {
             label: "b".to_owned(),
             tiers: vec![],
+            ..PerfPoint::default()
         };
         assert_eq!(compare_points(&base, &cand, 0.1).len(), 1);
     }
@@ -708,6 +1097,7 @@ mod tests {
         let p = |label: &str, nr| PerfPoint {
             label: label.to_owned(),
             tiers: vec![tier("t", nr)],
+            ..PerfPoint::default()
         };
         Trajectory::load(&path)
             .unwrap()

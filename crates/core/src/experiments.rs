@@ -581,6 +581,15 @@ const FIG6_H_MAX: f64 = 100e-12;
 /// solver noise in the electrically static windows, the error ratio
 /// hovers near 1, and the controller never opens the step up.
 const FIG6_ABSTOL: f64 = 5e-6;
+/// Quiescent-MOS bypass tolerance (V) for the fig. 6 transient. Most of
+/// the reduced-AES testbench is electrically idle at any given step (one
+/// byte toggles per clock edge), so the bypass removes the bulk of the
+/// device-model calls. 10 µV is an order of magnitude above the Newton
+/// `vtol` (so converged quiescent nodes actually qualify) while the
+/// linear extrapolation keeps the waveform perturbation second order in
+/// the tolerance — orders of magnitude below the golden trace's 1e-4
+/// relative pin.
+const FIG6_BYPASS_VTOL: f64 = 10e-6;
 
 /// The transient options the fig. 6 transistor tier runs with: the
 /// 10 ps recording grid of the golden trace plus *grid-aligned*
@@ -590,10 +599,14 @@ const FIG6_ABSTOL: f64 = 5e-6;
 /// what keeps the golden supply-trace samples inside their 1e-4 pin —
 /// the free-stepping flavour discretises the stiff edge differently and
 /// drifts by the fixed reference's own local truncation error there.
+/// The quiescent-MOS bypass is enabled on top (SPICE3's `bypass`): idle
+/// devices reuse their cached linearization instead of re-running the
+/// model, with `MCML_SPICE_BYPASS=off` as the hard-off escape hatch.
 #[must_use]
 pub fn fig6_tran_options() -> TranOptions {
-    let mut opts =
-        TranOptions::new(FIG6_T_STOP, 10e-12).adaptive_grid_aligned(FIG6_RELTOL, FIG6_H_MAX);
+    let mut opts = TranOptions::new(FIG6_T_STOP, 10e-12)
+        .adaptive_grid_aligned(FIG6_RELTOL, FIG6_H_MAX)
+        .with_bypass(FIG6_BYPASS_VTOL);
     if let Some(lte) = opts.lte.as_mut() {
         lte.abstol = FIG6_ABSTOL;
     }

@@ -57,6 +57,40 @@ fn fig6_pg_mcml_trace_matches_golden() {
 /// 0.01 % from the fixed-step reference at *every* one of the 60
 /// samples — not just the ten pinned above — so the golden values did
 /// not need re-pinning when adaptive stepping was enabled.
+/// The quiescent-device bypass (enabled at 10 µV in
+/// `fig6_tran_options`) must be an *optimisation*, not a physics
+/// change: re-running the tier with the bypass disabled has to land
+/// within the pin tolerance at every sample, and the enabled run has
+/// to actually skip model evaluations (otherwise the knob is dead and
+/// this test is vacuous).
+#[test]
+fn fig6_bypass_drift_vs_exact_below_pin_tolerance() {
+    use mcml_obs::Counter;
+    let params = CellParams::default();
+    let exact = fig6_supply_trace_with(
+        &params,
+        0xb,
+        LogicStyle::PgMcml,
+        0x3,
+        &fig6_tran_options().with_bypass(0.0),
+    )
+    .expect("bypass-off trace");
+    let bypassed_before = mcml_obs::total(Counter::MosBypassed);
+    let bypassing =
+        fig6_supply_trace_with(&params, 0xb, LogicStyle::PgMcml, 0x3, &fig6_tran_options())
+            .expect("bypass-on trace");
+    let skipped = mcml_obs::total(Counter::MosBypassed) - bypassed_before;
+    if std::env::var("MCML_SPICE_BYPASS").is_err() {
+        assert!(skipped > 0, "bypass enabled but no evaluations skipped");
+    }
+    assert_eq!(exact.len(), bypassing.len());
+    let mut worst = 0.0f64;
+    for (e, b) in exact.iter().zip(&bypassing) {
+        worst = worst.max((b - e).abs() / e.abs().max(ABS_TOL));
+    }
+    assert!(worst <= REL_TOL, "worst bypass-vs-exact drift {worst:e}");
+}
+
 #[test]
 fn fig6_adaptive_drift_vs_fixed_below_pin_tolerance() {
     let params = CellParams::default();

@@ -34,6 +34,13 @@ pub enum Counter {
     HGrowths,
     /// Newton–Raphson iterations (`mcml-spice`).
     NrIterations,
+    /// MOSFET model evaluations actually executed (`mcml-spice`).
+    MosEvals,
+    /// MOSFET evaluations skipped by the quiescent-device bypass: the
+    /// cached linearization was reused because no terminal voltage moved
+    /// more than the bypass tolerance since it was recorded
+    /// (`mcml-spice`).
+    MosBypassed,
     /// Linear-system factor/solve calls (`mcml-spice`).
     MatrixSolves,
     /// Sparse solves that reused an existing symbolic factorisation
@@ -82,7 +89,7 @@ pub enum Counter {
 
 impl Counter {
     /// Every counter, in declaration order.
-    pub const ALL: [Counter; 27] = [
+    pub const ALL: [Counter; 29] = [
         Counter::DcSolves,
         Counter::Transients,
         Counter::TranSteps,
@@ -91,6 +98,8 @@ impl Counter {
         Counter::AdaptiveSteps,
         Counter::HGrowths,
         Counter::NrIterations,
+        Counter::MosEvals,
+        Counter::MosBypassed,
         Counter::MatrixSolves,
         Counter::SymbolicReuse,
         Counter::NumericRefactor,
@@ -127,6 +136,8 @@ impl Counter {
             Counter::AdaptiveSteps => "spice.adaptive_steps",
             Counter::HGrowths => "spice.h_growths",
             Counter::NrIterations => "spice.nr_iterations",
+            Counter::MosEvals => "spice.mos_evals",
+            Counter::MosBypassed => "spice.mos_bypassed",
             Counter::MatrixSolves => "spice.matrix_solves",
             Counter::SymbolicReuse => "spice.symbolic_reuse",
             Counter::NumericRefactor => "spice.numeric_refactor",
@@ -161,6 +172,8 @@ impl Counter {
             Counter::AdaptiveSteps => "accepted steps",
             Counter::HGrowths => "step growths",
             Counter::NrIterations => "iterations",
+            Counter::MosEvals => "model evaluations",
+            Counter::MosBypassed => "skipped evaluations",
             Counter::MatrixSolves => "factor+solve calls",
             Counter::SymbolicReuse => "reused factorisations",
             Counter::NumericRefactor => "refactorisations",
@@ -192,6 +205,8 @@ impl Counter {
             | Counter::AdaptiveSteps
             | Counter::HGrowths
             | Counter::NrIterations
+            | Counter::MosEvals
+            | Counter::MosBypassed
             | Counter::MatrixSolves
             | Counter::SymbolicReuse
             | Counter::NumericRefactor

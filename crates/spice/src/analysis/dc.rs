@@ -46,6 +46,9 @@ impl DcOptions {
             itol: self.itol,
             vstep_limit: self.vstep_limit,
             solver: self.solver,
+            // DC continuation sweeps voltages deliberately; the
+            // quiescent-device bypass is a transient-only optimisation.
+            bypass_tol: 0.0,
         }
     }
 }

@@ -7,7 +7,7 @@
 //! sparse backend reuses its symbolic factorisation numerically, and
 //! solves land in preallocated vectors.
 
-use crate::analysis::plan::StampPlan;
+use crate::analysis::plan::{MosBypassState, StampPlan};
 use crate::circuit::{Circuit, NodeId};
 use crate::element::Element;
 use crate::error::SpiceError;
@@ -49,6 +49,9 @@ pub(crate) struct NrOptions {
     pub itol: f64,
     pub vstep_limit: f64,
     pub solver: SolverKind,
+    /// Quiescent-MOS bypass tolerance (V); `0.0` disables the bypass.
+    /// See the `plan` module docs for the reuse rule and error bound.
+    pub bypass_tol: f64,
 }
 
 impl Default for NrOptions {
@@ -59,6 +62,7 @@ impl Default for NrOptions {
             itol: 1e-9,
             vstep_limit: 0.4,
             solver: SolverKind::Auto,
+            bypass_tol: 0.0,
         }
     }
 }
@@ -71,6 +75,8 @@ struct NrTally {
     symbolic_reuse: u64,
     numeric_refactor: u64,
     stamps_skipped: u64,
+    mos_evals: u64,
+    mos_bypassed: u64,
 }
 
 impl NrTally {
@@ -81,6 +87,8 @@ impl NrTally {
         add(Counter::SymbolicReuse, self.symbolic_reuse);
         add(Counter::NumericRefactor, self.numeric_refactor);
         add(Counter::LinearStampsSkipped, self.stamps_skipped);
+        add(Counter::MosEvals, self.mos_evals);
+        add(Counter::MosBypassed, self.mos_bypassed);
     }
 }
 
@@ -101,6 +109,11 @@ pub(crate) struct Engine<'a> {
     /// Sparse factors; `Some` once factored, reused numerically while the
     /// fixed pivot order stays healthy.
     lu: Option<SparseLu>,
+    /// Per-MOS cached linearizations for the quiescent-device bypass,
+    /// parallel to the plan's MOS indices. Persists across Newton
+    /// iterations *and* time steps — idle devices stay bypassed for the
+    /// whole quiet window.
+    mos_state: Vec<MosBypassState>,
 }
 
 impl<'a> Engine<'a> {
@@ -109,6 +122,7 @@ impl<'a> Engine<'a> {
         let n_unk = n_node_unk + ckt.branch_count();
         let plan = StampPlan::build(ckt, n_node_unk, n_unk);
         let nnz = plan.pattern.nnz();
+        let n_mos = plan.n_mos;
         Self {
             ckt,
             n_node_unk,
@@ -120,6 +134,7 @@ impl<'a> Engine<'a> {
             rhs: vec![0.0; n_unk],
             dense: DenseWorkspace::new(),
             lu: None,
+            mos_state: vec![MosBypassState::default(); n_mos],
         }
     }
 
@@ -343,16 +358,20 @@ impl<'a> Engine<'a> {
             tally.iters += 1;
             {
                 let _t = mcml_obs::span(mcml_obs::Stage::MnaAssemble);
-                self.plan.assemble_into(
+                let mos = self.plan.assemble_into(
                     self.ckt,
                     x,
                     t,
                     companion,
                     gmin,
                     src_scale,
+                    opts.bypass_tol,
+                    &mut self.mos_state,
                     &mut self.vals,
                     &mut self.f,
                 );
+                tally.mos_evals += mos.evals;
+                tally.mos_bypassed += mos.bypassed;
             }
             tally.stamps_skipped += self.plan.linear_stamps;
             if let Err(e) = self.solve_linear(opts.solver, &mut tally) {
@@ -468,6 +487,8 @@ impl Engine<'_> {
             companion,
             gmin,
             src_scale,
+            0.0, // the equivalence oracle always evaluates for real
+            &mut self.mos_state,
             &mut self.vals,
             &mut self.f,
         );

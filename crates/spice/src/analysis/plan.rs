@@ -27,6 +27,31 @@
 //! corrections; MOSFET Jacobian entries are deliberately stamped *after*
 //! the mat-vec so the residual carries the device current `i_d`, not the
 //! linearised `J·x`.
+//!
+//! # Quiescent-device bypass
+//!
+//! The remaining per-iteration cost is dominated by [`Mosfet::eval`]
+//! calls, and on digital workloads most devices are electrically idle
+//! most of the time (in the reduced-AES testbench a single byte toggles
+//! per clock edge while the rest of the S-box sits at its operating
+//! point). SPICE3's `bypass` option exploits this, and so does the plan:
+//! every evaluated MOSFET caches the terminal voltages it was evaluated
+//! at together with the full linearization ([`MosBypassState`]). When a
+//! later assembly finds all four terminal voltages within the bypass
+//! tolerance of that cached eval point, the model call is skipped — the
+//! cached conductances are re-stamped and the device current is
+//! *linearly extrapolated* from the cached point
+//! (`i ≈ i_c + gm·Δvg + gds·Δvd + gms·Δvs + gmb·Δvb`). Because the
+//! extrapolation uses the exact first derivatives, the approximation
+//! error is second order in the tolerance (curvature · Δv²/2), not first
+//! order — a 10 µV tolerance on a mS-grade device perturbs currents by
+//! ~1e-13 A, far below the Newton `itol`. Voltages are compared against
+//! the *cached eval point*, not the previous iteration, so slow drift
+//! can never accumulate past the tolerance without triggering a real
+//! evaluation. A tolerance of `0.0` disables the bypass entirely (the
+//! hard-off escape hatch; see `MCML_SPICE_BYPASS`).
+//!
+//! [`Mosfet::eval`]: mcml_device::Mosfet::eval
 
 use crate::analysis::engine::{companion_terms, CompanionCtx};
 use crate::circuit::{Circuit, NodeId};
@@ -35,6 +60,32 @@ use crate::matrix::CscPattern;
 
 /// Sentinel slot for a stamp suppressed by a grounded terminal.
 const SLOT_NONE: usize = usize::MAX;
+
+/// Cached linearization of one MOSFET: the terminal voltages it was
+/// evaluated at plus the resulting current and conductances. One entry
+/// per MOS element, owned by the engine (the plan itself stays immutable
+/// across iterations).
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct MosBypassState {
+    /// True once the device has been evaluated at least once.
+    valid: bool,
+    /// Terminal voltages `[vg, vd, vs, vb]` at the cached eval.
+    v: [f64; 4],
+    /// Drain current at the cached eval (A).
+    id: f64,
+    /// Conductances `[gm, gds, gms, gmb]` at the cached eval (S).
+    g: [f64; 4],
+}
+
+/// Per-assembly MOSFET work tally: model evaluations executed vs skipped
+/// by the quiescent-device bypass.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct MosStats {
+    /// `Mosfet::eval` calls actually executed.
+    pub evals: u64,
+    /// Evaluations served from the cached linearization instead.
+    pub bypassed: u64,
+}
 
 /// Conductance-stamp slots of a two-terminal element between `a` and `b`:
 /// `[aa, ab, ba, bb]`, with [`SLOT_NONE`] where a terminal is ground.
@@ -81,6 +132,8 @@ enum PlanElem {
         drow: CondSlots,
         /// Source-row slots for columns `[g, d, s, b]` (negated stamps).
         srow: CondSlots,
+        /// Index into the engine-owned [`MosBypassState`] buffer.
+        mos_idx: usize,
     },
 }
 
@@ -97,6 +150,9 @@ pub(crate) struct StampPlan {
     /// How many legacy matrix stamps the base copy replaces per assembly
     /// (feeds the `spice.linear_stamps_skipped` counter).
     pub linear_stamps: u64,
+    /// Number of MOS elements — the size of the bypass-state buffer the
+    /// engine must provide.
+    pub n_mos: usize,
 }
 
 #[inline]
@@ -176,6 +232,7 @@ enum Pending {
         fs: Option<usize>,
         drow: CondSlots,
         srow: CondSlots,
+        mos_idx: usize,
     },
 }
 
@@ -196,6 +253,7 @@ impl StampPlan {
         let mut linear_stamps: u64 = 0;
 
         let mut pending: Vec<Pending> = Vec::new();
+        let mut n_mos = 0usize;
         for (_, _, elem) in ckt.elements() {
             let p = match elem {
                 Element::Resistor { a, b, ohms } => {
@@ -248,11 +306,14 @@ impl StampPlan {
                     };
                     let drow = row_sites(&mut col, ud);
                     let srow = row_sites(&mut col, us);
+                    let mos_idx = n_mos;
+                    n_mos += 1;
                     Pending::Mos {
                         fd: ud,
                         fs: us,
                         drow,
                         srow,
+                        mos_idx,
                     }
                 }
                 // `Element` is non-exhaustive; new kinds must grow a plan
@@ -280,11 +341,18 @@ impl StampPlan {
                 },
                 Pending::Vsource { row } => PlanElem::Vsource { row },
                 Pending::Isource { fp, fneg } => PlanElem::Isource { fp, fneg },
-                Pending::Mos { fd, fs, drow, srow } => PlanElem::Mos {
+                Pending::Mos {
+                    fd,
+                    fs,
+                    drow,
+                    srow,
+                    mos_idx,
+                } => PlanElem::Mos {
                     fd,
                     fs,
                     drow: resolve(&slots, drow),
                     srow: resolve(&slots, srow),
+                    mos_idx,
                 },
             })
             .collect();
@@ -295,6 +363,7 @@ impl StampPlan {
             diag_slots,
             elems,
             linear_stamps,
+            n_mos,
         }
     }
 
@@ -304,6 +373,10 @@ impl StampPlan {
     /// KCL sign convention matches the legacy path: `f[row]` accumulates
     /// the currents *leaving* each node, and KVL rows hold
     /// `v_p − v_n − V(t)·scale`.
+    ///
+    /// `mos_state` is the engine-owned bypass cache, `self.n_mos` entries
+    /// long; `bypass_tol > 0.0` enables the quiescent-device bypass (see
+    /// the module docs). Returns the per-assembly MOS work tally.
     #[allow(clippy::too_many_arguments)]
     pub fn assemble_into(
         &self,
@@ -313,11 +386,15 @@ impl StampPlan {
         companion: Option<&CompanionCtx<'_>>,
         gmin: f64,
         src_scale: f64,
+        bypass_tol: f64,
+        mos_state: &mut [MosBypassState],
         vals: &mut [f64],
         f: &mut [f64],
-    ) {
+    ) -> MosStats {
         debug_assert_eq!(vals.len(), self.pattern.nnz());
         debug_assert_eq!(f.len(), self.pattern.dim());
+        debug_assert_eq!(mos_state.len(), self.n_mos);
+        let mut stats = MosStats::default();
 
         // 1. Constant linear part, then gmin on the node diagonal.
         vals.copy_from_slice(&self.base_vals);
@@ -371,15 +448,53 @@ impl StampPlan {
                         f[*ni] -= i;
                     }
                 }
-                (PlanElem::Mos { fd, fs, drow, srow }, Element::Mos { d, g, s, b, dev }) => {
-                    let e = dev.eval(v(x, *g), v(x, *d), v(x, *s), v(x, *b));
+                (
+                    PlanElem::Mos {
+                        fd,
+                        fs,
+                        drow,
+                        srow,
+                        mos_idx,
+                    },
+                    Element::Mos { d, g, s, b, dev },
+                ) => {
+                    let vt = [v(x, *g), v(x, *d), v(x, *s), v(x, *b)];
+                    let st = &mut mos_state[*mos_idx];
+                    let (id, conds) = if bypass_tol > 0.0
+                        && st.valid
+                        && vt
+                            .iter()
+                            .zip(&st.v)
+                            .all(|(now, was)| (now - was).abs() <= bypass_tol)
+                    {
+                        // Quiescent: reuse the cached linearization; the
+                        // current is extrapolated with the exact cached
+                        // derivatives, so the error is O(Δv²).
+                        stats.bypassed += 1;
+                        let id = st.id
+                            + st.g
+                                .iter()
+                                .zip(vt.iter().zip(&st.v))
+                                .map(|(g, (now, was))| g * (now - was))
+                                .sum::<f64>();
+                        (id, st.g)
+                    } else {
+                        stats.evals += 1;
+                        let e = dev.eval(vt[0], vt[1], vt[2], vt[3]);
+                        *st = MosBypassState {
+                            valid: true,
+                            v: vt,
+                            id: e.id,
+                            g: [e.gm, e.gds, e.gms, e.gmb],
+                        };
+                        (e.id, st.g)
+                    };
                     if let Some(di) = fd {
-                        f[*di] += e.id;
+                        f[*di] += id;
                     }
                     if let Some(si) = fs {
-                        f[*si] -= e.id;
+                        f[*si] -= id;
                     }
-                    let conds = [e.gm, e.gds, e.gms, e.gmb];
                     for (slot, val) in drow.iter().zip(conds) {
                         if *slot != SLOT_NONE {
                             vals[*slot] += val;
@@ -394,5 +509,6 @@ impl StampPlan {
                 _ => {}
             }
         }
+        stats
     }
 }

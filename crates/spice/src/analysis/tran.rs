@@ -89,6 +89,17 @@ pub struct TranOptions {
     /// LTE-controlled adaptive stepping; `None` (the default) keeps the
     /// fixed-step reference behaviour.
     pub lte: Option<AdaptiveOptions>,
+    /// Quiescent-MOS bypass tolerance (V): when every terminal voltage of
+    /// a MOSFET is within this distance of the point it was last
+    /// evaluated at, the cached linearization is reused instead of
+    /// calling the device model (SPICE3's `bypass` option). `0.0` (the
+    /// default) disables the bypass; `MCML_SPICE_BYPASS=off` in the
+    /// environment is a hard-off escape hatch that wins over any
+    /// programmatic setting. The current is extrapolated with the exact
+    /// cached derivatives, so the waveform perturbation is second order
+    /// in the tolerance (see `spice.mos_bypassed` in
+    /// `docs/OBSERVABILITY.md`).
+    pub bypass_vtol: f64,
 }
 
 impl TranOptions {
@@ -113,6 +124,7 @@ impl TranOptions {
             solver: SolverKind::Auto,
             max_subdiv: 8,
             lte: None,
+            bypass_vtol: 0.0,
         }
     }
 
@@ -186,6 +198,21 @@ impl TranOptions {
         self
     }
 
+    /// Builder-style quiescent-MOS bypass tolerance (V); `0.0` disables.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `tol` is negative or not finite.
+    #[must_use]
+    pub fn with_bypass(mut self, tol: f64) -> Self {
+        assert!(
+            tol.is_finite() && tol >= 0.0,
+            "need a finite bypass tolerance >= 0"
+        );
+        self.bypass_vtol = tol;
+        self
+    }
+
     fn nr(&self) -> NrOptions {
         NrOptions {
             max_iter: self.max_iter,
@@ -193,8 +220,27 @@ impl TranOptions {
             itol: self.itol,
             vstep_limit: self.vstep_limit,
             solver: self.solver,
+            bypass_tol: if bypass_allowed() {
+                self.bypass_vtol
+            } else {
+                0.0
+            },
         }
     }
+}
+
+/// Hard-off escape hatch for the quiescent-MOS bypass: setting
+/// `MCML_SPICE_BYPASS=off` (or `0`, or `none`) in the environment forces
+/// every transient back to unconditional device evaluation, regardless of
+/// what the analysis options request. Read once per process.
+fn bypass_allowed() -> bool {
+    static ALLOWED: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *ALLOWED.get_or_init(|| {
+        !matches!(
+            std::env::var("MCML_SPICE_BYPASS").as_deref(),
+            Ok("off" | "0" | "none")
+        )
+    })
 }
 
 /// Recorded transient simulation results.
