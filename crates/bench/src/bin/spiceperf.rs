@@ -31,6 +31,11 @@
 //!   accident of tier order. Per-run solver state (stamp plan, symbolic
 //!   LU, MOS bypass cache) is freshly built inside the timed region —
 //!   that construction cost is part of what the tier measures.
+//! - `fig6_ensemble` — all 16 plaintexts as one 16-lane ensemble block
+//!   (shared stamp plan + symbolic LU, lockstep march, traces streamed
+//!   into the online CPA accumulator). Identical cold-cache state to
+//!   `fig6_tran`, so the two tiers' *per-trace* walls divide into an
+//!   honest speedup.
 //! - `table3_char` — characterises all 16 PG-MCML cells **from a cold
 //!   characterisation cache**, cleared before every repetition;
 //!   without the clear, repetition 2+ (or a run after a warm tier)
@@ -45,7 +50,7 @@
 
 use mcml_bench::perf::{measure_tier_reps, HostInfo, PerfPoint, TierPerf, Trajectory};
 use mcml_cells::{CellParams, LogicStyle};
-use pg_mcml::experiments::{fig3, fig6_transistor_par};
+use pg_mcml::experiments::{fig3, fig6_transistor_ensemble, fig6_transistor_par};
 use pg_mcml::Parallelism;
 
 fn print_tier(t: &TierPerf, trailer: &str) {
@@ -114,6 +119,39 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             / (fig6_tier.mos_evals + fig6_tier.mos_bypassed).max(1) as f64
     );
 
+    // Tier 1b: the campaign's real acquisition unit — all 16 plaintext
+    // base waveforms as one 16-lane ensemble block (shared stamp plan +
+    // symbolic LU, per-lane cold DC, lockstep march with demand-driven
+    // refactorisation, traces streamed into the online CPA
+    // accumulator). Same cold-cache state as `fig6_tran`; the
+    // *per-trace* wall against that tier — each tier's wall divided by
+    // its trace count — is the batched engine's headline speedup.
+    let ens_plaintexts: Vec<u8> = (0..16).collect();
+    let (ens_tier, ens_res) =
+        measure_tier_reps("fig6_ensemble", reps, mcml_char::cache::clear, || {
+            fig6_transistor_ensemble(
+                &params,
+                0xb,
+                LogicStyle::PgMcml,
+                &ens_plaintexts,
+                ens_plaintexts.len(),
+                Parallelism::Serial,
+            )
+        });
+    let (ens_row, _) = ens_res?;
+    print_tier(&ens_tier, &format!("(CPA rank {})", ens_row.rank));
+    let scalar_per_trace = fig6_tier.wall_s / plaintexts.len() as f64;
+    let ens_per_trace = ens_tier.wall_s / ens_plaintexts.len() as f64;
+    println!(
+        "             ensemble: {} lanes, {} lane refactors, {:.0} ms/trace vs {:.0} ms/trace \
+         scalar = {:.2}x per-trace speedup",
+        ens_tier.ensemble_lanes,
+        ens_tier.lane_refactors,
+        1e3 * ens_per_trace,
+        1e3 * scalar_per_trace,
+        scalar_per_trace / ens_per_trace.max(1e-12)
+    );
+
     // Tier 2: the table 2/3 characterisation workload — every cell of the
     // PG-MCML library on a cold cache (dense-path DC + transients). The
     // cache clear runs before *every* repetition, outside the timed
@@ -136,7 +174,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         label,
         reps,
         host: Some(host),
-        tiers: vec![fig6_tier, char_tier, fig3_tier],
+        tiers: vec![fig6_tier, ens_tier, char_tier, fig3_tier],
     };
     let path = std::path::PathBuf::from(&out);
     Trajectory::load(&path)?.append_and_save(point, &path)?;

@@ -45,6 +45,8 @@
 //!         h_growths: 40,
 //!         mos_evals: 80_000,
 //!         mos_bypassed: 20_000,
+//!         ensemble_lanes: 0,
+//!         lane_refactors: 0,
 //!         solves_per_sec: 666.7,
 //!     }],
 //! });
@@ -102,6 +104,12 @@ pub struct TierPerf {
     pub mos_evals: u64,
     /// `spice.mos_bypassed` delta over the tier (deterministic; ditto).
     pub mos_bypassed: u64,
+    /// `spice.ensemble_lanes` delta over the tier (deterministic; 0 on
+    /// scalar tiers and on trajectory points predating the batched
+    /// ensemble engine).
+    pub ensemble_lanes: u64,
+    /// `spice.lane_refactors` delta over the tier (deterministic; ditto).
+    pub lane_refactors: u64,
     /// Linear solves per wall-clock second (machine-dependent).
     pub solves_per_sec: f64,
 }
@@ -178,6 +186,8 @@ pub struct CounterSnap {
     h_growths: u64,
     mos_evals: u64,
     mos_bypassed: u64,
+    ensemble_lanes: u64,
+    lane_refactors: u64,
 }
 
 impl CounterSnap {
@@ -196,6 +206,8 @@ impl CounterSnap {
             h_growths: mcml_obs::total(Counter::HGrowths),
             mos_evals: mcml_obs::total(Counter::MosEvals),
             mos_bypassed: mcml_obs::total(Counter::MosBypassed),
+            ensemble_lanes: mcml_obs::total(Counter::EnsembleLanes),
+            lane_refactors: mcml_obs::total(Counter::LaneRefactors),
         }
     }
 }
@@ -227,6 +239,8 @@ pub fn measure_tier<T>(tier: &str, f: impl FnOnce() -> T) -> (TierPerf, T) {
             h_growths: after.h_growths - before.h_growths,
             mos_evals: after.mos_evals - before.mos_evals,
             mos_bypassed: after.mos_bypassed - before.mos_bypassed,
+            ensemble_lanes: after.ensemble_lanes - before.ensemble_lanes,
+            lane_refactors: after.lane_refactors - before.lane_refactors,
             solves_per_sec: solves as f64 / wall_s.max(1e-9),
         },
         out,
@@ -383,6 +397,14 @@ impl Trajectory {
                     t.mos_bypassed
                 ));
                 s.push_str(&format!(
+                    "          \"ensemble_lanes\": {},\n",
+                    t.ensemble_lanes
+                ));
+                s.push_str(&format!(
+                    "          \"lane_refactors\": {},\n",
+                    t.lane_refactors
+                ));
+                s.push_str(&format!(
                     "          \"solves_per_sec\": {:.1}\n",
                     t.solves_per_sec
                 ));
@@ -458,6 +480,10 @@ impl Trajectory {
                     // The bypass counters postdate schema 1 likewise.
                     mos_evals: int_or(tobj, "mos_evals", 0)?,
                     mos_bypassed: int_or(tobj, "mos_bypassed", 0)?,
+                    // The ensemble counters postdate both schemas'
+                    // earliest points likewise.
+                    ensemble_lanes: int_or(tobj, "ensemble_lanes", 0)?,
+                    lane_refactors: int_or(tobj, "lane_refactors", 0)?,
                     solves_per_sec: num(tobj, "solves_per_sec")?,
                 });
             }
@@ -891,6 +917,8 @@ mod tests {
             h_growths: 0,
             mos_evals: nr * 8,
             mos_bypassed: nr * 2,
+            ensemble_lanes: 0,
+            lane_refactors: nr / 8,
             solves_per_sec: nr as f64 / 0.5,
         }
     }
@@ -1012,6 +1040,8 @@ mod tests {
         let json = traj.to_json();
         assert!(json.contains("\"mos_evals\": 800"));
         assert!(json.contains("\"mos_bypassed\": 200"));
+        assert!(json.contains("\"ensemble_lanes\": 0"));
+        assert!(json.contains("\"lane_refactors\": 12"));
         assert!(json.contains("\"wall_min_s\": 0.400000"));
         assert!(json.contains("\"wall_max_s\": 0.700000"));
         assert!(json.contains("\"reps\": 5"));

@@ -9,7 +9,10 @@
 
 use mcml_cells::{CellParams, LogicStyle};
 use mcml_spice::TranOptions;
-use pg_mcml::experiments::{fig6_supply_trace, fig6_supply_trace_with, fig6_tran_options};
+use pg_mcml::experiments::{
+    fig6_base_waveforms, fig6_supply_trace, fig6_supply_trace_with, fig6_tran_options,
+};
+use pg_mcml::Parallelism;
 
 /// Captured from the reference implementation (legacy full-restamp
 /// assembly + per-iteration factorisation): every 6th of the 60 samples
@@ -89,6 +92,66 @@ fn fig6_bypass_drift_vs_exact_below_pin_tolerance() {
         worst = worst.max((b - e).abs() / e.abs().max(ABS_TOL));
     }
     assert!(worst <= REL_TOL, "worst bypass-vs-exact drift {worst:e}");
+}
+
+/// The batched acquisition path must be an *optimisation*, not a physics
+/// change: a full 16-lane ensemble (every plaintext nibble in one
+/// lockstep march over a shared stamp plan and symbolic LU) has to land
+/// the golden plaintext's supply pins inside the same tolerance as the
+/// scalar path, and every lane has to stay within the acquisition-
+/// resolution band of the fixed-step physics anchor for its plaintext.
+/// Lanes beyond lane 0 adopt lane 0's factors and share the ensemble's
+/// step decisions, so they are *not* bitwise copies of the scalar run —
+/// the tolerance band is the contract.
+#[test]
+fn fig6_sixteen_lane_ensemble_matches_scalar_goldens() {
+    // Per-lane drift bound against the fixed-step anchor. Drift
+    // concentrates on the one or two samples riding the clock-edge
+    // transient, where the adaptive policy's grid interpolates the fast
+    // edge differently per plaintext: measured worst is 1.9 µA (lane
+    // 0x1, a sample where the ensemble matches its scalar adaptive run
+    // to 1 nA — the drift is the shared adaptive policy's, not the
+    // ensemble's; everywhere else it is ≤ 0.9 µA, *below* the scalar
+    // adaptive path's own edge error). Bound at 2.5× the paper's 1 µA
+    // acquisition resolution on the ~2 mA tail, plus the pin's relative
+    // tolerance.
+    const EDGE_ABS_TOL: f64 = 2.5e-6;
+
+    let params = CellParams::default();
+    let rows = fig6_base_waveforms(&params, 0xb, LogicStyle::PgMcml, 16, Parallelism::Serial)
+        .expect("16-lane ensemble acquisition");
+    assert_eq!(rows.len(), 16, "one lane per plaintext nibble");
+
+    // Lane 0x3 against the committed golden samples.
+    let picked: Vec<f64> = rows[0x3].iter().copied().step_by(GOLDEN_STRIDE).collect();
+    for (i, (got, want)) in picked.iter().zip(GOLDEN_SAMPLES).enumerate() {
+        let tol = ABS_TOL + REL_TOL * want.abs();
+        assert!(
+            (got - want).abs() <= tol,
+            "ensemble lane 0x3 sample {}: got {got:e}, golden {want:e} (tol {tol:e})",
+            i * GOLDEN_STRIDE
+        );
+    }
+
+    // Every lane against the fixed-step physics anchor for its own
+    // plaintext (bound rationale at EDGE_ABS_TOL above).
+    for (p, row) in rows.iter().enumerate() {
+        let anchor = fig6_supply_trace_with(
+            &params,
+            0xb,
+            LogicStyle::PgMcml,
+            p as u8,
+            &TranOptions::new(3.6e-9, 10e-12),
+        )
+        .expect("fixed-step reference trace");
+        for (j, (e, f)) in row.iter().zip(&anchor).enumerate() {
+            let tol = EDGE_ABS_TOL + REL_TOL * f.abs();
+            assert!(
+                (e - f).abs() <= tol,
+                "lane {p:#x} sample {j}: ensemble {e:e} vs fixed-step {f:e} (tol {tol:e})"
+            );
+        }
+    }
 }
 
 #[test]

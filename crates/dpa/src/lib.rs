@@ -14,6 +14,8 @@
 //! * [`cpa`] — Pearson-correlation attack over all key guesses, with the
 //!   correlation-vs-time curves Fig. 6 plots;
 //! * [`dpa`] — single-bit difference-of-means (Kocher-style) attack;
+//! * [`stream`] — online CPA/TVLA accumulators for campaigns that stream
+//!   traces in acquisition order instead of materialising the matrix;
 //! * [`metrics`] — key rank, distinguishability margin, and
 //!   measurements-to-disclosure (MTD).
 //!
@@ -41,6 +43,7 @@ pub mod cpa;
 pub mod dpa;
 pub mod metrics;
 pub mod model;
+pub mod stream;
 pub mod trace;
 pub mod tvla;
 
@@ -48,5 +51,6 @@ pub use cpa::{cpa_attack, cpa_attack_par, CpaResult};
 pub use dpa::{dpa_attack, DpaResult};
 pub use metrics::{distinguishability_margin, key_rank, measurements_to_disclosure};
 pub use model::{HammingDistance, HammingWeight, LeakageModel};
+pub use stream::{CpaAccumulator, WelchAccumulator};
 pub use trace::TraceSet;
 pub use tvla::{welch_t_test, welch_t_test_par, TvlaResult, TVLA_THRESHOLD};

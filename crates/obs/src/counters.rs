@@ -41,6 +41,14 @@ pub enum Counter {
     /// more than the bypass tolerance since it was recorded
     /// (`mcml-spice`).
     MosBypassed,
+    /// Ensemble transient lanes launched — each lane is one input vector
+    /// marched lockstep over the shared stamp plan (`mcml-spice`).
+    EnsembleLanes,
+    /// Per-lane LU refactorisations actually performed inside an
+    /// ensemble transient; the gap to `MatrixSolves` is the lanes that
+    /// reused factors because their Jacobian values were provably
+    /// unchanged (`mcml-spice`).
+    LaneRefactors,
     /// Linear-system factor/solve calls (`mcml-spice`).
     MatrixSolves,
     /// Sparse solves that reused an existing symbolic factorisation
@@ -89,7 +97,7 @@ pub enum Counter {
 
 impl Counter {
     /// Every counter, in declaration order.
-    pub const ALL: [Counter; 29] = [
+    pub const ALL: [Counter; 31] = [
         Counter::DcSolves,
         Counter::Transients,
         Counter::TranSteps,
@@ -100,6 +108,8 @@ impl Counter {
         Counter::NrIterations,
         Counter::MosEvals,
         Counter::MosBypassed,
+        Counter::EnsembleLanes,
+        Counter::LaneRefactors,
         Counter::MatrixSolves,
         Counter::SymbolicReuse,
         Counter::NumericRefactor,
@@ -138,6 +148,8 @@ impl Counter {
             Counter::NrIterations => "spice.nr_iterations",
             Counter::MosEvals => "spice.mos_evals",
             Counter::MosBypassed => "spice.mos_bypassed",
+            Counter::EnsembleLanes => "spice.ensemble_lanes",
+            Counter::LaneRefactors => "spice.lane_refactors",
             Counter::MatrixSolves => "spice.matrix_solves",
             Counter::SymbolicReuse => "spice.symbolic_reuse",
             Counter::NumericRefactor => "spice.numeric_refactor",
@@ -174,6 +186,8 @@ impl Counter {
             Counter::NrIterations => "iterations",
             Counter::MosEvals => "model evaluations",
             Counter::MosBypassed => "skipped evaluations",
+            Counter::EnsembleLanes => "lanes",
+            Counter::LaneRefactors => "refactorisations",
             Counter::MatrixSolves => "factor+solve calls",
             Counter::SymbolicReuse => "reused factorisations",
             Counter::NumericRefactor => "refactorisations",
@@ -207,6 +221,8 @@ impl Counter {
             | Counter::NrIterations
             | Counter::MosEvals
             | Counter::MosBypassed
+            | Counter::EnsembleLanes
+            | Counter::LaneRefactors
             | Counter::MatrixSolves
             | Counter::SymbolicReuse
             | Counter::NumericRefactor

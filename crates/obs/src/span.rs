@@ -38,6 +38,9 @@ pub enum Stage {
     /// One transient analysis, DC operating point to final step
     /// (`mcml-spice`).
     Transient,
+    /// One ensemble transient — N input vectors marched lockstep over a
+    /// shared stamp plan and symbolic LU (`mcml-spice`).
+    EnsembleTran,
     /// Correlation power analysis (`mcml-dpa`).
     Cpa,
     /// Welch t-test leakage assessment (`mcml-dpa`).
@@ -62,7 +65,7 @@ pub enum Stage {
 
 impl Stage {
     /// Every stage, in declaration order.
-    pub const ALL: [Stage; 17] = [
+    pub const ALL: [Stage; 18] = [
         Stage::Characterize,
         Stage::BiasSweep,
         Stage::CornerSweep,
@@ -72,6 +75,7 @@ impl Stage {
         Stage::TraceAcquisition,
         Stage::SpiceTier,
         Stage::Transient,
+        Stage::EnsembleTran,
         Stage::Cpa,
         Stage::Tvla,
         Stage::ParallelMap,
@@ -98,6 +102,7 @@ impl Stage {
             Stage::TraceAcquisition => "trace_acquisition",
             Stage::SpiceTier => "spice_tier",
             Stage::Transient => "transient",
+            Stage::EnsembleTran => "ensemble_tran",
             Stage::Cpa => "cpa",
             Stage::Tvla => "tvla",
             Stage::ParallelMap => "parallel_map",

@@ -47,8 +47,10 @@ impl DcOptions {
             vstep_limit: self.vstep_limit,
             solver: self.solver,
             // DC continuation sweeps voltages deliberately; the
-            // quiescent-device bypass is a transient-only optimisation.
+            // quiescent-device bypass and the demand-driven refactor
+            // policy are transient-only optimisations.
             bypass_tol: 0.0,
+            reuse_jacobian: false,
         }
     }
 }

@@ -7,6 +7,8 @@
 //! sparse backend reuses its symbolic factorisation numerically, and
 //! solves land in preallocated vectors.
 
+use std::sync::Arc;
+
 use crate::analysis::plan::{MosBypassState, StampPlan};
 use crate::circuit::{Circuit, NodeId};
 use crate::element::Element;
@@ -52,6 +54,16 @@ pub(crate) struct NrOptions {
     /// Quiescent-MOS bypass tolerance (V); `0.0` disables the bypass.
     /// See the `plan` module docs for the reuse rule and error bound.
     pub bypass_tol: f64,
+    /// Demand-driven refactorisation (modified Newton): keep solving
+    /// against the last numeric LU factors — across iterations *and*
+    /// steps whose [`JacKey`]s are chord-compatible (same integrator
+    /// and gmin; the step size may drift) — and refactor only when the
+    /// iteration's contraction rate says the stale Jacobian has stopped
+    /// converging. The residual is always assembled fresh, so the
+    /// convergence test is unchanged; only the Newton *direction* comes
+    /// from a lagged Jacobian. Off by default: full Newton refactors
+    /// every iteration.
+    pub reuse_jacobian: bool,
 }
 
 impl Default for NrOptions {
@@ -63,6 +75,7 @@ impl Default for NrOptions {
             vstep_limit: 0.4,
             solver: SolverKind::Auto,
             bypass_tol: 0.0,
+            reuse_jacobian: false,
         }
     }
 }
@@ -77,10 +90,11 @@ struct NrTally {
     stamps_skipped: u64,
     mos_evals: u64,
     mos_bypassed: u64,
+    lane_refactors: u64,
 }
 
 impl NrTally {
-    fn flush(&self) {
+    fn flush(&self, count_lane_refactors: bool) {
         use mcml_obs::{add, Counter};
         add(Counter::NrIterations, self.iters);
         add(Counter::MatrixSolves, self.iters);
@@ -89,6 +103,51 @@ impl NrTally {
         add(Counter::LinearStampsSkipped, self.stamps_skipped);
         add(Counter::MosEvals, self.mos_evals);
         add(Counter::MosBypassed, self.mos_bypassed);
+        if count_lane_refactors {
+            add(Counter::LaneRefactors, self.lane_refactors);
+        }
+    }
+}
+
+/// Everything the stamped Jacobian *values* can depend on besides the
+/// MOS linearizations: the companion conductances (step size and
+/// integration method) and the gmin ground leak. Source waveforms only
+/// reach the residual, never the matrix, so they are deliberately
+/// absent. Used by the ensemble engine's reuse check: when an assembly
+/// evaluated zero MOS devices (every device served from its bypass
+/// cache) and this key matches the one recorded at the last
+/// factorisation, the stamped values are bit-identical to the factored
+/// ones and the refactorisation can be skipped outright.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct JacKey {
+    /// `h.to_bits()` of the companion context, `u64::MAX` for DC.
+    h_bits: u64,
+    trapezoidal: bool,
+    gmin_bits: u64,
+}
+
+impl JacKey {
+    fn new(companion: Option<&CompanionCtx<'_>>, gmin: f64) -> Self {
+        Self {
+            h_bits: companion.map_or(u64::MAX, |c| c.h.to_bits()),
+            trapezoidal: companion.is_some_and(|c| c.trapezoidal),
+            gmin_bits: gmin.to_bits(),
+        }
+    }
+
+    /// Whether factors computed under `self` may serve as a *lagged*
+    /// Jacobian for a solve under `other`. Exact reuse demands equal
+    /// keys; the chord path additionally tolerates a changed step size
+    /// — an `h` change only rescales the capacitor companion
+    /// conductances, a mild, uniform Jacobian drift that the
+    /// contraction monitor polices like any other staleness. Method or
+    /// gmin changes, or crossing the DC/transient boundary, change the
+    /// matrix structure semantics and always demand a refactor.
+    fn chord_compatible(self, other: Self) -> bool {
+        self.trapezoidal == other.trapezoidal
+            && self.gmin_bits == other.gmin_bits
+            && self.h_bits != u64::MAX
+            && other.h_bits != u64::MAX
     }
 }
 
@@ -96,7 +155,7 @@ pub(crate) struct Engine<'a> {
     pub ckt: &'a Circuit,
     pub n_node_unk: usize,
     pub n_unk: usize,
-    plan: StampPlan,
+    plan: Arc<StampPlan>,
     /// Jacobian values, parallel to the plan's pattern.
     vals: Vec<f64>,
     /// Residual `f(x)`.
@@ -114,13 +173,33 @@ pub(crate) struct Engine<'a> {
     /// iterations *and* time steps — idle devices stay bypassed for the
     /// whole quiet window.
     mos_state: Vec<MosBypassState>,
+    /// When set (ensemble lanes only — the scalar path never enables
+    /// it), a Newton iteration whose assembly evaluated zero MOS devices
+    /// and whose [`JacKey`] matches `last_factored` reuses the existing
+    /// sparse factors without a refactorisation: the stamped values are
+    /// provably bit-identical to the ones already factored.
+    reuse_unchanged_jacobian: bool,
+    /// The [`JacKey`] the current sparse factors were computed under;
+    /// `None` when no factors exist or they came from a foreign lane.
+    last_factored: Option<JacKey>,
 }
 
 impl<'a> Engine<'a> {
     pub fn new(ckt: &'a Circuit) -> Self {
         let n_node_unk = ckt.node_count() - 1;
         let n_unk = n_node_unk + ckt.branch_count();
-        let plan = StampPlan::build(ckt, n_node_unk, n_unk);
+        let plan = Arc::new(StampPlan::build(ckt, n_node_unk, n_unk));
+        Self::with_shared_plan(ckt, plan)
+    }
+
+    /// Build an engine around an existing stamp plan — the ensemble path,
+    /// where every lane shares one plan built from lane 0's circuit. The
+    /// caller guarantees `plan` was built for a circuit with identical
+    /// topology (same elements in the same order, same node/branch
+    /// counts); only source waveform values may differ.
+    pub fn with_shared_plan(ckt: &'a Circuit, plan: Arc<StampPlan>) -> Self {
+        let n_node_unk = ckt.node_count() - 1;
+        let n_unk = n_node_unk + ckt.branch_count();
         let nnz = plan.pattern.nnz();
         let n_mos = plan.n_mos;
         Self {
@@ -135,7 +214,34 @@ impl<'a> Engine<'a> {
             dense: DenseWorkspace::new(),
             lu: None,
             mos_state: vec![MosBypassState::default(); n_mos],
+            reuse_unchanged_jacobian: false,
+            last_factored: None,
         }
+    }
+
+    /// A cheap clone of this engine's stamp plan for sharing with sibling
+    /// lanes.
+    pub fn plan_handle(&self) -> Arc<StampPlan> {
+        Arc::clone(&self.plan)
+    }
+
+    /// Adopt another engine's sparse factors (symbolic structure + its
+    /// numbers). The first solve after this replays the recorded
+    /// elimination order numerically instead of re-running the symbolic
+    /// DFS and pivot search — the ensemble's "shared symbolic LU". The
+    /// adopted numbers are treated as stale (`last_factored` cleared), so
+    /// the next Newton iteration always refactors before solving.
+    pub fn adopt_factors_from(&mut self, donor: &Engine<'_>) {
+        self.lu = donor.lu.clone();
+        self.last_factored = None;
+    }
+
+    /// Enable the unchanged-Jacobian reuse check (ensemble lanes only;
+    /// see the field docs). Off by default — the scalar path is the
+    /// reference the golden and perf baselines pin, so it stays exactly
+    /// as it was.
+    pub fn set_reuse_unchanged_jacobian(&mut self, on: bool) {
+        self.reuse_unchanged_jacobian = on;
     }
 
     #[inline]
@@ -297,7 +403,18 @@ impl<'a> Engine<'a> {
 
     /// Factor (or numerically refactor) and solve `J·dx = −f` for the
     /// current `vals`/`f`, leaving the update in `self.dx`.
-    fn solve_linear(&mut self, solver: SolverKind, tally: &mut NrTally) -> Result<()> {
+    ///
+    /// `reusable` is the ensemble fast path: the caller proved the
+    /// stamped values are bit-identical to the currently factored ones,
+    /// so the triangular solve runs against the existing factors without
+    /// a refactorisation.
+    fn solve_linear(
+        &mut self,
+        solver: SolverKind,
+        key: JacKey,
+        reusable: bool,
+        tally: &mut NrTally,
+    ) -> Result<()> {
         let use_dense = match solver {
             SolverKind::Dense => true,
             SolverKind::Sparse => false,
@@ -313,8 +430,19 @@ impl<'a> Engine<'a> {
                 .solve_csc_into(&self.plan.pattern, &self.vals, &mut self.dx);
         }
 
-        {
+        if reusable && self.lu.is_some() {
+            // The factors already match `vals` bit for bit; skip straight
+            // to the triangular solve.
+            tally.symbolic_reuse += 1;
+        } else {
             let _t = mcml_obs::span(mcml_obs::Stage::LuFactor);
+            if self.reuse_unchanged_jacobian {
+                tally.lane_refactors += 1;
+            }
+            // Invalidate first: a failed refactor can leave the factors
+            // partially updated, and they must never match a later
+            // reuse check.
+            self.last_factored = None;
             match &mut self.lu {
                 Some(lu) => {
                     // Numeric-only refactorisation on the cached symbolic
@@ -331,6 +459,7 @@ impl<'a> Engine<'a> {
                     self.lu = Some(SparseLu::factor_csc(&self.plan.pattern, &self.vals)?);
                 }
             }
+            self.last_factored = Some(key);
         }
         let lu = self.lu.as_ref().expect("factored above");
         for (r, fv) in self.rhs.iter_mut().zip(&self.f) {
@@ -354,8 +483,29 @@ impl<'a> Engine<'a> {
         analysis: &'static str,
     ) -> Result<()> {
         let mut tally = NrTally::default();
+        let key = JacKey::new(companion, gmin);
+        // Demand-driven refactorisation state (see `NrOptions::
+        // reuse_jacobian`). `chord_enabled` governs the whole solve and
+        // only drops permanently when the final polish begins;
+        // `refactor_pending` is the contraction monitor's one-shot
+        // demand — the next iteration factors fresh, after which the
+        // chord resumes (and the monitor re-trips if even the refreshed
+        // factors go stale again). A genuinely nonlinear step thus
+        // alternates chord/fresh instead of degrading to
+        // refactor-every-iteration.
+        let mut chord_enabled = opts.reuse_jacobian;
+        let mut refactor_pending = false;
+        let mut prev_dv: Option<f64> = None;
+        // A solve is "clean" while no iteration has needed damping and
+        // the contraction monitor has never tripped — i.e. the lagged
+        // Jacobian has behaved like the exact one throughout. A clean
+        // chord convergence may be accepted as-is (the residual it is
+        // judged by is always assembled fresh); a dirty one must be
+        // polished with a full-Newton iteration first.
+        let mut clean = true;
         for iter in 0..opts.max_iter {
             tally.iters += 1;
+            let evals;
             {
                 let _t = mcml_obs::span(mcml_obs::Stage::MnaAssemble);
                 let mos = self.plan.assemble_into(
@@ -372,11 +522,37 @@ impl<'a> Engine<'a> {
                 );
                 tally.mos_evals += mos.evals;
                 tally.mos_bypassed += mos.bypassed;
+                evals = mos.evals;
             }
             tally.stamps_skipped += self.plan.linear_stamps;
-            if let Err(e) = self.solve_linear(opts.solver, &mut tally) {
-                tally.flush();
+            // Ensemble fast path: an assembly with zero MOS evaluations
+            // under the same (h, method, gmin) as the last factorisation
+            // reproduced the factored values bit for bit (bypassed
+            // devices stamp their cached conductances; everything else in
+            // the matrix is constant given the key), so the factors can
+            // be reused without refactoring.
+            let exact =
+                self.reuse_unchanged_jacobian && evals == 0 && self.last_factored == Some(key);
+            // Demand-driven (modified-Newton) reuse: solve against the
+            // stale numeric factors while they were computed under the
+            // same key — across iterations and across steps — and let
+            // the contraction monitor below decide when a refactor is
+            // actually demanded. The residual `f` is fresh either way,
+            // so the convergence test never lies.
+            let stale = !exact
+                && chord_enabled
+                && !refactor_pending
+                && self.lu.is_some()
+                && self.last_factored.is_some_and(|k| k.chord_compatible(key));
+            let reusable = exact || stale;
+            if let Err(e) = self.solve_linear(opts.solver, key, reusable, &mut tally) {
+                tally.flush(self.reuse_unchanged_jacobian);
                 return Err(e);
+            }
+            if !stale {
+                // Either a fresh factorisation just ran or the factors
+                // are bit-exact — the monitor's demand is satisfied.
+                refactor_pending = false;
             }
 
             // Damping: cap the largest node-voltage update.
@@ -392,7 +568,7 @@ impl<'a> Engine<'a> {
                 *xi += damp * di;
             }
             if !x.iter().all(|v| v.is_finite()) {
-                tally.flush();
+                tally.flush(self.reuse_unchanged_jacobian);
                 return Err(SpiceError::NoConvergence {
                     analysis,
                     time: t,
@@ -404,11 +580,44 @@ impl<'a> Engine<'a> {
                 .iter()
                 .fold(0.0f64, |m, v| m.max(v.abs()));
             if damp == 1.0 && max_dv < opts.vtol && max_f < opts.itol {
-                tally.flush();
+                if stale && !clean {
+                    // Converged along a lagged direction after a rough
+                    // ride (damping or a monitor trip earlier in this
+                    // solve). Polish with one full-Newton iteration so
+                    // the accepted point satisfies the tolerances with
+                    // a *fresh* Jacobian direction — the same
+                    // acceptance the scalar path applies — instead of
+                    // wherever in the tolerance ball the chord happened
+                    // to stop. Keeps the lagged-Jacobian wobble out of
+                    // the LTE controller and the recorded waveforms. A
+                    // *clean* chord convergence skips the polish: every
+                    // iteration contracted at full Newton rate, so the
+                    // stale factors were numerically indistinguishable
+                    // from fresh ones, and the fresh residual already
+                    // vouches for the point.
+                    chord_enabled = false;
+                    prev_dv = Some(max_dv);
+                    continue;
+                }
+                tally.flush(self.reuse_unchanged_jacobian);
                 return Ok(());
             }
+
+            // Contraction monitor for the stale-factor path: a chord
+            // iteration that needed damping, or that failed to shrink
+            // the largest update by at least half, means the lagged
+            // Jacobian no longer points downhill fast enough — demand
+            // one real refactorisation before chording again.
+            if damp < 1.0 {
+                clean = false;
+            }
+            if stale && (damp < 1.0 || prev_dv.is_some_and(|p| max_dv > 0.7 * p)) {
+                refactor_pending = true;
+                clean = false;
+            }
+            prev_dv = Some(max_dv);
         }
-        tally.flush();
+        tally.flush(self.reuse_unchanged_jacobian);
         Err(SpiceError::NoConvergence {
             analysis,
             time: t,

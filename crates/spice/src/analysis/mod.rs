@@ -1,7 +1,9 @@
-//! Circuit analyses: DC operating point and transient.
+//! Circuit analyses: DC operating point, transient, and the lockstep
+//! ensemble transient.
 
 pub mod dc;
 pub mod dcsweep;
 pub(crate) mod engine;
+pub mod ensemble;
 pub(crate) mod plan;
 pub mod tran;

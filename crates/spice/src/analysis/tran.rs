@@ -100,10 +100,49 @@ pub struct TranOptions {
     /// in the tolerance (see `spice.mos_bypassed` in
     /// `docs/OBSERVABILITY.md`).
     pub bypass_vtol: f64,
+    /// Preferred lane count per ensemble block for batched trace
+    /// acquisition (see [`TranOptions::ensemble`] and
+    /// [`crate::ensemble_transient`]). The ensemble engine itself takes
+    /// one circuit per lane and derives the actual lane count from the
+    /// slice it is given; this field is the scheduling hint upstream
+    /// acquisition loops use to chunk a trace campaign into blocks.
+    /// `1` (the default) means scalar trace-per-task acquisition.
+    pub ensemble_lanes: usize,
+    /// Demand-driven refactorisation (modified Newton): keep solving
+    /// Newton updates against the last numeric LU factors — across
+    /// iterations *and* time steps, even when the adaptive controller
+    /// changes the step size (an `h` change only rescales the capacitor
+    /// companion conductances) — and refactor only when the iteration's
+    /// contraction rate degrades (the update fails to halve, or damping
+    /// engages). The residual is assembled fresh every iteration, so
+    /// the convergence test is unchanged: an accepted solution
+    /// satisfies exactly the same `vtol`/`itol` bounds as full Newton,
+    /// it is just reached along a chord direction. `false` (the
+    /// default) refactors every iteration, which is the reference
+    /// behaviour all fixed-step goldens pin.
+    pub jacobian_reuse: bool,
 }
 
 impl TranOptions {
     /// Options with the given end time and base step, defaults elsewhere.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use mcml_spice::{Circuit, SourceWave, TranOptions};
+    ///
+    /// let mut c = Circuit::new();
+    /// let vin = c.node("in");
+    /// let out = c.node("out");
+    /// c.vsource("V", vin, Circuit::GND, SourceWave::dc(1.0));
+    /// c.resistor("R", vin, out, 1.0e3);
+    /// c.capacitor("C", out, Circuit::GND, 1.0e-12);
+    ///
+    /// // March 10 ns in 10 ps steps: 1001 recorded points (incl. t=0).
+    /// let res = c.transient(&TranOptions::new(10e-9, 10e-12)).unwrap();
+    /// assert_eq!(res.times().len(), 1001);
+    /// assert!((res.voltage(out).last_value() - 1.0).abs() < 1e-6);
+    /// ```
     ///
     /// # Panics
     ///
@@ -125,10 +164,23 @@ impl TranOptions {
             max_subdiv: 8,
             lte: None,
             bypass_vtol: 0.0,
+            ensemble_lanes: 1,
+            jacobian_reuse: false,
         }
     }
 
     /// Builder-style integrator selection.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use mcml_spice::{Integrator, TranOptions};
+    ///
+    /// let opts = TranOptions::new(1e-9, 1e-12).with_integrator(Integrator::Trapezoidal);
+    /// assert_eq!(opts.integrator, Integrator::Trapezoidal);
+    /// // The default is backward Euler.
+    /// assert_eq!(TranOptions::new(1e-9, 1e-12).integrator, Integrator::BackwardEuler);
+    /// ```
     #[must_use]
     pub fn with_integrator(mut self, integrator: Integrator) -> Self {
         self.integrator = integrator;
@@ -136,6 +188,23 @@ impl TranOptions {
     }
 
     /// Builder-style record stride; values below 1 are clamped to 1.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use mcml_spice::{Circuit, SourceWave, TranOptions};
+    ///
+    /// let mut c = Circuit::new();
+    /// let vin = c.node("in");
+    /// c.vsource("V", vin, Circuit::GND, SourceWave::dc(1.0));
+    /// c.resistor("R", vin, Circuit::GND, 1.0e3);
+    ///
+    /// // 1000 grid steps, recording every 10th: 101 points (incl. t=0).
+    /// let opts = TranOptions::new(10e-9, 10e-12).with_record_stride(10);
+    /// let res = c.transient(&opts).unwrap();
+    /// assert_eq!(res.times().len(), 101);
+    /// assert_eq!(TranOptions::new(1e-9, 1e-12).with_record_stride(0).record_stride, 1);
+    /// ```
     #[must_use]
     pub fn with_record_stride(mut self, stride: usize) -> Self {
         self.record_stride = stride.max(1);
@@ -149,6 +218,26 @@ impl TranOptions {
     /// absolute tolerance floor defaults to 1 µV
     /// ([`AdaptiveOptions::abstol`] can be adjusted on the stored
     /// options afterwards).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use mcml_spice::{Circuit, SourceWave, TranOptions};
+    ///
+    /// let mut c = Circuit::new();
+    /// let vin = c.node("in");
+    /// let out = c.node("out");
+    /// c.vsource("V", vin, Circuit::GND, SourceWave::step(0.0, 1.0, 1e-9));
+    /// c.resistor("R", vin, out, 1.0e3);
+    /// c.capacitor("C", out, Circuit::GND, 1.0e-12);
+    ///
+    /// // Free-running step size between 0.1 ps and 0.5 ns, LTE-bounded.
+    /// let opts = TranOptions::new(8e-9, 5e-12).adaptive(1e-4, 1e-13, 500e-12);
+    /// let res = c.transient(&opts).unwrap();
+    /// // Output still lands on the caller's uniform dt grid.
+    /// assert_eq!(*res.times().last().unwrap(), 8e-9);
+    /// assert!((res.voltage(out).last_value() - 1.0).abs() < 0.01);
+    /// ```
     ///
     /// # Panics
     ///
@@ -178,6 +267,28 @@ impl TranOptions {
     /// fixed-step golden trace; use the free mode when sub-`dt` edge
     /// resolution matters.
     ///
+    /// # Examples
+    ///
+    /// ```
+    /// use mcml_spice::{Circuit, SourceWave, TranOptions};
+    ///
+    /// let mut c = Circuit::new();
+    /// let vin = c.node("in");
+    /// let out = c.node("out");
+    /// c.vsource("V", vin, Circuit::GND, SourceWave::step(0.0, 1.0, 1e-9));
+    /// c.resistor("R", vin, out, 1.0e3);
+    /// c.capacitor("C", out, Circuit::GND, 1.0e-12);
+    ///
+    /// let base = TranOptions::new(8e-9, 5e-12);
+    /// // With h_max == dt every step is a single grid cell, so the
+    /// // aligned march reproduces the fixed-step reference bitwise.
+    /// let aligned = c
+    ///     .transient(&base.adaptive_grid_aligned(1e-6, 5e-12))
+    ///     .unwrap();
+    /// let fixed = c.transient(&base).unwrap();
+    /// assert_eq!(fixed.times(), aligned.times());
+    /// ```
+    ///
     /// # Panics
     ///
     /// Panics unless `reltol > 0` and `h_max >= dt`.
@@ -200,6 +311,20 @@ impl TranOptions {
 
     /// Builder-style quiescent-MOS bypass tolerance (V); `0.0` disables.
     ///
+    /// # Examples
+    ///
+    /// ```
+    /// use mcml_spice::TranOptions;
+    ///
+    /// // Reuse cached MOS linearizations while every terminal stays
+    /// // within 10 µV of its last evaluated point. The waveform
+    /// // perturbation is second order in the tolerance.
+    /// let opts = TranOptions::new(3.6e-9, 10e-12).with_bypass(10e-6);
+    /// assert_eq!(opts.bypass_vtol, 10e-6);
+    /// // `MCML_SPICE_BYPASS=off` in the environment is a hard override
+    /// // that disables the bypass regardless of this setting.
+    /// ```
+    ///
     /// # Panics
     ///
     /// Panics when `tol` is negative or not finite.
@@ -213,7 +338,91 @@ impl TranOptions {
         self
     }
 
-    fn nr(&self) -> NrOptions {
+    /// Builder-style ensemble lane-block width for batched trace
+    /// acquisition. [`crate::ensemble_transient`] itself infers the lane
+    /// count from the circuits it is handed; this hint tells upstream
+    /// acquisition schedulers how many input vectors to pack per
+    /// ensemble block. `1` keeps scalar trace-per-task acquisition.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use mcml_spice::{ensemble_transient, Circuit, SourceWave, TranOptions};
+    ///
+    /// let lane = |level: f64| {
+    ///     let mut c = Circuit::new();
+    ///     let vin = c.node("in");
+    ///     let out = c.node("out");
+    ///     c.vsource("V", vin, Circuit::GND, SourceWave::step(0.0, level, 1e-9));
+    ///     c.resistor("R", vin, out, 1.0e3);
+    ///     c.capacitor("C", out, Circuit::GND, 1.0e-12);
+    ///     (c, out)
+    /// };
+    /// // Four lanes: identical topology, different source amplitudes.
+    /// let lanes: Vec<_> = (1..=4).map(|k| lane(f64::from(k))).collect();
+    /// let ckts: Vec<Circuit> = lanes.iter().map(|(c, _)| c.clone()).collect();
+    ///
+    /// let opts = TranOptions::new(8e-9, 10e-12).ensemble(4);
+    /// assert_eq!(opts.ensemble_lanes, 4);
+    /// let results = ensemble_transient(&ckts, &opts).unwrap();
+    /// for (k, ((_, out), res)) in lanes.iter().zip(&results).enumerate() {
+    ///     let v = res.voltage(*out).last_value();
+    ///     assert!((v - (k + 1) as f64).abs() < 0.05, "lane {k}: {v}");
+    /// }
+    /// ```
+    ///
+    /// # Panics
+    ///
+    /// Panics when `lanes` is zero.
+    #[must_use]
+    pub fn ensemble(mut self, lanes: usize) -> Self {
+        assert!(lanes >= 1, "need at least one ensemble lane");
+        self.ensemble_lanes = lanes;
+        self
+    }
+
+    /// Builder-style demand-driven refactorisation (modified Newton):
+    /// Newton updates keep using the last numeric LU factors — across
+    /// iterations and across time steps, surviving adaptive step-size
+    /// changes — and a refactorisation happens only when the
+    /// iteration's contraction monitor demands one (the largest update
+    /// stops halving, or damping engages). Converged solutions satisfy the
+    /// same `vtol`/`itol` tolerances as full Newton; the Newton *path*
+    /// to them differs, so results agree to solver tolerance rather
+    /// than bitwise. This is the refactor policy the batched ensemble
+    /// acquisition runs with — on the quiescent-heavy fig. 6 workload
+    /// it eliminates the large majority of numeric refactorisations.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use mcml_spice::{Circuit, SourceWave, TranOptions};
+    ///
+    /// let mut c = Circuit::new();
+    /// let vin = c.node("in");
+    /// let out = c.node("out");
+    /// c.vsource("V", vin, Circuit::GND, SourceWave::step(0.0, 1.0, 1e-9));
+    /// c.resistor("R", vin, out, 1.0e3);
+    /// c.capacitor("C", out, Circuit::GND, 1.0e-12);
+    ///
+    /// let base = TranOptions::new(8e-9, 5e-12);
+    /// let full = c.transient(&base).unwrap();
+    /// let chord = c.transient(&base.with_jacobian_reuse()).unwrap();
+    /// // Same grid, same physics to solver tolerance.
+    /// assert_eq!(full.times(), chord.times());
+    /// let (f, l) = (
+    ///     full.voltage(out).last_value(),
+    ///     chord.voltage(out).last_value(),
+    /// );
+    /// assert!((f - l).abs() < 1e-6);
+    /// ```
+    #[must_use]
+    pub fn with_jacobian_reuse(mut self) -> Self {
+        self.jacobian_reuse = true;
+        self
+    }
+
+    pub(crate) fn nr(&self) -> NrOptions {
         NrOptions {
             max_iter: self.max_iter,
             vtol: self.vtol,
@@ -225,6 +434,7 @@ impl TranOptions {
             } else {
                 0.0
             },
+            reuse_jacobian: self.jacobian_reuse,
         }
     }
 }
@@ -256,10 +466,40 @@ pub struct TranResult {
 }
 
 impl TranResult {
+    /// Assemble a result from the marching loop's pieces — shared by the
+    /// scalar [`transient`] and the ensemble engine.
+    pub(crate) fn from_parts(
+        times: Vec<f64>,
+        states: Vec<Vec<f64>>,
+        n_node_unk: usize,
+        branch_of_elem: Vec<Option<usize>>,
+        op0: OpPoint,
+        t_end: f64,
+        steps_taken: usize,
+    ) -> Self {
+        Self {
+            times,
+            states,
+            n_node_unk,
+            branch_of_elem,
+            op0,
+            t_end,
+            steps_taken,
+        }
+    }
+
     /// Recorded time points (s).
     #[must_use]
     pub fn times(&self) -> &[f64] {
         &self.times
+    }
+
+    /// Raw recorded unknown vectors, one per time point — node voltages
+    /// first, then branch currents. The ensemble regression tests use
+    /// this to assert bit-identity against the scalar path.
+    #[cfg(test)]
+    pub(crate) fn states_raw(&self) -> &[Vec<f64>] {
+        &self.states
     }
 
     /// Number of recorded points.
@@ -337,7 +577,7 @@ impl TranResult {
 }
 
 /// Relative snap window for landing on breakpoints and `t_stop`.
-const T_SNAP: f64 = 1e-12;
+pub(crate) const T_SNAP: f64 = 1e-12;
 
 /// Run a transient analysis.
 ///
@@ -484,7 +724,7 @@ pub fn transient(ckt: &Circuit, opts: &TranOptions) -> Result<TranResult> {
 /// the exact target on exit and returns the number of accepted
 /// sub-steps.
 #[allow(clippy::too_many_arguments)] // private worker sharing transient()'s locals
-fn step_cell(
+pub(crate) fn step_cell(
     ckt: &Circuit,
     opts: &TranOptions,
     engine: &mut Engine<'_>,
@@ -536,7 +776,7 @@ fn step_cell(
 }
 
 /// Re-tag a Newton failure with the transient analysis name and time.
-fn retag_tran(e: SpiceError, time: f64) -> SpiceError {
+pub(crate) fn retag_tran(e: SpiceError, time: f64) -> SpiceError {
     match e {
         SpiceError::NoConvergence { iterations, .. } => SpiceError::NoConvergence {
             analysis: "tran",
@@ -549,14 +789,14 @@ fn retag_tran(e: SpiceError, time: f64) -> SpiceError {
 
 /// Up to three past `(t, capacitor voltages)` samples for the LTE
 /// divided differences; the newest entry is at index `len - 1`.
-struct CapHistory {
+pub(crate) struct CapHistory {
     t: [f64; 3],
     v: [Vec<f64>; 3],
     len: usize,
 }
 
 impl CapHistory {
-    fn new(n_caps: usize) -> Self {
+    pub(crate) fn new(n_caps: usize) -> Self {
         Self {
             t: [0.0; 3],
             v: [vec![0.0; n_caps], vec![0.0; n_caps], vec![0.0; n_caps]],
@@ -567,11 +807,11 @@ impl CapHistory {
     /// Drop all history (called after crossing a source breakpoint,
     /// where the waveform slope is discontinuous and divided differences
     /// across the corner would be meaningless).
-    fn clear(&mut self) {
+    pub(crate) fn clear(&mut self) {
         self.len = 0;
     }
 
-    fn push(&mut self, t: f64, pairs: &[(NodeId, NodeId)], x: &[f64]) {
+    pub(crate) fn push(&mut self, t: f64, pairs: &[(NodeId, NodeId)], x: &[f64]) {
         if self.len == 3 {
             self.t.rotate_left(1);
             self.v.rotate_left(1);
@@ -590,7 +830,7 @@ impl CapHistory {
 /// candidate step to `(t_new, x_new)`, or `None` when the history is
 /// still too short to form the divided difference (such steps are
 /// accepted without growing `h`).
-fn lte_ratio(
+pub(crate) fn lte_ratio(
     hist: &CapHistory,
     pairs: &[(NodeId, NodeId)],
     x_new: &[f64],
@@ -957,7 +1197,7 @@ fn march_aligned(
 /// Interpolate the internal variable grid onto the caller's uniform
 /// recording grid (same linear rule as [`Waveform::sample`]), appending
 /// to `times`/`states` which already hold the t = 0 point.
-fn dense_output(
+pub(crate) fn dense_output(
     opts: &TranOptions,
     n_steps: usize,
     stride: usize,
@@ -992,7 +1232,7 @@ fn dense_output(
     }
 }
 
-fn update_caps(
+pub(crate) fn update_caps(
     ckt: &Circuit,
     caps: &mut [Option<crate::analysis::engine::CapState>],
     x: &[f64],

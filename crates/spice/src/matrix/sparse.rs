@@ -40,6 +40,10 @@ const UNPIVOTED: usize = usize::MAX;
 /// The struct also carries the reusable symbolic state: the per-column
 /// elimination order discovered by the DFS and the row permutation, which
 /// [`SparseLu::refactor`] replays for numeric-only refactorisation.
+/// Cloning copies both the symbolic structure and the current numbers —
+/// the ensemble transient hands lane 0's factors to sibling lanes so
+/// their first factorisation is a numeric-only replay.
+#[derive(Clone)]
 pub struct SparseLu {
     n: usize,
     l_cols: Vec<Vec<(usize, f64)>>,

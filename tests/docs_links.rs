@@ -1,0 +1,113 @@
+//! Dead-link check for the prose documentation.
+//!
+//! Scans `README.md` and every `docs/*.md` for Markdown links
+//! (`[text](target)` and `![alt](target)`), and fails if a *relative*
+//! target does not exist on disk. External URLs (`http://`, `https://`,
+//! `mailto:`) and pure in-page anchors (`#section`) are out of scope —
+//! this gate is about the repo's own files drifting out from under the
+//! prose (a renamed doc, a deleted bench file), which is exactly the
+//! kind of rot a reproduction's documentation accumulates silently.
+//!
+//! CI runs this as the `docs-links` step of the docs job.
+
+use std::path::{Path, PathBuf};
+
+/// Repo root, derived from this crate's manifest dir (`crates/core`).
+fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/core has a workspace root two levels up")
+        .to_path_buf()
+}
+
+/// The Markdown files the gate covers.
+fn doc_files(root: &Path) -> Vec<PathBuf> {
+    let mut files = vec![root.join("README.md")];
+    let docs = root.join("docs");
+    let mut entries: Vec<_> = std::fs::read_dir(&docs)
+        .expect("docs/ directory exists")
+        .map(|e| e.expect("readable docs/ entry").path())
+        .filter(|p| p.extension().is_some_and(|ext| ext == "md"))
+        .collect();
+    entries.sort();
+    files.extend(entries);
+    files
+}
+
+/// Extract `(target, byte_offset)` pairs for every inline Markdown link
+/// in `text`. Deliberately simple: finds `](…)` pairs, which covers the
+/// house style used throughout this repo (no reference-style links).
+fn link_targets(text: &str) -> Vec<(String, usize)> {
+    let bytes = text.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while let Some(pos) = text[i..].find("](") {
+        let start = i + pos + 2;
+        // Scan to the matching close paren, tolerating none (malformed —
+        // the existence check below will flag it via the raw remainder).
+        let Some(end_rel) = text[start..].find(')') else {
+            break;
+        };
+        let target = &text[start..start + end_rel];
+        // Fenced code blocks can contain `](` sequences in sample
+        // output; skip anything with whitespace or newlines, which a
+        // real link target never has.
+        if !target.is_empty() && !target.bytes().any(|b| b.is_ascii_whitespace()) {
+            out.push((target.to_owned(), start));
+        }
+        i = start + end_rel + 1;
+        let _ = bytes;
+    }
+    out
+}
+
+#[test]
+fn relative_links_in_readme_and_docs_resolve() {
+    let root = repo_root();
+    let mut dead: Vec<String> = Vec::new();
+    let mut checked = 0usize;
+
+    for file in doc_files(&root) {
+        let text = std::fs::read_to_string(&file)
+            .unwrap_or_else(|e| panic!("cannot read {}: {e}", file.display()));
+        let dir = file.parent().expect("doc file has a parent dir");
+
+        for (target, offset) in link_targets(&text) {
+            // External and in-page targets are out of scope.
+            if target.starts_with("http://")
+                || target.starts_with("https://")
+                || target.starts_with("mailto:")
+                || target.starts_with('#')
+            {
+                continue;
+            }
+            // Strip a trailing `#anchor` fragment; the gate checks file
+            // existence, not heading names.
+            let path_part = target.split('#').next().unwrap_or(&target);
+            if path_part.is_empty() {
+                continue;
+            }
+            let resolved = dir.join(path_part);
+            checked += 1;
+            if !resolved.exists() {
+                let line = text[..offset].bytes().filter(|&b| b == b'\n').count() + 1;
+                dead.push(format!(
+                    "{}:{line}: `{target}` -> {} (missing)",
+                    file.strip_prefix(&root).unwrap_or(&file).display(),
+                    resolved.display(),
+                ));
+            }
+        }
+    }
+
+    assert!(
+        checked > 10,
+        "docs link scan found only {checked} relative links — scanner regressed?"
+    );
+    assert!(
+        dead.is_empty(),
+        "dead relative links in documentation:\n  {}",
+        dead.join("\n  ")
+    );
+}
