@@ -9,7 +9,7 @@
 //! reasonable time while exercising the identical circuit structure.
 
 use mcml_cells::LogicStyle;
-use mcml_netlist::{map_network, BoolNetwork, Netlist, Signal, TechmapOptions};
+use mcml_netlist::{map_network, BoolNetwork, Netlist, PortClass, Signal, TechmapOptions};
 
 use crate::sbox::{MINI_SBOX, SBOX};
 
@@ -78,10 +78,18 @@ impl ReducedAes {
     }
 
     /// Build the mapped gate-level netlist in the given style.
+    ///
+    /// Ports carry their security class for the `mcml-lint` dataflow
+    /// analyses: `k*` is the key ([`PortClass::Secret`]), `p*` the
+    /// attacker-chosen plaintext ([`PortClass::Public`]).
     #[must_use]
     pub fn build_netlist(self, style: LogicStyle) -> Netlist {
         let mut nl = map_network(&self.network(), style, &TechmapOptions::default());
         nl.name = format!("reduced_aes_{}b_{}", self.width, style);
+        for b in 0..self.width {
+            nl.set_port_class(&format!("k{b}"), PortClass::Secret);
+            nl.set_port_class(&format!("p{b}"), PortClass::Public);
+        }
         nl
     }
 
@@ -98,6 +106,7 @@ impl ReducedAes {
         let mut nl = self.build_netlist(style);
         nl.name = format!("reduced_aes_{}b_{}_reg", self.width, style);
         let clk = nl.add_input("clk");
+        nl.set_port_class("clk", PortClass::Clock);
         let combs: Vec<(String, Conn)> = nl.outputs().to_vec();
         nl.clear_outputs();
         for (name, conn) in combs {

@@ -10,7 +10,7 @@
 //! pipeline boundary.
 
 use mcml_cells::{CellKind, LogicStyle};
-use mcml_netlist::{map_network, Conn, GateKind, Netlist, TechmapOptions};
+use mcml_netlist::{map_network, Conn, GateKind, Netlist, PortClass, TechmapOptions};
 
 use crate::sbox::SBOX;
 
@@ -56,9 +56,16 @@ pub fn build_sbox_ise(style: LogicStyle, opts: &SboxIseOptions) -> Netlist {
     }
     let mut nl = map_network(&bn, style, &TechmapOptions::default());
     nl.name = format!("sbox_ise_{}x_{}", opts.n_sboxes, style);
+    // The unit sits after key addition in the pipeline, so its state
+    // word is key-dependent: every x bit is a taint source for the
+    // mcml-lint dataflow analyses.
+    for b in 0..8 * opts.n_sboxes {
+        nl.set_port_class(&format!("x{b}"), PortClass::Secret);
+    }
 
     if opts.output_regs {
         let clk = nl.add_input("clk");
+        nl.set_port_class("clk", PortClass::Clock);
         // Re-register each combinational output behind a DFF named y*.
         let combs: Vec<(String, Conn)> = nl.outputs().to_vec();
         nl.clear_outputs();

@@ -3,11 +3,21 @@
 //! transistor level, with the sleep-domain rules exercised through an
 //! automatically inserted sleep plan.
 //!
-//! Writes the combined `mcml-lint/1` document to `report.json` and
-//! exits non-zero if any target has a deny-severity diagnostic — the CI
-//! gate that keeps the shipped corpus lint-clean.
+//! Writes the combined `mcml-lint/2` document to `report.json`, prints
+//! a per-rule fire-count table, and exits non-zero if any target has a
+//! deny-severity diagnostic — the CI gate that keeps the shipped corpus
+//! lint-clean. With `--deny-warnings`, unwaived warnings fail the gate
+//! too.
 //!
-//! Run with: `cargo run --release -p mcml-bench --bin lint`
+//! The CMOS attack baselines (`reduced_aes` / `sbox_ise` in CMOS style)
+//! are expected to trip the dataflow secret-on-CMOS and glitch rules —
+//! leaking is their purpose — so those findings are waived with a
+//! justification rather than silenced, and stay visible in the report's
+//! `waived_diagnostics` section.
+//!
+//! Run with: `cargo run --release -p mcml-bench --bin lint [--deny-warnings]`
+
+use std::collections::BTreeMap;
 
 use mcml_aes::sbox_ise::SboxIseOptions;
 use mcml_aes::ReducedAes;
@@ -19,19 +29,41 @@ use pg_mcml::DesignFlow;
 
 fn print_row(report: &LintReport) {
     println!(
-        "{:<32} {:>5} {:>5}  {}",
+        "{:<32} {:>5} {:>5} {:>6}  {}",
         report.target,
         report.deny_count(),
         report.warn_count(),
+        report.waived.len(),
         if report.is_clean() { "ok" } else { "DENY" }
     );
     for d in &report.diagnostics {
         println!("    {d}");
     }
+    for w in &report.waived {
+        println!(
+            "    waived[{}] {}: {}",
+            w.diagnostic.rule_id, w.diagnostic.location, w.justification
+        );
+    }
+}
+
+/// Per-rule fire counts across the whole corpus (kept + waived).
+fn fire_counts(reports: &[LintReport]) -> BTreeMap<&'static str, usize> {
+    let mut counts: BTreeMap<&'static str, usize> = BTreeMap::new();
+    for r in reports {
+        for d in &r.diagnostics {
+            *counts.entry(d.rule_id).or_default() += 1;
+        }
+        for w in &r.waived {
+            *counts.entry(w.diagnostic.rule_id).or_default() += 1;
+        }
+    }
+    counts
 }
 
 fn main() {
     mcml_obs::reset();
+    let deny_warnings = std::env::args().any(|a| a == "--deny-warnings");
     let params = CellParams::default();
     // The shipped netlists are buffered by the techmap to its own
     // fan-out limit, so align the lint envelope with it instead of the
@@ -39,10 +71,19 @@ fn main() {
     let max_fanout = TechmapOptions::default().max_fanout;
     let mut cfg = LintConfig::default();
     cfg.max_fanout = max_fanout;
+    // The CMOS gate-level targets are attack baselines: the secret
+    // datapath is *supposed* to leak there so the fig6/CPA tier has a
+    // positive control. Waive, with the reason on the record.
+    let baseline_why = "CMOS attack baseline: the leak is the experiment's positive control";
+    cfg.add_waiver("dataflow-secret-cmos", None, baseline_why);
+    cfg.add_waiver("dataflow-glitch", None, baseline_why);
     let engine = LintEngine::new(cfg);
     let mut reports: Vec<LintReport> = Vec::new();
 
-    println!("{:<32} {:>5} {:>5}", "target", "deny", "warn");
+    println!(
+        "{:<32} {:>5} {:>5} {:>6}",
+        "target", "deny", "warn", "waived"
+    );
 
     // Transistor level: the full 16-cell library in every style.
     for style in LogicStyle::ALL {
@@ -110,15 +151,26 @@ fn main() {
 
     let deny: usize = reports.iter().map(LintReport::deny_count).sum();
     let warn: usize = reports.iter().map(LintReport::warn_count).sum();
+    let waived: usize = reports.iter().map(|r| r.waived.len()).sum();
     let doc = combined_json("lint", &reports);
     std::fs::write("report.json", &doc).expect("write report.json");
+
+    let counts = fire_counts(&reports);
+    if counts.is_empty() {
+        println!("\nno rule fired anywhere in the corpus");
+    } else {
+        println!("\n{:<32} {:>6}", "rule", "fires");
+        for (rule, n) in &counts {
+            println!("{rule:<32} {n:>6}");
+        }
+    }
     println!(
-        "\n{} targets linted: {deny} deny, {warn} warn — report.json written",
+        "\n{} targets linted: {deny} deny, {warn} warn, {waived} waived — report.json written",
         reports.len()
     );
 
     mcml_obs::finish("lint", pg_mcml::Parallelism::from_env().worker_count());
-    if deny > 0 {
+    if deny > 0 || (deny_warnings && warn > 0) {
         std::process::exit(1);
     }
 }

@@ -127,10 +127,12 @@ impl DesignFlow {
     }
 
     /// Lint a netlist with the flow's engine (pass the sleep plan when
-    /// one exists to enable the sleep-domain rules).
+    /// one exists to enable the sleep-domain rules). Whatever cells the
+    /// flow has characterised so far feed the dataflow leakage score;
+    /// uncharacterised cells fall back to the area proxy.
     #[must_use]
     pub fn lint_netlist(&self, nl: &Netlist, plan: Option<&SleepPlan>) -> LintReport {
-        self.lint.lint_netlist(nl, plan)
+        self.lint.lint_netlist_with_lib(nl, plan, &self.lib)
     }
 
     /// Elaborate a netlist to transistors behind the lint gate: a

@@ -341,9 +341,12 @@ impl<R> SendPtr<R> {
         self.0.add(i).write(Some(value));
     }
 }
-// SAFETY: workers write disjoint indices only (enforced by the atomic work
-// counter) and the owning Vec outlives the scope.
+// SAFETY: the pointer may cross threads because workers write disjoint
+// indices only (enforced by the atomic work counter) and the owning Vec
+// outlives the scope.
 unsafe impl<R: Send> Send for SendPtr<R> {}
+// SAFETY: shared references to SendPtr only copy the pointer; all writes go
+// through `write`, whose caller contract keeps the slots disjoint.
 unsafe impl<R: Send> Sync for SendPtr<R> {}
 
 /// Fixed chunk size used for floating-point reductions across the workspace.

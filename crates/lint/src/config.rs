@@ -2,7 +2,25 @@
 
 use std::collections::BTreeMap;
 
-use crate::diag::Severity;
+use crate::diag::{Location, Severity};
+
+/// A per-instance suppression: one rule id at (optionally) one
+/// location, with a mandatory human justification.
+///
+/// A waived diagnostic is still computed and still appears in the JSON
+/// report's `waived` section — it is excluded only from the deny/warn
+/// counts, so a waiver never hides a finding, it documents a decision.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Waiver {
+    /// The rule id being waived.
+    pub rule_id: String,
+    /// Rendered location the waiver applies to (e.g. `"net y0_q"`,
+    /// `"gate u_ff_y0"`); `None` waives the rule at every location of
+    /// this target.
+    pub location: Option<String>,
+    /// Why the finding is acceptable. Required non-empty.
+    pub justification: String,
+}
 
 /// Engine configuration: severity overrides plus the numeric envelopes
 /// the threshold rules check against.
@@ -29,6 +47,15 @@ pub struct LintConfig {
     /// Aggregate tail-current budget in amperes (`iss-budget` rule);
     /// `None` disables the rule.
     pub iss_budget: Option<f64>,
+    /// Toggle bound above which a tainted CMOS net counts as
+    /// glitch-prone (`dataflow-glitch` rule). The default of 1 flags
+    /// any net that can transition more than once per evaluation.
+    pub glitch_toggle_limit: u32,
+    /// Static leakage score budget in joules (`dataflow-leakage-score`
+    /// rule); `None` disables the rule.
+    pub max_leakage_score_j: Option<f64>,
+    /// Per-instance suppressions (see [`Waiver`]).
+    waivers: Vec<Waiver>,
 }
 
 impl Default for LintConfig {
@@ -39,6 +66,9 @@ impl Default for LintConfig {
             insertion_delay_budget: 1.0e-9,
             iss_per_stage: 50e-6,
             iss_budget: None,
+            glitch_toggle_limit: 1,
+            max_leakage_score_j: None,
+            waivers: Vec::new(),
         }
     }
 }
@@ -59,6 +89,46 @@ impl LintConfig {
     /// The configured overrides, in rule-id order.
     pub fn overrides(&self) -> impl Iterator<Item = (&str, Severity)> {
         self.overrides.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// Register a per-instance waiver. `location` is the rendered
+    /// diagnostic location (`"net q"`, `"gate u1"`, …); `None` matches
+    /// every location. The justification must be non-empty — a waiver
+    /// without a reason is just a silent suppression.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `justification` is empty or whitespace.
+    pub fn add_waiver(
+        &mut self,
+        rule_id: &str,
+        location: Option<&str>,
+        justification: &str,
+    ) -> &mut Self {
+        assert!(
+            !justification.trim().is_empty(),
+            "waiver for `{rule_id}` needs a justification"
+        );
+        self.waivers.push(Waiver {
+            rule_id: rule_id.to_owned(),
+            location: location.map(str::to_owned),
+            justification: justification.to_owned(),
+        });
+        self
+    }
+
+    /// The waiver matching one diagnostic, if any.
+    #[must_use]
+    pub fn waiver_for(&self, rule_id: &str, location: &Location) -> Option<&Waiver> {
+        let rendered = location.to_string();
+        self.waivers.iter().find(|w| {
+            w.rule_id == rule_id && w.location.as_ref().is_none_or(|loc| *loc == rendered)
+        })
+    }
+
+    /// The registered waivers, in registration order.
+    pub fn waivers(&self) -> impl Iterator<Item = &Waiver> {
+        self.waivers.iter()
     }
 }
 
@@ -87,5 +157,29 @@ mod tests {
         assert!((cfg.insertion_delay_budget - 1.0e-9).abs() < 1e-15);
         assert!((cfg.iss_per_stage - 50e-6).abs() < 1e-12);
         assert!(cfg.iss_budget.is_none());
+        assert_eq!(cfg.glitch_toggle_limit, 1);
+        assert!(cfg.max_leakage_score_j.is_none());
+        assert_eq!(cfg.waivers().count(), 0);
+    }
+
+    #[test]
+    fn waiver_matches_rule_and_location() {
+        let mut cfg = LintConfig::default();
+        cfg.add_waiver("dataflow-glitch", Some("net q"), "CMOS attack baseline");
+        cfg.add_waiver("dataflow-secret-cmos", None, "whole-target waiver");
+
+        let at_q = Location::Net("q".into());
+        let at_r = Location::Net("r".into());
+        assert!(cfg.waiver_for("dataflow-glitch", &at_q).is_some());
+        assert!(cfg.waiver_for("dataflow-glitch", &at_r).is_none());
+        assert!(cfg.waiver_for("dataflow-secret-cmos", &at_q).is_some());
+        assert!(cfg.waiver_for("dataflow-secret-cmos", &at_r).is_some());
+        assert!(cfg.waiver_for("comb-loop", &at_q).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "needs a justification")]
+    fn waiver_requires_justification() {
+        LintConfig::default().add_waiver("comb-loop", None, "  ");
     }
 }

@@ -1,0 +1,165 @@
+//! Static transition-count and glitch-depth analysis.
+//!
+//! Per net, a conservative **toggle upper bound** per evaluation and a
+//! unit-delay **arrival window**. The model is the standard static
+//! glitch estimate: a primary input or a register output changes at
+//! most once per cycle, and a combinational gate output can change at
+//! most once for every change of any input, so its bound is the sum of
+//! the fan-in bounds (exact for XOR trees, conservative elsewhere).
+//! The arrival window `[min, max]` counts gate levels; a non-zero
+//! width on a multi-toggle net marks the input skew that produces
+//! real glitches.
+//!
+//! Glitches matter for DPA exactly in CMOS: every spurious transition
+//! dissipates a data-dependent charge packet. MCML/PG-MCML gates
+//! glitch too, but draw the same tail current either way — which is
+//! why the `dataflow-glitch` rule only fires on CMOS-style netlists.
+
+use mcml_netlist::{Gate, Netlist};
+
+use super::Analysis;
+
+/// Per-net activity bounds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Activity {
+    /// Upper bound on transitions per evaluation (saturating).
+    pub toggles: u32,
+    /// Earliest possible transition, in gate levels from the inputs.
+    pub min_arrival: u32,
+    /// Latest possible transition, in gate levels from the inputs.
+    pub max_arrival: u32,
+}
+
+impl Activity {
+    /// Window width in gate levels — the skew that creates glitches.
+    #[must_use]
+    pub fn window(self) -> u32 {
+        self.max_arrival - self.min_arrival
+    }
+
+    /// Whether the net can transition more than once per evaluation.
+    #[must_use]
+    pub fn is_glitch_prone(self) -> bool {
+        self.toggles > 1
+    }
+}
+
+/// The activity analysis. Lattice: toggles and `max_arrival` grow,
+/// `min_arrival` shrinks; all saturate, so height is finite.
+pub struct ActivityAnalysis;
+
+impl Analysis for ActivityAnalysis {
+    type State = Activity;
+
+    fn bottom(&self) -> Activity {
+        // A net nothing drives never toggles; the empty window sits at
+        // level zero.
+        Activity {
+            toggles: 0,
+            min_arrival: 0,
+            max_arrival: 0,
+        }
+    }
+
+    fn input_state(&self, _nl: &Netlist, _port: &str) -> Activity {
+        Activity {
+            toggles: 1,
+            min_arrival: 0,
+            max_arrival: 0,
+        }
+    }
+
+    fn transfer(&self, _nl: &Netlist, gate: &Gate, state: &[Activity]) -> Vec<Activity> {
+        if gate.kind.is_sequential() {
+            // A register output changes once, cleanly, at the capture
+            // edge: it re-anchors the arrival reference.
+            return vec![
+                Activity {
+                    toggles: 1,
+                    min_arrival: 0,
+                    max_arrival: 0,
+                };
+                gate.outputs.len()
+            ];
+        }
+        let mut toggles = 0u32;
+        let mut min_in = u32::MAX;
+        let mut max_in = 0u32;
+        for c in &gate.inputs {
+            let a = state[c.net.index()];
+            toggles = toggles.saturating_add(a.toggles);
+            min_in = min_in.min(a.min_arrival);
+            max_in = max_in.max(a.max_arrival);
+        }
+        let out = Activity {
+            toggles,
+            min_arrival: min_in.saturating_add(1),
+            max_arrival: max_in.saturating_add(1),
+        };
+        vec![out; gate.outputs.len()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcml_cells::{CellKind, LogicStyle};
+    use mcml_netlist::{Conn, GateKind};
+
+    #[test]
+    fn skewed_reconvergence_is_glitch_prone() {
+        // a ──────────────┐
+        // a → INV → x ──→ XOR → q : x arrives one level later than a,
+        // so q has toggle bound 2 and a one-level window.
+        let mut nl = Netlist::new("g", LogicStyle::Cmos);
+        let a = nl.add_input("a");
+        let x = nl.add_net("x");
+        let q = nl.add_net("q");
+        nl.add_gate("u_i", GateKind::Inv, vec![Conn::plain(a)], vec![x]);
+        nl.add_gate(
+            "u_x",
+            GateKind::Lib(CellKind::Xor2),
+            vec![Conn::plain(a), Conn::plain(x)],
+            vec![q],
+        );
+        nl.set_output("q", Conn::plain(q));
+
+        let act = super::super::solve(&ActivityAnalysis, &nl);
+        assert_eq!(act[a.index()].toggles, 1);
+        assert!(!act[a.index()].is_glitch_prone());
+        assert_eq!(act[x.index()].toggles, 1);
+        let aq = act[q.index()];
+        assert_eq!(aq.toggles, 2);
+        assert_eq!((aq.min_arrival, aq.max_arrival), (1, 2));
+        assert_eq!(aq.window(), 1);
+        assert!(aq.is_glitch_prone());
+    }
+
+    #[test]
+    fn register_output_reanchors() {
+        let mut nl = Netlist::new("r", LogicStyle::Cmos);
+        let clk = nl.add_input("clk");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let s = nl.add_net("s");
+        let q = nl.add_net("q");
+        nl.add_gate(
+            "u_x",
+            GateKind::Lib(CellKind::Xor2),
+            vec![Conn::plain(a), Conn::plain(b)],
+            vec![s],
+        );
+        nl.add_gate(
+            "u_ff",
+            GateKind::Lib(CellKind::Dff),
+            vec![Conn::plain(s), Conn::plain(clk)],
+            vec![q],
+        );
+        nl.set_output("q", Conn::plain(q));
+
+        let act = super::super::solve(&ActivityAnalysis, &nl);
+        assert_eq!(act[s.index()].toggles, 2);
+        let aq = act[q.index()];
+        assert_eq!((aq.toggles, aq.min_arrival, aq.max_arrival), (1, 0, 0));
+    }
+}

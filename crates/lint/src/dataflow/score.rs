@@ -1,0 +1,125 @@
+//! The static leakage score.
+//!
+//! Per net: `score = taint × toggle_bound × E_asym(driver cell)` in
+//! joules per evaluation — an upper bound on the *secret-correlated*
+//! energy the net's driver can put on the supply rail in one cycle.
+//! `E_asym` is the characterised per-toggle energy asymmetry from
+//! `mcml-char`: measured dynamic energy for CMOS cells, **zero** for
+//! MCML/PG-MCML cells, whose tail current is drawn whether or not the
+//! gate switches (the paper's core claim). Untainted nets score zero
+//! no matter how hot they toggle — their activity is not
+//! key-correlated, so an attacker averaging over plaintexts cancels
+//! it.
+//!
+//! Without a characterised [`TimingLibrary`] the per-cell energy falls
+//! back to an area proxy (switched energy scales with switched
+//! capacitance, which scales with cell area). The proxy preserves the
+//! *ranking* — which is all the score promises; the fig6
+//! cross-validation test runs against real characterised energies.
+
+use mcml_cells::{cell_area_um2, CellKind, DriveStrength, LogicStyle};
+use mcml_char::TimingLibrary;
+use mcml_netlist::{GateKind, Netlist};
+
+use super::Activity;
+
+/// Area-proxy energy scale: ~1 fJ per µm² of switched cell, the order
+/// of magnitude of the characterised CMOS cells at this node.
+const AREA_PROXY_J_PER_UM2: f64 = 1.0e-15;
+
+/// Per-toggle energy asymmetry of one gate driver, in joules.
+///
+/// Prefers the characterised `toggle_energy_j` from `lib`; falls back
+/// to the cell-area proxy when the cell is not characterised. Always
+/// zero for differential (MCML-family) styles — their supply current
+/// is data-independent by construction.
+#[must_use]
+pub fn driver_energy_j(kind: GateKind, style: LogicStyle, lib: Option<&TimingLibrary>) -> f64 {
+    if style != LogicStyle::Cmos {
+        return 0.0;
+    }
+    match kind {
+        GateKind::Lib(k) => lib.and_then(|l| l.get(k, style)).map_or_else(
+            || cell_area_um2(k, style, DriveStrength::X1) * AREA_PROXY_J_PER_UM2,
+            |t| t.toggle_energy_j,
+        ),
+        // The legalisation inverter is half a buffer.
+        GateKind::Inv => {
+            let buf = lib
+                .and_then(|l| l.get(CellKind::Buffer, style))
+                .map_or_else(
+                    || {
+                        cell_area_um2(CellKind::Buffer, style, DriveStrength::X1)
+                            * AREA_PROXY_J_PER_UM2
+                    },
+                    |t| t.toggle_energy_j,
+                );
+            buf * 0.5
+        }
+    }
+}
+
+/// Static leakage score per net (indexed by `NetId`), in joules.
+#[must_use]
+pub fn scores_j(
+    nl: &Netlist,
+    taint: &[bool],
+    activity: &[Activity],
+    lib: Option<&TimingLibrary>,
+) -> Vec<f64> {
+    let driver = nl.driver_map();
+    (0..nl.net_count())
+        .map(|ni| {
+            if !taint[ni] {
+                return 0.0;
+            }
+            let Some(gi) = driver[ni] else {
+                // Primary inputs and floating nets have no driver on
+                // the supply rail of this design.
+                return 0.0;
+            };
+            let e = driver_energy_j(nl.gates()[gi].kind, nl.style, lib);
+            f64::from(activity[ni].toggles) * e
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcml_char::CellTiming;
+
+    #[test]
+    fn differential_styles_score_zero() {
+        for style in [LogicStyle::Mcml, LogicStyle::PgMcml] {
+            assert_eq!(
+                driver_energy_j(GateKind::Lib(CellKind::Xor2), style, None),
+                0.0
+            );
+        }
+        assert!(driver_energy_j(GateKind::Lib(CellKind::Xor2), LogicStyle::Cmos, None) > 0.0);
+        assert!(driver_energy_j(GateKind::Inv, LogicStyle::Cmos, None) > 0.0);
+    }
+
+    #[test]
+    fn characterised_energy_wins_over_area_proxy() {
+        let mut lib = TimingLibrary::new();
+        lib.insert(CellTiming {
+            kind: CellKind::Xor2,
+            style: LogicStyle::Cmos,
+            drive: DriveStrength::X1,
+            area_um2: 2.0,
+            delay_fo1_ps: 10.0,
+            delay_fo4_ps: 20.0,
+            input_cap_ff: 1.0,
+            static_power_w: 1e-9,
+            leakage_sleep_w: 1e-9,
+            toggle_energy_j: 42.0e-15,
+        });
+        let e = driver_energy_j(GateKind::Lib(CellKind::Xor2), LogicStyle::Cmos, Some(&lib));
+        assert!((e - 42.0e-15).abs() < 1e-30);
+        // Uncharacterised cell in the same library: area proxy.
+        let e2 = driver_energy_j(GateKind::Lib(CellKind::And2), LogicStyle::Cmos, Some(&lib));
+        assert!(e2 > 0.0 && (e2 - 42.0e-15).abs() > 1e-30);
+    }
+}

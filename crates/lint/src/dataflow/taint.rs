@@ -1,0 +1,153 @@
+//! Secret-taint propagation.
+//!
+//! Taint enters at [`PortClass::Secret`] ports and flows forward. The
+//! transfer is **exact per gate**: an output is tainted only if some
+//! assignment of the gate's untainted fan-in nets leaves the output
+//! still dependent on a tainted net. That gives the kill rules for
+//! free — `XOR(x, x)`, `XOR(x, x̄)`, `AND(x, x̄)` and `MUX(s, a, a)`
+//! are all constant or tainted-input-independent and come out clean —
+//! without a hand-written pattern list.
+//!
+//! Sequential cells propagate conservatively: a register output is
+//! tainted when *any* input (data or control) is, since a
+//! secret-gated clock or enable makes the stored value key-dependent.
+
+use mcml_netlist::{Conn, Gate, GateKind, NetId, Netlist, PortClass};
+
+use super::Analysis;
+
+/// The secret-taint analysis: `bool` lattice, `false < true`.
+pub struct TaintAnalysis;
+
+impl Analysis for TaintAnalysis {
+    type State = bool;
+
+    fn bottom(&self) -> bool {
+        false
+    }
+
+    fn input_state(&self, nl: &Netlist, port: &str) -> bool {
+        nl.port_class(port) == PortClass::Secret
+    }
+
+    fn transfer(&self, _nl: &Netlist, gate: &Gate, state: &[bool]) -> Vec<bool> {
+        if gate.kind.is_sequential() {
+            let any = gate.inputs.iter().any(|c| state[c.net.index()]);
+            return vec![any; gate.outputs.len()];
+        }
+        (0..gate.outputs.len())
+            .map(|out| comb_output_tainted(gate.kind, &gate.inputs, out, state))
+            .collect()
+    }
+}
+
+/// Exact dependence check for a combinational gate output: tainted iff
+/// there is an assignment of the untainted fan-in nets under which
+/// flipping the tainted fan-in nets changes the output.
+///
+/// Gates have at most 6 inputs (`MUX4`), so the exhaustive walk is at
+/// most 64 evaluations.
+fn comb_output_tainted(kind: GateKind, inputs: &[Conn], out: usize, state: &[bool]) -> bool {
+    let mut nets: Vec<NetId> = inputs.iter().map(|c| c.net).collect();
+    nets.sort_unstable();
+    nets.dedup();
+    let (tainted, clean): (Vec<NetId>, Vec<NetId>) =
+        nets.into_iter().partition(|n| state[n.index()]);
+    if tainted.is_empty() {
+        return false;
+    }
+    let value_of = |net: NetId, t_bits: usize, c_bits: usize| -> bool {
+        if let Some(i) = tainted.iter().position(|&n| n == net) {
+            (t_bits >> i) & 1 == 1
+        } else {
+            let i = clean.iter().position(|&n| n == net).expect("fan-in net");
+            (c_bits >> i) & 1 == 1
+        }
+    };
+    for c_bits in 0..1usize << clean.len() {
+        let mut seen: Option<bool> = None;
+        for t_bits in 0..1usize << tainted.len() {
+            let ins: Vec<bool> = inputs
+                .iter()
+                .map(|c| value_of(c.net, t_bits, c_bits) ^ c.inverted)
+                .collect();
+            let v = match kind {
+                GateKind::Inv => !ins[0],
+                GateKind::Lib(k) => k.eval_comb(&ins).expect("combinational gate")[out],
+            };
+            match seen {
+                None => seen = Some(v),
+                Some(prev) if prev != v => return true,
+                Some(_) => {}
+            }
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcml_cells::CellKind;
+
+    fn taint_of(kind: GateKind, inputs: Vec<Conn>, state: &[bool]) -> bool {
+        comb_output_tainted(kind, &inputs, 0, state)
+    }
+
+    #[test]
+    fn balanced_recombination_kills() {
+        // Net 0 tainted, net 1 clean.
+        let state = [true, false];
+        let n0 = NetId::from_index(0);
+        let xor = GateKind::Lib(CellKind::Xor2);
+        // x ^ x = 0 and x ^ x̄ = 1: both constant, taint killed.
+        assert!(!taint_of(
+            xor,
+            vec![Conn::plain(n0), Conn::plain(n0)],
+            &state
+        ));
+        assert!(!taint_of(xor, vec![Conn::plain(n0), Conn::inv(n0)], &state));
+        let and = GateKind::Lib(CellKind::And2);
+        assert!(!taint_of(and, vec![Conn::plain(n0), Conn::inv(n0)], &state));
+        // x & x = x: still data-dependent.
+        assert!(taint_of(
+            and,
+            vec![Conn::plain(n0), Conn::plain(n0)],
+            &state
+        ));
+    }
+
+    #[test]
+    fn mux_with_equal_data_kills_select_taint() {
+        // Select (net 0) tainted, shared data leg (net 1) clean:
+        // MUX(s, a, a) = a regardless of s.
+        let state = [true, false];
+        let s = Conn::plain(NetId::from_index(0));
+        let a = Conn::plain(NetId::from_index(1));
+        let mux = GateKind::Lib(CellKind::Mux2);
+        assert!(!taint_of(mux, vec![a, a, s], &state));
+        // Distinct data legs: the select leaks.
+        let state3 = [true, false, false];
+        let b = Conn::plain(NetId::from_index(2));
+        assert!(taint_of(mux, vec![a, b, s], &state3));
+    }
+
+    #[test]
+    fn inverter_and_plain_gates_propagate() {
+        let state = [true, false];
+        let n0 = Conn::plain(NetId::from_index(0));
+        let n1 = Conn::plain(NetId::from_index(1));
+        assert!(taint_of(GateKind::Inv, vec![n0], &state));
+        assert!(taint_of(
+            GateKind::Lib(CellKind::And2),
+            vec![n0, n1],
+            &state
+        ));
+        // Entirely clean fan-in stays clean.
+        assert!(!taint_of(
+            GateKind::Lib(CellKind::And2),
+            vec![n1, n1],
+            &state
+        ));
+    }
+}

@@ -8,6 +8,14 @@
 //!   inverted connections that escaped CMOS legalisation), the
 //!   characterisation fan-out envelope, sleep-domain coverage and
 //!   wake-up latency, and an aggregate tail-current budget;
+//! * **dataflow** — a forward fixpoint engine ([`dataflow`]) over the
+//!   gate graph: secret-taint propagation from
+//!   [`mcml_netlist::PortClass::Secret`] ports (with exact kill on
+//!   balanced recombination), static toggle/glitch bounds, and a
+//!   per-net static leakage score built from the characterised
+//!   per-cell energy asymmetry — feeding the `dataflow-*` rule pack
+//!   (secret-on-CMOS, secret-gated clocks, unbalanced domain
+//!   crossings, glitch-prone tainted nets, score budgets);
 //! * **transistor level** — electrical checks on a
 //!   [`mcml_spice::Circuit`] (floating MOS gate/bulk nodes, nodes with
 //!   no DC path, voltage-source loops) and the PG-MCML cell-topology
@@ -16,13 +24,14 @@
 //!   topology (d)).
 //!
 //! Every rule has a stable id and a default severity; a [`LintConfig`]
-//! maps any rule to `allow` / `warn` / `deny`. Deny findings fail
-//! [`LintReport::is_clean`], which the `pg-mcml` design flow uses to
-//! refuse elaboration before any SPICE is run. Reports render to a
-//! deterministic `mcml-lint/1` JSON schema (same hand-rolled style as
-//! `mcml-obs`), and runs are observable through the
-//! `lint.rules_run` / `lint.diagnostics` counters and the `lint` span
-//! stage.
+//! maps any rule to `allow` / `warn` / `deny` and can waive individual
+//! findings per location ([`Waiver`], justification required). Deny
+//! findings fail [`LintReport::is_clean`], which the `pg-mcml` design
+//! flow uses to refuse elaboration before any SPICE is run. Reports
+//! render to a deterministic `mcml-lint/2` JSON schema (same
+//! hand-rolled style as `mcml-obs`) including the waived findings and
+//! a dataflow taint/score summary, and runs are observable through the
+//! `lint.*` counters and the `lint` / `dataflow` span stages.
 //!
 //! ```
 //! use mcml_lint::LintEngine;
@@ -44,12 +53,14 @@
 #![deny(missing_docs)]
 
 pub mod config;
+pub mod dataflow;
 pub mod diag;
 pub mod engine;
 pub mod report;
 pub mod rules;
 
-pub use config::LintConfig;
+pub use config::{LintConfig, Waiver};
+pub use dataflow::DataflowResults;
 pub use diag::{Diagnostic, Location, Severity};
-pub use engine::{LintEngine, LintTarget, Rule};
-pub use report::{combined_json, LintReport, SCHEMA};
+pub use engine::{LintContext, LintEngine, LintTarget, Rule};
+pub use report::{combined_json, DataflowSummary, LintReport, NetScore, WaivedDiagnostic, SCHEMA};

@@ -1,19 +1,64 @@
-//! Deterministic lint reports (`mcml-lint/1` JSON schema).
+//! Deterministic lint reports (`mcml-lint/2` JSON schema).
 //!
 //! The JSON is hand-rolled the same way `mcml-obs` renders its run
 //! reports: keys in a fixed order, diagnostics pre-sorted by the
-//! engine, no floats — so byte-identical inputs produce byte-identical
-//! reports and golden files stay stable.
+//! engine, floats only in the fixed `{:.3e}` score notation — so
+//! byte-identical inputs produce byte-identical reports and golden
+//! files stay stable.
+//!
+//! Schema history: `mcml-lint/2` added the `waived` list (per-instance
+//! waivers with justification) and the optional `dataflow` summary
+//! (taint/toggle/leakage-score tables) to each target.
 
 use std::fmt::Write as _;
 
 use crate::diag::{Diagnostic, Severity};
 
 /// Schema identifier stamped into every report.
-pub const SCHEMA: &str = "mcml-lint/1";
+pub const SCHEMA: &str = "mcml-lint/2";
+
+/// A diagnostic suppressed by a configured waiver: kept out of the
+/// deny/warn counts but carried into the report with its justification.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WaivedDiagnostic {
+    /// The suppressed finding, at its resolved severity.
+    pub diagnostic: Diagnostic,
+    /// The waiver's justification text.
+    pub justification: String,
+}
+
+/// One row of the dataflow score table: a net with a non-zero static
+/// leakage score.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetScore {
+    /// Net name.
+    pub net: String,
+    /// Static toggle upper bound per evaluation.
+    pub toggle_bound: u32,
+    /// Static leakage score in joules per evaluation.
+    pub score_j: f64,
+}
+
+/// Condensed dataflow analysis results for one netlist target.
+///
+/// Present only for acyclic gate-level netlist targets (the dataflow
+/// engine refuses combinational loops, which the `comb-loop` rule
+/// already denies).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DataflowSummary {
+    /// Nets carrying secret taint.
+    pub tainted_nets: usize,
+    /// Nets with a toggle bound above one.
+    pub glitch_nets: usize,
+    /// Largest per-net toggle bound.
+    pub max_toggle_bound: u32,
+    /// Highest-scoring nets, sorted by score descending then name,
+    /// truncated to a fixed table size.
+    pub top_scores: Vec<NetScore>,
+}
 
 /// The outcome of linting one target.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct LintReport {
     /// Report name of the target (netlist name or cell name, with its
     /// logic style).
@@ -22,6 +67,10 @@ pub struct LintReport {
     pub rules_run: usize,
     /// Kept findings, sorted by (rule id, location, message).
     pub diagnostics: Vec<Diagnostic>,
+    /// Findings suppressed by waivers, same sort order.
+    pub waived: Vec<WaivedDiagnostic>,
+    /// Dataflow summary, when the target is an acyclic netlist.
+    pub dataflow: Option<DataflowSummary>,
 }
 
 impl LintReport {
@@ -44,7 +93,7 @@ impl LintReport {
     }
 
     /// `true` when the target has no deny-severity findings (warnings
-    /// do not fail the gate).
+    /// and waived findings do not fail the gate).
     #[must_use]
     pub fn is_clean(&self) -> bool {
         self.deny_count() == 0
@@ -57,7 +106,7 @@ impl LintReport {
             .filter(move |d| d.rule_id == rule_id)
     }
 
-    /// Render the report as `mcml-lint/1` JSON.
+    /// Render the report as `mcml-lint/2` JSON.
     #[must_use]
     pub fn to_json(&self) -> String {
         let mut out = String::new();
@@ -74,8 +123,9 @@ impl LintReport {
         let _ = writeln!(out, "{pad}  \"rules_run\": {},", self.rules_run);
         let _ = writeln!(out, "{pad}  \"deny\": {},", self.deny_count());
         let _ = writeln!(out, "{pad}  \"warn\": {},", self.warn_count());
+        let _ = writeln!(out, "{pad}  \"waived\": {},", self.waived.len());
         if self.diagnostics.is_empty() {
-            let _ = writeln!(out, "{pad}  \"diagnostics\": []");
+            let _ = writeln!(out, "{pad}  \"diagnostics\": [],");
         } else {
             let _ = writeln!(out, "{pad}  \"diagnostics\": [");
             for (i, d) in self.diagnostics.iter().enumerate() {
@@ -93,18 +143,66 @@ impl LintReport {
                     escape(&d.message),
                 );
             }
-            let _ = writeln!(out, "{pad}  ]");
+            let _ = writeln!(out, "{pad}  ],");
+        }
+        let dataflow_comma = if self.dataflow.is_some() { "," } else { "" };
+        if self.waived.is_empty() {
+            let _ = writeln!(out, "{pad}  \"waived_diagnostics\": []{dataflow_comma}");
+        } else {
+            let _ = writeln!(out, "{pad}  \"waived_diagnostics\": [");
+            for (i, w) in self.waived.iter().enumerate() {
+                let comma = if i + 1 < self.waived.len() { "," } else { "" };
+                let d = &w.diagnostic;
+                let _ = writeln!(
+                    out,
+                    "{pad}    {{ \"rule\": \"{}\", \"severity\": \"{}\", \"location\": \"{}\", \"message\": \"{}\", \"justification\": \"{}\" }}{comma}",
+                    escape(d.rule_id),
+                    d.severity.name(),
+                    escape(&d.location.to_string()),
+                    escape(&d.message),
+                    escape(&w.justification),
+                );
+            }
+            let _ = writeln!(out, "{pad}  ]{dataflow_comma}");
+        }
+        if let Some(df) = &self.dataflow {
+            let _ = writeln!(out, "{pad}  \"dataflow\": {{");
+            let _ = writeln!(out, "{pad}    \"tainted_nets\": {},", df.tainted_nets);
+            let _ = writeln!(out, "{pad}    \"glitch_nets\": {},", df.glitch_nets);
+            let _ = writeln!(
+                out,
+                "{pad}    \"max_toggle_bound\": {},",
+                df.max_toggle_bound
+            );
+            if df.top_scores.is_empty() {
+                let _ = writeln!(out, "{pad}    \"top_scores\": []");
+            } else {
+                let _ = writeln!(out, "{pad}    \"top_scores\": [");
+                for (i, s) in df.top_scores.iter().enumerate() {
+                    let comma = if i + 1 < df.top_scores.len() { "," } else { "" };
+                    let _ = writeln!(
+                        out,
+                        "{pad}      {{ \"net\": \"{}\", \"toggle_bound\": {}, \"score_j\": \"{:.3e}\" }}{comma}",
+                        escape(&s.net),
+                        s.toggle_bound,
+                        s.score_j,
+                    );
+                }
+                let _ = writeln!(out, "{pad}    ]");
+            }
+            let _ = writeln!(out, "{pad}  }}");
         }
         let _ = write!(out, "{pad}}}");
     }
 }
 
-/// Render several reports as one `mcml-lint/1` document (the shape the
+/// Render several reports as one `mcml-lint/2` document (the shape the
 /// `lint` bench binary writes to `report.json`).
 #[must_use]
 pub fn combined_json(run: &str, reports: &[LintReport]) -> String {
     let deny: usize = reports.iter().map(LintReport::deny_count).sum();
     let warn: usize = reports.iter().map(LintReport::warn_count).sum();
+    let waived: usize = reports.iter().map(|r| r.waived.len()).sum();
     let mut out = String::new();
     out.push_str("{\n");
     let _ = writeln!(out, "  \"schema\": \"{SCHEMA}\",");
@@ -112,6 +210,7 @@ pub fn combined_json(run: &str, reports: &[LintReport]) -> String {
     let _ = writeln!(out, "  \"targets_linted\": {},", reports.len());
     let _ = writeln!(out, "  \"deny\": {deny},");
     let _ = writeln!(out, "  \"warn\": {warn},");
+    let _ = writeln!(out, "  \"waived\": {waived},");
     if reports.is_empty() {
         out.push_str("  \"targets\": []\n");
     } else {
@@ -168,6 +267,8 @@ mod tests {
                     location: Location::Net("x".into()),
                 },
             ],
+            waived: vec![],
+            dataflow: None,
         }
     }
 
@@ -182,6 +283,8 @@ mod tests {
             target: "c".into(),
             rules_run: 3,
             diagnostics: vec![],
+            waived: vec![],
+            dataflow: None,
         };
         assert!(clean.is_clean());
     }
@@ -192,9 +295,41 @@ mod tests {
         let a = r.to_json();
         let b = r.to_json();
         assert_eq!(a, b);
-        assert!(a.starts_with("{\n  \"schema\": \"mcml-lint/1\","));
+        assert!(a.starts_with("{\n  \"schema\": \"mcml-lint/2\","));
         assert!(a.contains("\"deny\": 1"));
         assert!(a.contains("\"rule\": \"comb-loop\""));
+        assert!(a.contains("\"waived_diagnostics\": []"));
+    }
+
+    #[test]
+    fn waived_and_dataflow_sections_render() {
+        let mut r = sample();
+        r.waived = vec![WaivedDiagnostic {
+            diagnostic: Diagnostic {
+                rule_id: "dataflow-secret-cmos",
+                severity: Severity::Warn,
+                message: "tainted CMOS net".into(),
+                location: Location::Net("y0".into()),
+            },
+            justification: "attack baseline, leakage is the point".into(),
+        }];
+        r.dataflow = Some(DataflowSummary {
+            tainted_nets: 4,
+            glitch_nets: 1,
+            max_toggle_bound: 3,
+            top_scores: vec![NetScore {
+                net: "y0".into(),
+                toggle_bound: 3,
+                score_j: 1.25e-14,
+            }],
+        });
+        let json = r.to_json();
+        assert!(json.contains("\"waived\": 1"));
+        assert!(json.contains("\"justification\": \"attack baseline, leakage is the point\""));
+        assert!(json.contains("\"tainted_nets\": 4"));
+        assert!(json.contains("\"score_j\": \"1.250e-14\""));
+        // Still deterministic.
+        assert_eq!(json, r.to_json());
     }
 
     #[test]
@@ -203,6 +338,7 @@ mod tests {
         assert!(doc.contains("\"targets_linted\": 2"));
         assert!(doc.contains("\"deny\": 2"));
         assert!(doc.contains("\"run\": \"bench\""));
+        assert!(doc.contains("\"waived\": 0"));
     }
 
     #[test]

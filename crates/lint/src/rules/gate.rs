@@ -4,9 +4,8 @@
 use mcml_cells::LogicStyle;
 use mcml_netlist::{structural_issues, GateKind, NetId, Netlist, SleepPlan, StructuralIssue};
 
-use crate::config::LintConfig;
 use crate::diag::{Diagnostic, Location, Severity};
-use crate::engine::{LintTarget, Rule};
+use crate::engine::{LintContext, LintTarget, Rule};
 
 /// Every rule of the gate-level pack, in registration order.
 #[must_use]
@@ -63,14 +62,19 @@ impl Rule for NetUndriven {
     fn description(&self) -> &'static str {
         "net is consumed but has no driver and is not a primary input"
     }
-    fn check(&self, target: &LintTarget<'_>, _cfg: &LintConfig) -> Vec<Diagnostic> {
-        from_structural(target, self.id(), self.default_severity(), |i| match i {
-            StructuralIssue::UndrivenNet { net } => Some((
-                Location::Net(net.clone()),
-                "consumed by the design but driven by nothing".to_owned(),
-            )),
-            _ => None,
-        })
+    fn check(&self, ctx: &LintContext<'_>) -> Vec<Diagnostic> {
+        from_structural(
+            ctx.target,
+            self.id(),
+            self.default_severity(),
+            |i| match i {
+                StructuralIssue::UndrivenNet { net } => Some((
+                    Location::Net(net.clone()),
+                    "consumed by the design but driven by nothing".to_owned(),
+                )),
+                _ => None,
+            },
+        )
     }
 }
 
@@ -87,14 +91,19 @@ impl Rule for NetMultiDriven {
     fn description(&self) -> &'static str {
         "net is driven by more than one gate output"
     }
-    fn check(&self, target: &LintTarget<'_>, _cfg: &LintConfig) -> Vec<Diagnostic> {
-        from_structural(target, self.id(), self.default_severity(), |i| match i {
-            StructuralIssue::MultipleDrivers { net, drivers } => Some((
-                Location::Net(net.clone()),
-                format!("driven by {} gates ({})", drivers.len(), drivers.join(", ")),
-            )),
-            _ => None,
-        })
+    fn check(&self, ctx: &LintContext<'_>) -> Vec<Diagnostic> {
+        from_structural(
+            ctx.target,
+            self.id(),
+            self.default_severity(),
+            |i| match i {
+                StructuralIssue::MultipleDrivers { net, drivers } => Some((
+                    Location::Net(net.clone()),
+                    format!("driven by {} gates ({})", drivers.len(), drivers.join(", ")),
+                )),
+                _ => None,
+            },
+        )
     }
 }
 
@@ -111,14 +120,19 @@ impl Rule for NetDangling {
     fn description(&self) -> &'static str {
         "net is driven but consumed by nothing"
     }
-    fn check(&self, target: &LintTarget<'_>, _cfg: &LintConfig) -> Vec<Diagnostic> {
-        from_structural(target, self.id(), self.default_severity(), |i| match i {
-            StructuralIssue::DanglingNet { net, driver } => Some((
-                Location::Net(net.clone()),
-                format!("driven by {driver} but consumed by nothing"),
-            )),
-            _ => None,
-        })
+    fn check(&self, ctx: &LintContext<'_>) -> Vec<Diagnostic> {
+        from_structural(
+            ctx.target,
+            self.id(),
+            self.default_severity(),
+            |i| match i {
+                StructuralIssue::DanglingNet { net, driver } => Some((
+                    Location::Net(net.clone()),
+                    format!("driven by {driver} but consumed by nothing"),
+                )),
+                _ => None,
+            },
+        )
     }
 }
 
@@ -135,14 +149,19 @@ impl Rule for InputDriven {
     fn description(&self) -> &'static str {
         "primary input net is also driven by a gate"
     }
-    fn check(&self, target: &LintTarget<'_>, _cfg: &LintConfig) -> Vec<Diagnostic> {
-        from_structural(target, self.id(), self.default_severity(), |i| match i {
-            StructuralIssue::DrivenInput { input, driver } => Some((
-                Location::Port(input.clone()),
-                format!("primary input is also driven by gate {driver}"),
-            )),
-            _ => None,
-        })
+    fn check(&self, ctx: &LintContext<'_>) -> Vec<Diagnostic> {
+        from_structural(
+            ctx.target,
+            self.id(),
+            self.default_severity(),
+            |i| match i {
+                StructuralIssue::DrivenInput { input, driver } => Some((
+                    Location::Port(input.clone()),
+                    format!("primary input is also driven by gate {driver}"),
+                )),
+                _ => None,
+            },
+        )
     }
 }
 
@@ -159,14 +178,19 @@ impl Rule for CombLoop {
     fn description(&self) -> &'static str {
         "combinational cycle (no sequential element breaks the path)"
     }
-    fn check(&self, target: &LintTarget<'_>, _cfg: &LintConfig) -> Vec<Diagnostic> {
-        from_structural(target, self.id(), self.default_severity(), |i| match i {
-            StructuralIssue::CombinationalCycle { cycle } => Some((
-                Location::Gate(cycle.first().cloned().unwrap_or_default()),
-                format!("combinational cycle: {}", cycle.join(" -> ")),
-            )),
-            _ => None,
-        })
+    fn check(&self, ctx: &LintContext<'_>) -> Vec<Diagnostic> {
+        from_structural(
+            ctx.target,
+            self.id(),
+            self.default_severity(),
+            |i| match i {
+                StructuralIssue::CombinationalCycle { cycle } => Some((
+                    Location::Gate(cycle.first().cloned().unwrap_or_default()),
+                    format!("combinational cycle: {}", cycle.join(" -> ")),
+                )),
+                _ => None,
+            },
+        )
     }
 }
 
@@ -184,14 +208,20 @@ impl Rule for DiffIllegalInverter {
     fn description(&self) -> &'static str {
         "explicit inverter gate in a differential netlist (inversion is a free rail swap)"
     }
-    fn check(&self, target: &LintTarget<'_>, _cfg: &LintConfig) -> Vec<Diagnostic> {
-        from_structural(target, self.id(), self.default_severity(), |i| match i {
-            StructuralIssue::IllegalInverter { gate } => Some((
-                Location::Gate(gate.clone()),
-                "explicit INV in a differential netlist; invert the connection instead".to_owned(),
-            )),
-            _ => None,
-        })
+    fn check(&self, ctx: &LintContext<'_>) -> Vec<Diagnostic> {
+        from_structural(
+            ctx.target,
+            self.id(),
+            self.default_severity(),
+            |i| match i {
+                StructuralIssue::IllegalInverter { gate } => Some((
+                    Location::Gate(gate.clone()),
+                    "explicit INV in a differential netlist; invert the connection instead"
+                        .to_owned(),
+                )),
+                _ => None,
+            },
+        )
     }
 }
 
@@ -210,10 +240,11 @@ impl Rule for FanoutEnvelope {
     fn description(&self) -> &'static str {
         "net fan-out exceeds the characterisation envelope (delay is extrapolated)"
     }
-    fn check(&self, target: &LintTarget<'_>, cfg: &LintConfig) -> Vec<Diagnostic> {
-        let LintTarget::Netlist { nl, .. } = target else {
+    fn check(&self, ctx: &LintContext<'_>) -> Vec<Diagnostic> {
+        let LintTarget::Netlist { nl, .. } = ctx.target else {
             return Vec::new();
         };
+        let cfg = ctx.config;
         nl.fanout_counts()
             .iter()
             .enumerate()
@@ -246,8 +277,8 @@ impl Rule for CmosInvertedConn {
     fn description(&self) -> &'static str {
         "inverted connection in a CMOS netlist escaped inverter legalisation"
     }
-    fn check(&self, target: &LintTarget<'_>, _cfg: &LintConfig) -> Vec<Diagnostic> {
-        let LintTarget::Netlist { nl, .. } = target else {
+    fn check(&self, ctx: &LintContext<'_>) -> Vec<Diagnostic> {
+        let LintTarget::Netlist { nl, .. } = ctx.target else {
             return Vec::new();
         };
         if nl.style != LogicStyle::Cmos {
@@ -326,11 +357,12 @@ impl Rule for SleepDomainOrphan {
     fn description(&self) -> &'static str {
         "gate is not a member of any sleep domain in the plan"
     }
-    fn check(&self, target: &LintTarget<'_>, _cfg: &LintConfig) -> Vec<Diagnostic> {
+    fn check(&self, ctx: &LintContext<'_>) -> Vec<Diagnostic> {
         let LintTarget::Netlist {
             nl,
             plan: Some(plan),
-        } = target
+            ..
+        } = ctx.target
         else {
             return Vec::new();
         };
@@ -369,13 +401,14 @@ impl Rule for SleepInsertionDelay {
     fn description(&self) -> &'static str {
         "sleep-tree insertion delay exceeds the wake-up budget"
     }
-    fn check(&self, target: &LintTarget<'_>, cfg: &LintConfig) -> Vec<Diagnostic> {
+    fn check(&self, ctx: &LintContext<'_>) -> Vec<Diagnostic> {
         let LintTarget::Netlist {
             plan: Some(plan), ..
-        } = target
+        } = ctx.target
         else {
             return Vec::new();
         };
+        let cfg = ctx.config;
         plan.domains
             .iter()
             .filter(|d| d.tree.insertion_delay > cfg.insertion_delay_budget)
@@ -397,7 +430,7 @@ impl Rule for SleepInsertionDelay {
 
 /// `iss-budget`: aggregate tail current of all current-mode stages
 /// against a configured budget. Disabled until
-/// [`LintConfig::iss_budget`] is set.
+/// [`LintConfig::iss_budget`](crate::LintConfig::iss_budget) is set.
 pub struct IssBudget;
 
 impl Rule for IssBudget {
@@ -410,10 +443,11 @@ impl Rule for IssBudget {
     fn description(&self) -> &'static str {
         "aggregate tail current of all current-mode stages exceeds the configured budget"
     }
-    fn check(&self, target: &LintTarget<'_>, cfg: &LintConfig) -> Vec<Diagnostic> {
-        let LintTarget::Netlist { nl, .. } = target else {
+    fn check(&self, ctx: &LintContext<'_>) -> Vec<Diagnostic> {
+        let LintTarget::Netlist { nl, .. } = ctx.target else {
             return Vec::new();
         };
+        let cfg = ctx.config;
         let Some(budget) = cfg.iss_budget else {
             return Vec::new();
         };

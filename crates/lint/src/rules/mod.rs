@@ -1,4 +1,5 @@
 //! The built-in rule packs.
 
+pub mod dataflow;
 pub mod gate;
 pub mod tran;

@@ -9,9 +9,8 @@ use mcml_cells::CellNetlist;
 use mcml_device::MosPolarity;
 use mcml_spice::{Circuit, Element, NodeId};
 
-use crate::config::LintConfig;
 use crate::diag::{Diagnostic, Location, Severity};
-use crate::engine::{LintTarget, Rule};
+use crate::engine::{LintContext, LintTarget, Rule};
 
 /// Every rule of the transistor-level pack, in registration order.
 #[must_use]
@@ -141,8 +140,8 @@ impl Rule for MosFloatingGate {
     fn description(&self) -> &'static str {
         "MOS gate node has no conductive connection and is not a port"
     }
-    fn check(&self, target: &LintTarget<'_>, _cfg: &LintConfig) -> Vec<Diagnostic> {
-        let LintTarget::Circuit { circuit, cell } = target else {
+    fn check(&self, ctx: &LintContext<'_>) -> Vec<Diagnostic> {
+        let LintTarget::Circuit { circuit, cell } = ctx.target else {
             return Vec::new();
         };
         let ports = port_indices(*cell);
@@ -182,8 +181,8 @@ impl Rule for MosFloatingBulk {
     fn description(&self) -> &'static str {
         "MOS bulk node has no conductive connection and is not a port"
     }
-    fn check(&self, target: &LintTarget<'_>, _cfg: &LintConfig) -> Vec<Diagnostic> {
-        let LintTarget::Circuit { circuit, cell } = target else {
+    fn check(&self, ctx: &LintContext<'_>) -> Vec<Diagnostic> {
+        let LintTarget::Circuit { circuit, cell } = ctx.target else {
             return Vec::new();
         };
         let ports = port_indices(*cell);
@@ -224,8 +223,8 @@ impl Rule for NodeNoDcPath {
     fn description(&self) -> &'static str {
         "node has no DC path to ground or to any port"
     }
-    fn check(&self, target: &LintTarget<'_>, _cfg: &LintConfig) -> Vec<Diagnostic> {
-        let LintTarget::Circuit { circuit, cell } = target else {
+    fn check(&self, ctx: &LintContext<'_>) -> Vec<Diagnostic> {
+        let LintTarget::Circuit { circuit, cell } = ctx.target else {
             return Vec::new();
         };
         let ports = port_indices(*cell);
@@ -281,8 +280,8 @@ impl Rule for VsourceLoop {
     fn description(&self) -> &'static str {
         "voltage source closes a loop of voltage sources"
     }
-    fn check(&self, target: &LintTarget<'_>, _cfg: &LintConfig) -> Vec<Diagnostic> {
-        let LintTarget::Circuit { circuit, .. } = target else {
+    fn check(&self, ctx: &LintContext<'_>) -> Vec<Diagnostic> {
+        let LintTarget::Circuit { circuit, .. } = ctx.target else {
             return Vec::new();
         };
         let mut dsu = Dsu::new(circuit.node_count());
@@ -372,11 +371,11 @@ impl Rule for DiffSymmetry {
     fn description(&self) -> &'static str {
         "differential rail pair presents unbalanced device loads (DPA leakage)"
     }
-    fn check(&self, target: &LintTarget<'_>, _cfg: &LintConfig) -> Vec<Diagnostic> {
+    fn check(&self, ctx: &LintContext<'_>) -> Vec<Diagnostic> {
         let LintTarget::Circuit {
             circuit,
             cell: Some(cell),
-        } = target
+        } = ctx.target
         else {
             return Vec::new();
         };
@@ -419,11 +418,11 @@ impl Rule for PgSleepMissing {
     fn description(&self) -> &'static str {
         "power-gated cell has no transistor gated by the sleep signal"
     }
-    fn check(&self, target: &LintTarget<'_>, _cfg: &LintConfig) -> Vec<Diagnostic> {
+    fn check(&self, ctx: &LintContext<'_>) -> Vec<Diagnostic> {
         let LintTarget::Circuit {
             circuit,
             cell: Some(cell),
-        } = target
+        } = ctx.target
         else {
             return Vec::new();
         };
@@ -478,11 +477,11 @@ impl Rule for PgSleepPosition {
     fn description(&self) -> &'static str {
         "sleep transistor is not in series above the tail current source (topology (d))"
     }
-    fn check(&self, target: &LintTarget<'_>, _cfg: &LintConfig) -> Vec<Diagnostic> {
+    fn check(&self, ctx: &LintContext<'_>) -> Vec<Diagnostic> {
         let LintTarget::Circuit {
             circuit,
             cell: Some(cell),
-        } = target
+        } = ctx.target
         else {
             return Vec::new();
         };

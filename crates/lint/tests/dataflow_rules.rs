@@ -1,0 +1,180 @@
+//! Golden tests for the dataflow rule pack against the shipped AES
+//! drivers and seeded-fault netlists.
+
+use mcml_aes::ReducedAes;
+use mcml_cells::{CellKind, LogicStyle};
+use mcml_lint::{LintEngine, Location, Severity};
+use mcml_netlist::{Conn, GateKind, Netlist, PortClass};
+
+/// The CMOS registered `ReducedAes` — the CPA attack's positive control —
+/// must flag every register output net (the `y*_q` nets whose supply
+/// charge the attack correlates) as secret-on-CMOS.
+#[test]
+fn cmos_reduced_aes_flags_the_attacked_register_nets() {
+    let nl: Netlist = ReducedAes::new(4).build_registered_netlist(LogicStyle::Cmos);
+    let report = LintEngine::with_default_rules().lint_netlist(&nl, None);
+
+    let flagged: Vec<String> = report
+        .by_rule("dataflow-secret-cmos")
+        .map(|d| d.location.to_string())
+        .collect();
+    for b in 0..4 {
+        assert!(
+            flagged.contains(&format!("net y{b}_q")),
+            "register output y{b}_q not flagged; flagged = {flagged:?}"
+        );
+    }
+    // Warn-only by default: the baseline still elaborates.
+    assert!(report.is_clean(), "{report:?}");
+
+    // The report carries the dataflow summary with a populated score
+    // table — CMOS cells have non-zero energy asymmetry.
+    let df = report.dataflow.as_ref().expect("acyclic netlist");
+    assert!(df.tainted_nets >= 8, "summary: {df:?}");
+    assert!(!df.top_scores.is_empty());
+    assert!(df.top_scores[0].score_j > 0.0);
+}
+
+/// The same design in PG-MCML carries taint (the key still flows) but
+/// triggers nothing: constant tail current hides it.
+#[test]
+fn pg_mcml_reduced_aes_has_no_dataflow_findings() {
+    let nl: Netlist = ReducedAes::new(4).build_registered_netlist(LogicStyle::PgMcml);
+    let report = LintEngine::with_default_rules().lint_netlist(&nl, None);
+    assert!(
+        report
+            .diagnostics
+            .iter()
+            .all(|d| !d.rule_id.starts_with("dataflow-")),
+        "{report:?}"
+    );
+    let df = report.dataflow.as_ref().expect("acyclic netlist");
+    assert!(df.tainted_nets > 0, "the key datapath is still tainted");
+    assert!(
+        df.top_scores.is_empty(),
+        "differential cells have zero energy asymmetry: {df:?}"
+    );
+}
+
+/// Seeded fault: a CMOS S-box cone where the key reconverges with
+/// itself down a skewed path — the classic glitchy unbalanced
+/// recombination. Both the glitch rule and the secret-on-CMOS rule
+/// must land on the reconvergence net.
+#[test]
+fn seeded_glitchy_recombination_is_flagged() {
+    let mut nl = Netlist::new("glitchy_recomb", LogicStyle::Cmos);
+    let k = nl.add_input("k");
+    let p = nl.add_input("p");
+    let slow1 = nl.add_net("slow1");
+    let slow2 = nl.add_net("slow2");
+    let q = nl.add_net("q");
+    // k delayed two levels through AND stages, then XORed with itself.
+    nl.add_gate(
+        "u_s1",
+        GateKind::Lib(CellKind::And2),
+        vec![Conn::plain(k), Conn::plain(p)],
+        vec![slow1],
+    );
+    nl.add_gate(
+        "u_s2",
+        GateKind::Lib(CellKind::And2),
+        vec![Conn::plain(slow1), Conn::plain(p)],
+        vec![slow2],
+    );
+    nl.add_gate(
+        "u_x",
+        GateKind::Lib(CellKind::Xor2),
+        vec![Conn::plain(k), Conn::plain(slow2)],
+        vec![q],
+    );
+    nl.set_output("q", Conn::plain(q));
+    nl.set_port_class("k", PortClass::Secret);
+
+    let report = LintEngine::with_default_rules().lint_netlist(&nl, None);
+    assert!(
+        report
+            .by_rule("dataflow-glitch")
+            .any(|d| d.location == Location::Net("q".into())),
+        "{report:?}"
+    );
+    assert!(report
+        .by_rule("dataflow-secret-cmos")
+        .any(|d| d.location == Location::Net("q".into())));
+    // XOR(k, f(k, p)) stays key-dependent, so taint survives the
+    // reconvergence even though both operands derive from k.
+    let df = report.dataflow.as_ref().expect("acyclic");
+    assert!(df.glitch_nets >= 1);
+}
+
+/// Seeded fault: a secret mixed into a clock gate. The control-pin rule
+/// denies it in *any* style — here PG-MCML, where everything else about
+/// the design is by-the-book.
+#[test]
+fn seeded_secret_clock_gate_is_denied_in_pg_mcml() {
+    let mut nl = Netlist::new("clkgate", LogicStyle::PgMcml);
+    let clk = nl.add_input("clk");
+    let k = nl.add_input("k");
+    let d = nl.add_input("d");
+    let gclk = nl.add_net("gclk");
+    let q = nl.add_net("q");
+    nl.add_gate(
+        "u_g",
+        GateKind::Lib(CellKind::And2),
+        vec![Conn::plain(clk), Conn::plain(k)],
+        vec![gclk],
+    );
+    nl.add_gate(
+        "u_ff",
+        GateKind::Lib(CellKind::Dff),
+        vec![Conn::plain(d), Conn::plain(gclk)],
+        vec![q],
+    );
+    nl.set_output("q", Conn::plain(q));
+    nl.set_port_class("k", PortClass::Secret);
+    nl.set_port_class("clk", PortClass::Clock);
+
+    let report = LintEngine::with_default_rules().lint_netlist(&nl, None);
+    assert!(!report.is_clean());
+    let hit = report
+        .by_rule("dataflow-secret-control")
+        .next()
+        .expect("control rule fires");
+    assert_eq!(hit.severity, Severity::Deny);
+    assert_eq!(hit.location, Location::Gate("u_ff".into()));
+}
+
+/// Balanced recombination inside the real S-box: the XOR of a key bit with
+/// itself yields an untainted constant, so a sanitising XOR mask wipes
+/// the taint downstream.
+#[test]
+fn taint_kill_composes_with_the_real_drivers() {
+    let mut nl = Netlist::new("masked", LogicStyle::Cmos);
+    let k = nl.add_input("k");
+    let p = nl.add_input("p");
+    let zero = nl.add_net("zero");
+    let out = nl.add_net("out");
+    nl.add_gate(
+        "u_kill",
+        GateKind::Lib(CellKind::Xor2),
+        vec![Conn::plain(k), Conn::plain(k)],
+        vec![zero],
+    );
+    nl.add_gate(
+        "u_use",
+        GateKind::Lib(CellKind::And2),
+        vec![Conn::plain(zero), Conn::plain(p)],
+        vec![out],
+    );
+    nl.set_output("out", Conn::plain(out));
+    nl.set_port_class("k", PortClass::Secret);
+
+    let report = LintEngine::with_default_rules().lint_netlist(&nl, None);
+    assert_eq!(
+        report.by_rule("dataflow-secret-cmos").count(),
+        0,
+        "x^x kills the taint before it reaches CMOS logic: {report:?}"
+    );
+    let df = report.dataflow.as_ref().expect("acyclic");
+    // Only the primary input itself stays tainted.
+    assert_eq!(df.tainted_nets, 1);
+}

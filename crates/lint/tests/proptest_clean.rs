@@ -126,6 +126,34 @@ proptest! {
         );
     }
 
+    /// A fully PG-MCML mapped design stays clean under the dataflow
+    /// pack: with no secret annotation the taint analysis finds nothing
+    /// at all, and even with every input marked secret the differential
+    /// style triggers none of the `dataflow-*` rules (constant tail
+    /// current hides taint and glitches alike, and the techmap never
+    /// emits single-ended crossings or secret-gated clocks).
+    #[test]
+    fn pg_mcml_techmap_output_is_taint_clean(
+        recipes in collection::vec(recipe_strategy(12), 3..25),
+    ) {
+        let bn = build_network(&recipes, 3);
+        let mut nl = map_network(&bn, LogicStyle::PgMcml, &TechmapOptions::default());
+        let results = mcml_lint::dataflow::analyze(&nl, None)
+            .expect("mapped netlists are acyclic");
+        prop_assert!(results.is_taint_clean(), "no ports are classified secret");
+
+        let input_names: Vec<String> =
+            nl.inputs().iter().map(|(name, _)| name.clone()).collect();
+        for name in &input_names {
+            nl.set_port_class(name, mcml_netlist::PortClass::Secret);
+        }
+        let report = engine().lint_netlist(&nl, None);
+        prop_assert!(
+            report.diagnostics.iter().all(|d| !d.rule_id.starts_with("dataflow-")),
+            "dataflow findings on an all-PG-MCML design: {:?}", report.diagnostics
+        );
+    }
+
     /// Automatic sleep insertion produces a plan with no orphans and no
     /// deny diagnostics against its own netlist.
     #[test]

@@ -5,10 +5,41 @@
 //! back-end legalises it with explicit inverter gates (see
 //! [`crate::techmap`]).
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 use mcml_cells::{CellKind, LogicStyle};
 use serde::{Deserialize, Serialize};
+
+/// Security classification of a primary port, consumed by the
+/// `mcml-lint` secret-taint dataflow analysis.
+///
+/// The class is an *annotation*: it changes no electrical or logical
+/// behaviour, only what the static analyses assume about the data the
+/// port carries. Ports default to [`PortClass::Public`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum PortClass {
+    /// Attacker-known or attacker-chosen data (plaintexts, outputs).
+    #[default]
+    Public,
+    /// Secret data (key material, or internal state derived from it):
+    /// the taint sources of the dataflow analysis.
+    Secret,
+    /// A clock or other data-independent control strobe; never a taint
+    /// source and exempt from activity bounds.
+    Clock,
+}
+
+impl PortClass {
+    /// Stable report string (`public` / `secret` / `clock`).
+    #[must_use]
+    pub const fn name(self) -> &'static str {
+        match self {
+            PortClass::Public => "public",
+            PortClass::Secret => "secret",
+            PortClass::Clock => "clock",
+        }
+    }
+}
 
 /// Handle to a net.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
@@ -135,6 +166,9 @@ pub struct Netlist {
     gates: Vec<Gate>,
     inputs: Vec<(String, NetId)>,
     outputs: Vec<(String, Conn)>,
+    /// Security class per annotated primary port (absent = `Public`).
+    /// A `BTreeMap` so iteration (and thus every report) is ordered.
+    port_classes: BTreeMap<String, PortClass>,
 }
 
 impl Netlist {
@@ -148,6 +182,7 @@ impl Netlist {
             gates: Vec::new(),
             inputs: Vec::new(),
             outputs: Vec::new(),
+            port_classes: BTreeMap::new(),
         }
     }
 
@@ -230,6 +265,38 @@ impl Netlist {
     #[must_use]
     pub fn outputs(&self) -> &[(String, Conn)] {
         &self.outputs
+    }
+
+    /// Annotate a primary port with its security class.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `port` names no primary input or output.
+    pub fn set_port_class(&mut self, port: &str, class: PortClass) {
+        assert!(
+            self.inputs.iter().any(|(n, _)| n == port)
+                || self.outputs.iter().any(|(n, _)| n == port),
+            "no primary port `{port}` to classify"
+        );
+        self.port_classes.insert(port.to_owned(), class);
+    }
+
+    /// Security class of a primary port (`Public` unless annotated).
+    #[must_use]
+    pub fn port_class(&self, port: &str) -> PortClass {
+        self.port_classes.get(port).copied().unwrap_or_default()
+    }
+
+    /// Every explicitly annotated port, in name order.
+    pub fn port_classes(&self) -> impl Iterator<Item = (&str, PortClass)> {
+        self.port_classes.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// Whether any port carries a non-default security class (i.e. the
+    /// taint analysis has at least one source or clock to work from).
+    #[must_use]
+    pub fn has_port_classes(&self) -> bool {
+        !self.port_classes.is_empty()
     }
 
     /// Histogram of gate kinds.
@@ -605,6 +672,29 @@ mod tests {
         // `b` feeds both gates.
         let b = nl.inputs()[1].1;
         assert_eq!(f[b.index()], 2);
+    }
+
+    #[test]
+    fn port_classes_default_public_and_annotate() {
+        let mut nl = xor_and_netlist(LogicStyle::PgMcml);
+        assert_eq!(nl.port_class("a"), PortClass::Public);
+        assert!(!nl.has_port_classes());
+        nl.set_port_class("a", PortClass::Secret);
+        nl.set_port_class("q", PortClass::Public);
+        assert_eq!(nl.port_class("a"), PortClass::Secret);
+        assert!(nl.has_port_classes());
+        let annotated: Vec<(&str, PortClass)> = nl.port_classes().collect();
+        assert_eq!(
+            annotated,
+            vec![("a", PortClass::Secret), ("q", PortClass::Public)]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "no primary port")]
+    fn port_class_requires_existing_port() {
+        let mut nl = xor_and_netlist(LogicStyle::PgMcml);
+        nl.set_port_class("nope", PortClass::Secret);
     }
 
     #[test]

@@ -56,7 +56,7 @@ pub mod techmap;
 pub use auto_sleep::{insert_sleep_domains, SleepDomain, SleepPlan};
 pub use bool_network::{BoolNetwork, Signal};
 pub use check::{structural_issues, StructuralIssue, ValidateError};
-pub use ir::{Conn, Gate, GateKind, NetId, Netlist};
+pub use ir::{Conn, Gate, GateKind, NetId, Netlist, PortClass, SinkRef};
 pub use report::{area_report, critical_path_ps, AreaReport};
 pub use sleep_tree::{build_sleep_tree, SleepTree};
 pub use techmap::{map_network, TechmapOptions};

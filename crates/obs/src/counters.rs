@@ -93,11 +93,21 @@ pub enum Counter {
     LintRulesRun,
     /// Lint diagnostics emitted at warn or deny severity (`mcml-lint`).
     LintDiagnostics,
+    /// Lint diagnostics suppressed by a configured waiver (`mcml-lint`).
+    LintWaived,
+    /// Dataflow fixpoint solves over a netlist — one per analysed
+    /// target, covering taint, activity and score together (`mcml-lint`).
+    DataflowRuns,
+    /// Gate transfer-function applications inside the dataflow worklist
+    /// solver, summed over all analyses (`mcml-lint`).
+    DataflowGateEvals,
+    /// Nets the secret-taint analysis marked tainted (`mcml-lint`).
+    DataflowTaintedNets,
 }
 
 impl Counter {
     /// Every counter, in declaration order.
-    pub const ALL: [Counter; 31] = [
+    pub const ALL: [Counter; 35] = [
         Counter::DcSolves,
         Counter::Transients,
         Counter::TranSteps,
@@ -129,6 +139,10 @@ impl Counter {
         Counter::ZeroVarianceSkipped,
         Counter::LintRulesRun,
         Counter::LintDiagnostics,
+        Counter::LintWaived,
+        Counter::DataflowRuns,
+        Counter::DataflowGateEvals,
+        Counter::DataflowTaintedNets,
     ];
 
     /// Number of counters (size of the storage rows).
@@ -169,6 +183,10 @@ impl Counter {
             Counter::ZeroVarianceSkipped => "dpa.zero_variance_skipped",
             Counter::LintRulesRun => "lint.rules_run",
             Counter::LintDiagnostics => "lint.diagnostics",
+            Counter::LintWaived => "lint.waived",
+            Counter::DataflowRuns => "lint.dataflow_runs",
+            Counter::DataflowGateEvals => "lint.dataflow_gate_evals",
+            Counter::DataflowTaintedNets => "lint.dataflow_tainted_nets",
         }
     }
 
@@ -204,6 +222,10 @@ impl Counter {
             Counter::ZeroVarianceSkipped => "matrix cells",
             Counter::LintRulesRun => "rule evaluations",
             Counter::LintDiagnostics => "diagnostics",
+            Counter::LintWaived => "diagnostics",
+            Counter::DataflowRuns => "solves",
+            Counter::DataflowGateEvals => "transfer applications",
+            Counter::DataflowTaintedNets => "nets",
         }
     }
 
@@ -238,7 +260,12 @@ impl Counter {
             | Counter::PearsonChunks
             | Counter::WelchChunks
             | Counter::ZeroVarianceSkipped => "mcml-dpa",
-            Counter::LintRulesRun | Counter::LintDiagnostics => "mcml-lint",
+            Counter::LintRulesRun
+            | Counter::LintDiagnostics
+            | Counter::LintWaived
+            | Counter::DataflowRuns
+            | Counter::DataflowGateEvals
+            | Counter::DataflowTaintedNets => "mcml-lint",
         }
     }
 }

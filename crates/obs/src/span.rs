@@ -53,6 +53,10 @@ pub enum Stage {
     WorkerBusy,
     /// Static rule checking of netlists and circuits (`mcml-lint`).
     Lint,
+    /// Dataflow fixpoint analyses — secret taint, activity bounds and
+    /// the static leakage score — over a netlist (`mcml-lint`); nested
+    /// inside the `lint` span when driven by the rule engine.
+    Dataflow,
     /// MNA Jacobian/residual assembly inside the Newton loop
     /// (`mcml-spice`).
     MnaAssemble,
@@ -65,7 +69,7 @@ pub enum Stage {
 
 impl Stage {
     /// Every stage, in declaration order.
-    pub const ALL: [Stage; 18] = [
+    pub const ALL: [Stage; 19] = [
         Stage::Characterize,
         Stage::BiasSweep,
         Stage::CornerSweep,
@@ -81,6 +85,7 @@ impl Stage {
         Stage::ParallelMap,
         Stage::WorkerBusy,
         Stage::Lint,
+        Stage::Dataflow,
         Stage::MnaAssemble,
         Stage::LuFactor,
         Stage::LuSolve,
@@ -108,6 +113,7 @@ impl Stage {
             Stage::ParallelMap => "parallel_map",
             Stage::WorkerBusy => "worker_busy",
             Stage::Lint => "lint",
+            Stage::Dataflow => "dataflow",
             Stage::MnaAssemble => "mna_assemble",
             Stage::LuFactor => "lu_factor",
             Stage::LuSolve => "lu_solve",
