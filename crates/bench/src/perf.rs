@@ -47,6 +47,9 @@
 //!         mos_bypassed: 20_000,
 //!         ensemble_lanes: 0,
 //!         lane_refactors: 0,
+//!         partition_blocks: 0,
+//!         block_solves: 0,
+//!         block_skips: 0,
 //!         solves_per_sec: 666.7,
 //!     }],
 //! });
@@ -110,6 +113,17 @@ pub struct TierPerf {
     pub ensemble_lanes: u64,
     /// `spice.lane_refactors` delta over the tier (deterministic; ditto).
     pub lane_refactors: u64,
+    /// `spice.partition_blocks` delta over the tier (deterministic; 0 on
+    /// monolithic tiers and on trajectory points predating the
+    /// partitioned solve).
+    pub partition_blocks: u64,
+    /// `spice.block_solves` delta over the tier (deterministic; ditto).
+    pub block_solves: u64,
+    /// `spice.block_skips` delta over the tier (deterministic; ditto).
+    /// `block_solves + block_skips == partition_blocks × committed
+    /// sub-steps`, so a skip regression always surfaces as a
+    /// `block_solves` increase.
+    pub block_skips: u64,
     /// Linear solves per wall-clock second (machine-dependent).
     pub solves_per_sec: f64,
 }
@@ -188,6 +202,9 @@ pub struct CounterSnap {
     mos_bypassed: u64,
     ensemble_lanes: u64,
     lane_refactors: u64,
+    partition_blocks: u64,
+    block_solves: u64,
+    block_skips: u64,
 }
 
 impl CounterSnap {
@@ -208,6 +225,9 @@ impl CounterSnap {
             mos_bypassed: mcml_obs::total(Counter::MosBypassed),
             ensemble_lanes: mcml_obs::total(Counter::EnsembleLanes),
             lane_refactors: mcml_obs::total(Counter::LaneRefactors),
+            partition_blocks: mcml_obs::total(Counter::PartitionBlocks),
+            block_solves: mcml_obs::total(Counter::BlockSolves),
+            block_skips: mcml_obs::total(Counter::BlockSkips),
         }
     }
 }
@@ -241,6 +261,9 @@ pub fn measure_tier<T>(tier: &str, f: impl FnOnce() -> T) -> (TierPerf, T) {
             mos_bypassed: after.mos_bypassed - before.mos_bypassed,
             ensemble_lanes: after.ensemble_lanes - before.ensemble_lanes,
             lane_refactors: after.lane_refactors - before.lane_refactors,
+            partition_blocks: after.partition_blocks - before.partition_blocks,
+            block_solves: after.block_solves - before.block_solves,
+            block_skips: after.block_skips - before.block_skips,
             solves_per_sec: solves as f64 / wall_s.max(1e-9),
         },
         out,
@@ -405,6 +428,15 @@ impl Trajectory {
                     t.lane_refactors
                 ));
                 s.push_str(&format!(
+                    "          \"partition_blocks\": {},\n",
+                    t.partition_blocks
+                ));
+                s.push_str(&format!(
+                    "          \"block_solves\": {},\n",
+                    t.block_solves
+                ));
+                s.push_str(&format!("          \"block_skips\": {},\n", t.block_skips));
+                s.push_str(&format!(
                     "          \"solves_per_sec\": {:.1}\n",
                     t.solves_per_sec
                 ));
@@ -484,6 +516,10 @@ impl Trajectory {
                     // earliest points likewise.
                     ensemble_lanes: int_or(tobj, "ensemble_lanes", 0)?,
                     lane_refactors: int_or(tobj, "lane_refactors", 0)?,
+                    // The partition counters postdate them all likewise.
+                    partition_blocks: int_or(tobj, "partition_blocks", 0)?,
+                    block_solves: int_or(tobj, "block_solves", 0)?,
+                    block_skips: int_or(tobj, "block_skips", 0)?,
                     solves_per_sec: num(tobj, "solves_per_sec")?,
                 });
             }
@@ -616,9 +652,19 @@ pub fn compare_points(baseline: &PerfPoint, candidate: &PerfPoint, tolerance: f6
             // zero baseline would turn any candidate into a violation,
             // so the check only arms once a real baseline exists.
             ("mos_evals", base_tier.mos_evals, cand_tier.mos_evals),
+            // Same zero-baseline arming for the partitioned-solve work
+            // counter. `block_skips` needs no gate of its own: the
+            // scheduler's conservation identity (solves + skips =
+            // blocks × sub-steps) turns any lost skip into an extra
+            // solve, which this check catches.
+            (
+                "block_solves",
+                base_tier.block_solves,
+                cand_tier.block_solves,
+            ),
         ];
         for (name, base, cand) in checks {
-            if base == 0 && name == "mos_evals" {
+            if base == 0 && matches!(name, "mos_evals" | "block_solves") {
                 continue;
             }
             let limit = (base as f64 * (1.0 + tolerance)).ceil() as u64;
@@ -919,6 +965,9 @@ mod tests {
             mos_bypassed: nr * 2,
             ensemble_lanes: 0,
             lane_refactors: nr / 8,
+            partition_blocks: nr / 10,
+            block_solves: nr * 3,
+            block_skips: nr,
             solves_per_sec: nr as f64 / 0.5,
         }
     }
@@ -1042,6 +1091,9 @@ mod tests {
         assert!(json.contains("\"mos_bypassed\": 200"));
         assert!(json.contains("\"ensemble_lanes\": 0"));
         assert!(json.contains("\"lane_refactors\": 12"));
+        assert!(json.contains("\"partition_blocks\": 10"));
+        assert!(json.contains("\"block_solves\": 300"));
+        assert!(json.contains("\"block_skips\": 100"));
         assert!(json.contains("\"wall_min_s\": 0.400000"));
         assert!(json.contains("\"wall_max_s\": 0.700000"));
         assert!(json.contains("\"reps\": 5"));

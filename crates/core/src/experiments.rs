@@ -730,6 +730,123 @@ pub fn fig6_supply_trace_with(
     fig6_plaintext_trace(&el, v_lo, v_hi, key, plaintext, tran_opts)
 }
 
+/// Quiescent-MOS bypass tolerance (V) of the `aes_tran` partition tier —
+/// same rationale as [`FIG6_BYPASS_VTOL`].
+const AES_TRAN_BYPASS_VTOL: f64 = 10e-6;
+
+/// The transient options of the `aes_tran` multi-cell partition tier:
+/// the fig. 6 acquisition window on a plain 10 ps **fixed** grid (the
+/// partitioned scheduler is fixed-grid only — grid-aligned LTE stepping
+/// would silently fall back to the monolithic path) plus the
+/// quiescent-MOS bypass. `partition` toggles the block scheduler; off
+/// gives the monolithic baseline the perf gate compares against.
+#[must_use]
+pub fn aes_tran_options(partition: bool) -> TranOptions {
+    let opts = TranOptions::new(FIG6_T_STOP, 10e-12).with_bypass(AES_TRAN_BYPASS_VTOL);
+    if partition {
+        opts.with_partitioning()
+    } else {
+        opts
+    }
+}
+
+/// Cell parameters of the `aes_tran` partition tier: the defaults with
+/// the gate-overlap parasitics off. The drain–gate coupling capacitors
+/// bridge every stage bidirectionally, which collapses the whole design
+/// into a single solve block; without them the MOS gate is input-only
+/// and the reduced-AES netlist decomposes into one block per logic
+/// stage.
+#[must_use]
+pub fn aes_tran_params() -> CellParams {
+    CellParams {
+        with_parasitics: false,
+        ..CellParams::default()
+    }
+}
+
+/// One plaintext's supply-current trace of the `aes_tran` partition
+/// tier: the **combinational** reduced-AES S-box driven by a plaintext
+/// edge at the fig. 6 clock instant, resampled over the same capture
+/// window.
+///
+/// Combinational rather than registered on purpose: with the tier's
+/// parasitics off the circuit carries no capacitance, so a latch's hold
+/// state would be pinned only by Newton seeding from the previous step
+/// — a reordered (partitioned) solve can then legitimately resolve a
+/// bistable node onto the other branch. The S-box DAG has a unique
+/// solution at every step, which makes monolithic-vs-partitioned parity
+/// a well-posed contract.
+///
+/// # Errors
+///
+/// Propagates simulator errors.
+pub fn aes_tran_trace(
+    params: &CellParams,
+    key: u8,
+    style: LogicStyle,
+    plaintext: u8,
+    tran_opts: &TranOptions,
+) -> Result<Vec<f64>> {
+    Ok(aes_tran_tier(params, key, style, &[plaintext], tran_opts)?.remove(0))
+}
+
+/// The whole `aes_tran` benchmark tier: one elaboration of the
+/// combinational reduced-AES S-box, then one [`aes_tran_trace`]-shaped
+/// transient per plaintext. Elaboration (netlist mapping + lint) is
+/// hoisted out of the per-plaintext loop so the tier's wall clock
+/// measures solver work, not front-end work repeated per trace.
+///
+/// # Errors
+///
+/// Propagates simulator errors.
+pub fn aes_tran_tier(
+    params: &CellParams,
+    key: u8,
+    style: LogicStyle,
+    plaintexts: &[u8],
+    tran_opts: &TranOptions,
+) -> Result<Vec<Vec<f64>>> {
+    let nl: Netlist = ReducedAes::new(4).build_netlist(style);
+    let el = checked_elaborate(&nl, params, &mcml_lint::LintEngine::with_default_rules())?;
+    let (v_lo, v_hi) = match style {
+        LogicStyle::Cmos => (0.0, params.tech.vdd),
+        _ => (params.v_low(), params.tech.vdd),
+    };
+    let edge = |a: f64, b: f64| {
+        SourceWave::Pwl(vec![(0.0, a), (FIG6_T_EDGE, a), (FIG6_T_EDGE + 50e-12, b)])
+    };
+    plaintexts
+        .iter()
+        .map(|&plaintext| {
+            let mut ckt: Circuit = el.circuit.clone();
+            let mut drive = |name: &str, bit: bool, switches: bool| {
+                let (np, nn) = el.inputs[name];
+                let (lp, ln) = if bit { (v_hi, v_lo) } else { (v_lo, v_hi) };
+                let (wp, wn) = if switches && bit {
+                    // This bit rises at the edge; its complement falls.
+                    (edge(v_lo, v_hi), edge(v_hi, v_lo))
+                } else {
+                    (SourceWave::dc(lp), SourceWave::dc(ln))
+                };
+                ckt.vsource(&format!("V{name}"), np, Circuit::GND, wp);
+                if let Some(nn) = nn {
+                    ckt.vsource(&format!("V{name}n"), nn, Circuit::GND, wn);
+                }
+            };
+            for b in 0..4u8 {
+                drive(&format!("k{b}"), (key >> b) & 1 == 1, false);
+                // Plaintext bits launch from all-zeros at the edge, so
+                // the data-dependent switching activity lands inside the
+                // capture window exactly like the registered fig. 6
+                // tier's clock edge.
+                drive(&format!("p{b}"), (plaintext >> b) & 1 == 1, true);
+            }
+            let res = ckt.transient(tran_opts)?;
+            fig6_extract_supply(&res, &el)
+        })
+        .collect()
+}
+
 /// [`fig6_transistor_par`]'s batched sibling: plaintexts are chunked into
 /// `lanes`-wide blocks, each block runs as **one ensemble transient**
 /// over a shared stamp plan and symbolic LU

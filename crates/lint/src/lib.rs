@@ -63,4 +63,7 @@ pub use config::{LintConfig, Waiver};
 pub use dataflow::DataflowResults;
 pub use diag::{Diagnostic, Location, Severity};
 pub use engine::{LintContext, LintEngine, LintTarget, Rule};
-pub use report::{combined_json, DataflowSummary, LintReport, NetScore, WaivedDiagnostic, SCHEMA};
+pub use report::{
+    combined_json, DataflowSummary, LintReport, NetScore, PartitionSummary, WaivedDiagnostic,
+    SCHEMA,
+};

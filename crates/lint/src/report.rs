@@ -8,7 +8,11 @@
 //!
 //! Schema history: `mcml-lint/2` added the `waived` list (per-instance
 //! waivers with justification) and the optional `dataflow` summary
-//! (taint/toggle/leakage-score tables) to each target.
+//! (taint/toggle/leakage-score tables) to each target; the optional
+//! `partition` summary (solve-block decomposition of transistor-level
+//! targets) was added later under the same schema tag — consumers
+//! treat absent optional keys as "not applicable", so the addition is
+//! backward compatible.
 
 use std::fmt::Write as _;
 
@@ -57,6 +61,28 @@ pub struct DataflowSummary {
     pub top_scores: Vec<NetScore>,
 }
 
+/// How a transistor-level target's MNA system decomposes into solve
+/// blocks (the `mcml-spice` partitioned-solve view, DC couplings only —
+/// parasitic capacitors are not galvanic bridges).
+///
+/// Present only for circuit targets. A "differential" design that
+/// collapses into one block couples all its stages galvanically —
+/// usually a shorted rail or a shared bias net — which both defeats the
+/// partitioned solver and merges supposedly independent current paths.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PartitionSummary {
+    /// Number of solve blocks after splitting at voltage-source rails.
+    pub blocks: usize,
+    /// Free nodes in the largest block.
+    pub largest_block: usize,
+    /// Nodes pinned by voltage-source chains (rails).
+    pub rail_nodes: usize,
+    /// True when the decomposition fell back for a structural reason
+    /// (voltage-source loop or floating source) rather than because the
+    /// design is one block.
+    pub fallback: bool,
+}
+
 /// The outcome of linting one target.
 #[derive(Debug, Clone, PartialEq)]
 pub struct LintReport {
@@ -71,6 +97,8 @@ pub struct LintReport {
     pub waived: Vec<WaivedDiagnostic>,
     /// Dataflow summary, when the target is an acyclic netlist.
     pub dataflow: Option<DataflowSummary>,
+    /// Solve-block decomposition, when the target is a circuit.
+    pub partition: Option<PartitionSummary>,
 }
 
 impl LintReport {
@@ -145,7 +173,11 @@ impl LintReport {
             }
             let _ = writeln!(out, "{pad}  ],");
         }
-        let dataflow_comma = if self.dataflow.is_some() { "," } else { "" };
+        let dataflow_comma = if self.dataflow.is_some() || self.partition.is_some() {
+            ","
+        } else {
+            ""
+        };
         if self.waived.is_empty() {
             let _ = writeln!(out, "{pad}  \"waived_diagnostics\": []{dataflow_comma}");
         } else {
@@ -190,6 +222,15 @@ impl LintReport {
                 }
                 let _ = writeln!(out, "{pad}    ]");
             }
+            let partition_comma = if self.partition.is_some() { "," } else { "" };
+            let _ = writeln!(out, "{pad}  }}{partition_comma}");
+        }
+        if let Some(p) = &self.partition {
+            let _ = writeln!(out, "{pad}  \"partition\": {{");
+            let _ = writeln!(out, "{pad}    \"blocks\": {},", p.blocks);
+            let _ = writeln!(out, "{pad}    \"largest_block\": {},", p.largest_block);
+            let _ = writeln!(out, "{pad}    \"rail_nodes\": {},", p.rail_nodes);
+            let _ = writeln!(out, "{pad}    \"fallback\": {}", p.fallback);
             let _ = writeln!(out, "{pad}  }}");
         }
         let _ = write!(out, "{pad}}}");
@@ -269,6 +310,7 @@ mod tests {
             ],
             waived: vec![],
             dataflow: None,
+            partition: None,
         }
     }
 
@@ -285,6 +327,7 @@ mod tests {
             diagnostics: vec![],
             waived: vec![],
             dataflow: None,
+            partition: None,
         };
         assert!(clean.is_clean());
     }
@@ -330,6 +373,35 @@ mod tests {
         assert!(json.contains("\"score_j\": \"1.250e-14\""));
         // Still deterministic.
         assert_eq!(json, r.to_json());
+    }
+
+    #[test]
+    fn partition_section_renders_after_dataflow() {
+        let mut r = sample();
+        r.partition = Some(PartitionSummary {
+            blocks: 7,
+            largest_block: 12,
+            rail_nodes: 3,
+            fallback: false,
+        });
+        let json = r.to_json();
+        assert!(json.contains("\"partition\": {"));
+        assert!(json.contains("\"blocks\": 7"));
+        assert!(json.contains("\"largest_block\": 12"));
+        assert!(json.contains("\"rail_nodes\": 3"));
+        assert!(json.contains("\"fallback\": false"));
+        // The comma chain stays valid with every optional-section
+        // combination: partition alone, and dataflow + partition.
+        assert!(json.contains("\"waived_diagnostics\": [],"));
+        r.dataflow = Some(DataflowSummary {
+            tainted_nets: 1,
+            glitch_nets: 0,
+            max_toggle_bound: 1,
+            top_scores: vec![],
+        });
+        let both = r.to_json();
+        assert!(both.contains("  },\n  \"partition\": {"));
+        assert_eq!(both, r.to_json());
     }
 
     #[test]

@@ -23,6 +23,7 @@ pub fn all() -> Vec<Box<dyn Rule>> {
         Box::new(DiffSymmetry),
         Box::new(PgSleepMissing),
         Box::new(PgSleepPosition),
+        Box::new(PartitionCollapse),
     ]
 }
 
@@ -545,5 +546,72 @@ impl Rule for PgSleepPosition {
             });
         }
         out
+    }
+}
+
+/// Multi-stage circuit whose DC-coupling graph collapses into a single
+/// solve block.
+///
+/// MCML stages hand signals forward through MOS **gates** (input-only —
+/// no DC current), so a multi-cell design should decompose into one
+/// solve block per stage once the shared rails are split out. When it
+/// instead collapses into one block, some net couples the stages
+/// galvanically — typically a resistive bridge, a shared bias net that
+/// should be a rail, or an output shorted to a neighbour's internal
+/// node. That both defeats the partitioned transient scheduler (one
+/// monolithic matrix instead of per-stage blocks) and, worse for a DPA
+/// library, merges current paths that the differential-symmetry
+/// argument assumes independent.
+///
+/// The threshold of 16 devices (~two PG-MCML gates) keeps single-cell
+/// targets — which are legitimately one block — out of scope.
+struct PartitionCollapse;
+
+/// Smallest MOS count at which a one-block decomposition is suspicious:
+/// a single PG-MCML cell tops out below this, so only genuinely
+/// multi-stage circuits can trip the rule.
+const COLLAPSE_MIN_MOS: usize = 16;
+
+impl Rule for PartitionCollapse {
+    fn id(&self) -> &'static str {
+        "partition-collapse"
+    }
+    fn default_severity(&self) -> Severity {
+        Severity::Warn
+    }
+    fn description(&self) -> &'static str {
+        "multi-stage circuit collapses into one DC-coupled solve block"
+    }
+    fn check(&self, ctx: &LintContext<'_>) -> Vec<Diagnostic> {
+        let LintTarget::Circuit { circuit, .. } = ctx.target else {
+            return Vec::new();
+        };
+        let mos_count = circuit
+            .elements()
+            .filter(|(_, _, e)| matches!(e, Element::Mos { .. }))
+            .count();
+        if mos_count < COLLAPSE_MIN_MOS {
+            return Vec::new();
+        }
+        // DC couplings only: a parasitic capacitor merges blocks for
+        // the transient solver but is not a galvanic bridge, and this
+        // rule is about galvanic structure. A structural fallback
+        // (vsource loop, floating source) is *not* a collapse — the
+        // vsource-loop / no-dc-path rules own those defects.
+        let rep = mcml_spice::partition_report(circuit, true);
+        if rep.blocks > 1 || rep.fallback {
+            return Vec::new();
+        }
+        vec![Diagnostic {
+            rule_id: self.id(),
+            severity: self.default_severity(),
+            message: format!(
+                "{mos_count} MOS devices form a single DC-coupled solve block; a \
+                 multi-stage MCML design should split into per-stage blocks at the \
+                 rails — look for a resistive bridge or shared bias net coupling \
+                 stages galvanically"
+            ),
+            location: Location::Design,
+        }]
     }
 }

@@ -261,6 +261,56 @@ fn broken_circuit() -> Circuit {
     ckt
 }
 
+/// Two differential stages (18 MOS) whose gates hand the signal forward
+/// — which should split into per-stage solve blocks at the rail — but
+/// with a resistive bridge between the stage outputs that galvanically
+/// collapses them into one block: trips `partition-collapse`.
+fn collapsed_circuit() -> Circuit {
+    let nmos = Mosfet::nmos(MosParams::nmos_lvt_90(), 400e-9, 100e-9);
+    let mut ckt = Circuit::new();
+    let vdd = ckt.node("vdd");
+    ckt.vsource("v_vdd", vdd, Circuit::GND, SourceWave::dc(1.2));
+    let mut prev = (vdd, vdd);
+    for s in 0..2 {
+        let out_p = ckt.node(&format!("s{s}_out_p"));
+        let out_n = ckt.node(&format!("s{s}_out_n"));
+        let tail = ckt.node(&format!("s{s}_tail"));
+        ckt.resistor(&format!("s{s}_rl_p"), vdd, out_p, 10e3);
+        ckt.resistor(&format!("s{s}_rl_n"), vdd, out_n, 10e3);
+        for k in 0..4 {
+            ckt.mosfet(
+                &format!("s{s}_mp{k}"),
+                out_p,
+                prev.0,
+                tail,
+                Circuit::GND,
+                nmos.clone(),
+            );
+            ckt.mosfet(
+                &format!("s{s}_mn{k}"),
+                out_n,
+                prev.1,
+                tail,
+                Circuit::GND,
+                nmos.clone(),
+            );
+        }
+        ckt.mosfet(
+            &format!("s{s}_tail_dev"),
+            tail,
+            vdd,
+            Circuit::GND,
+            Circuit::GND,
+            nmos.clone(),
+        );
+        prev = (out_p, out_n);
+    }
+    let a = ckt.find_node("s0_out_p").expect("s0_out_p");
+    let b = ckt.find_node("s1_out_p").expect("s1_out_p");
+    ckt.resistor("r_bridge", a, b, 50e3);
+    ckt
+}
+
 /// Cell-topology faults: a symmetry break, a PG cell without sleep, and
 /// a sleep/tail gate swap.
 fn broken_cells() -> Vec<CellNetlist> {
@@ -320,6 +370,7 @@ fn every_registered_rule_fires() {
     let (pg, plan) = sleep_faults();
     reports.push(engine.lint_netlist(&pg, Some(&plan)));
     reports.push(engine.lint_circuit(&broken_circuit()));
+    reports.push(engine.lint_circuit(&collapsed_circuit()));
     for cell in broken_cells() {
         reports.push(engine.lint_cell(&cell));
     }

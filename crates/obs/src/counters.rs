@@ -63,6 +63,18 @@ pub enum Counter {
     /// `StampPlan` base instead of being re-evaluated per Newton
     /// iteration (`mcml-spice`).
     LinearStampsSkipped,
+    /// Solve blocks produced by the connected-component partition of a
+    /// transient's MNA system, summed over partitioned transients; a
+    /// monolithic run contributes nothing (`mcml-spice`).
+    PartitionBlocks,
+    /// Per-block Newton solves actually executed by the partitioned
+    /// scheduler on committed sub-steps (`mcml-spice`).
+    BlockSolves,
+    /// Per-block solves skipped because neither the block's own state
+    /// nor any upstream interface voltage moved beyond the skip
+    /// tolerance; `block_solves + block_skips == blocks x committed
+    /// sub-steps` per partitioned run (`mcml-spice`).
+    BlockSkips,
     /// Characterisation-cache lookups (`mcml-char`).
     CacheLookups,
     /// Characterisation-cache lookups served from memory (`mcml-char`).
@@ -107,7 +119,7 @@ pub enum Counter {
 
 impl Counter {
     /// Every counter, in declaration order.
-    pub const ALL: [Counter; 35] = [
+    pub const ALL: [Counter; 38] = [
         Counter::DcSolves,
         Counter::Transients,
         Counter::TranSteps,
@@ -124,6 +136,9 @@ impl Counter {
         Counter::SymbolicReuse,
         Counter::NumericRefactor,
         Counter::LinearStampsSkipped,
+        Counter::PartitionBlocks,
+        Counter::BlockSolves,
+        Counter::BlockSkips,
         Counter::CacheLookups,
         Counter::CacheHits,
         Counter::CacheMisses,
@@ -168,6 +183,9 @@ impl Counter {
             Counter::SymbolicReuse => "spice.symbolic_reuse",
             Counter::NumericRefactor => "spice.numeric_refactor",
             Counter::LinearStampsSkipped => "spice.linear_stamps_skipped",
+            Counter::PartitionBlocks => "spice.partition_blocks",
+            Counter::BlockSolves => "spice.block_solves",
+            Counter::BlockSkips => "spice.block_skips",
             Counter::CacheLookups => "charlib.cache_lookups",
             Counter::CacheHits => "charlib.cache_hits",
             Counter::CacheMisses => "charlib.cache_misses",
@@ -210,6 +228,9 @@ impl Counter {
             Counter::SymbolicReuse => "reused factorisations",
             Counter::NumericRefactor => "refactorisations",
             Counter::LinearStampsSkipped => "stamps",
+            Counter::PartitionBlocks => "blocks",
+            Counter::BlockSolves => "block solves",
+            Counter::BlockSkips => "skipped solves",
             Counter::CacheLookups | Counter::CacheHits | Counter::CacheMisses => "lookups",
             Counter::CellsCharacterized => "cells",
             Counter::SweepPoints => "points",
@@ -248,7 +269,10 @@ impl Counter {
             | Counter::MatrixSolves
             | Counter::SymbolicReuse
             | Counter::NumericRefactor
-            | Counter::LinearStampsSkipped => "mcml-spice",
+            | Counter::LinearStampsSkipped
+            | Counter::PartitionBlocks
+            | Counter::BlockSolves
+            | Counter::BlockSkips => "mcml-spice",
             Counter::CacheLookups
             | Counter::CacheHits
             | Counter::CacheMisses

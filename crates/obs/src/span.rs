@@ -41,6 +41,11 @@ pub enum Stage {
     /// One ensemble transient — N input vectors marched lockstep over a
     /// shared stamp plan and symbolic LU (`mcml-spice`).
     EnsembleTran,
+    /// Connected-component partition of a transient's MNA system:
+    /// pinned-rail fixpoint, union-find over the coupling graph, block
+    /// sub-circuit construction and per-block engine setup
+    /// (`mcml-spice`).
+    Partition,
     /// Correlation power analysis (`mcml-dpa`).
     Cpa,
     /// Welch t-test leakage assessment (`mcml-dpa`).
@@ -69,7 +74,7 @@ pub enum Stage {
 
 impl Stage {
     /// Every stage, in declaration order.
-    pub const ALL: [Stage; 19] = [
+    pub const ALL: [Stage; 20] = [
         Stage::Characterize,
         Stage::BiasSweep,
         Stage::CornerSweep,
@@ -80,6 +85,7 @@ impl Stage {
         Stage::SpiceTier,
         Stage::Transient,
         Stage::EnsembleTran,
+        Stage::Partition,
         Stage::Cpa,
         Stage::Tvla,
         Stage::ParallelMap,
@@ -108,6 +114,7 @@ impl Stage {
             Stage::SpiceTier => "spice_tier",
             Stage::Transient => "transient",
             Stage::EnsembleTran => "ensemble_tran",
+            Stage::Partition => "partition",
             Stage::Cpa => "cpa",
             Stage::Tvla => "tvla",
             Stage::ParallelMap => "parallel_map",

@@ -7,6 +7,7 @@
 //! sparse backend reuses its symbolic factorisation numerically, and
 //! solves land in preallocated vectors.
 
+use std::borrow::Borrow;
 use std::sync::Arc;
 
 use crate::analysis::plan::{MosBypassState, StampPlan};
@@ -151,8 +152,13 @@ impl JacKey {
     }
 }
 
-pub(crate) struct Engine<'a> {
-    pub ckt: &'a Circuit,
+/// Generic over how the circuit is held: the scalar and ensemble paths
+/// borrow (`Engine<&Circuit>`), while the partitioned solver's per-block
+/// engines *own* their sub-circuits (`Engine<Circuit>`) so the boundary
+/// replica-source values can be rewritten between solves without
+/// fighting the borrow of a long-lived engine.
+pub(crate) struct Engine<C: Borrow<Circuit>> {
+    pub ckt: C,
     pub n_node_unk: usize,
     pub n_unk: usize,
     plan: Arc<StampPlan>,
@@ -184,11 +190,14 @@ pub(crate) struct Engine<'a> {
     last_factored: Option<JacKey>,
 }
 
-impl<'a> Engine<'a> {
-    pub fn new(ckt: &'a Circuit) -> Self {
-        let n_node_unk = ckt.node_count() - 1;
-        let n_unk = n_node_unk + ckt.branch_count();
-        let plan = Arc::new(StampPlan::build(ckt, n_node_unk, n_unk));
+impl<C: Borrow<Circuit>> Engine<C> {
+    pub fn new(ckt: C) -> Self {
+        let (n_node_unk, n_unk) = {
+            let c = ckt.borrow();
+            let n_node_unk = c.node_count() - 1;
+            (n_node_unk, n_node_unk + c.branch_count())
+        };
+        let plan = Arc::new(StampPlan::build(ckt.borrow(), n_node_unk, n_unk));
         Self::with_shared_plan(ckt, plan)
     }
 
@@ -197,9 +206,9 @@ impl<'a> Engine<'a> {
     /// caller guarantees `plan` was built for a circuit with identical
     /// topology (same elements in the same order, same node/branch
     /// counts); only source waveform values may differ.
-    pub fn with_shared_plan(ckt: &'a Circuit, plan: Arc<StampPlan>) -> Self {
-        let n_node_unk = ckt.node_count() - 1;
-        let n_unk = n_node_unk + ckt.branch_count();
+    pub fn with_shared_plan(ckt: C, plan: Arc<StampPlan>) -> Self {
+        let n_node_unk = ckt.borrow().node_count() - 1;
+        let n_unk = n_node_unk + ckt.borrow().branch_count();
         let nnz = plan.pattern.nnz();
         let n_mos = plan.n_mos;
         Self {
@@ -231,7 +240,7 @@ impl<'a> Engine<'a> {
     /// DFS and pivot search — the ensemble's "shared symbolic LU". The
     /// adopted numbers are treated as stale (`last_factored` cleared), so
     /// the next Newton iteration always refactors before solving.
-    pub fn adopt_factors_from(&mut self, donor: &Engine<'_>) {
+    pub fn adopt_factors_from(&mut self, donor: &Engine<impl Borrow<Circuit>>) {
         self.lu = donor.lu.clone();
         self.last_factored = None;
     }
@@ -289,7 +298,12 @@ impl<'a> Engine<'a> {
             f[i] += gmin * x[i];
         }
 
-        for (idx, (_, elem)) in self.ckt.elements().map(|(id, n, e)| (id.index(), (n, e))) {
+        for (idx, (_, elem)) in self
+            .ckt
+            .borrow()
+            .elements()
+            .map(|(id, n, e)| (id.index(), (n, e)))
+        {
             match elem {
                 Element::Resistor { a, b, ohms } => {
                     let g = 1.0 / ohms;
@@ -509,7 +523,7 @@ impl<'a> Engine<'a> {
             {
                 let _t = mcml_obs::span(mcml_obs::Stage::MnaAssemble);
                 let mos = self.plan.assemble_into(
-                    self.ckt,
+                    self.ckt.borrow(),
                     x,
                     t,
                     companion,
@@ -643,7 +657,7 @@ pub(crate) fn init_cap_states(ckt: &Circuit, x: &[f64]) -> Vec<Option<CapState>>
         .map(|(_, _, e)| match e {
             Element::Capacitor { a, b, farads } => Some(CapState {
                 c: *farads,
-                prev_v: Engine::v_pub(x, *a) - Engine::v_pub(x, *b),
+                prev_v: v_node(x, *a) - v_node(x, *b),
                 prev_i: 0.0,
             }),
             _ => None,
@@ -654,18 +668,30 @@ pub(crate) fn init_cap_states(ckt: &Circuit, x: &[f64]) -> Vec<Option<CapState>>
 /// Dense `(row-major matrix, residual)` snapshot of one assembly path.
 pub(crate) type DenseSystem = (Vec<f64>, Vec<f64>);
 
-impl Engine<'_> {
-    /// Public voltage accessor used by the analyses when mapping states to
-    /// waveforms.
-    #[inline]
-    pub(crate) fn v_pub(x: &[f64], node: NodeId) -> f64 {
-        if node.is_ground() {
-            0.0
-        } else {
-            x[node.index() - 1]
-        }
+/// Voltage accessor used by the analyses when mapping states to
+/// waveforms (node voltages sit at `index - 1`; ground is 0 V).
+#[inline]
+pub(crate) fn v_node(x: &[f64], node: NodeId) -> f64 {
+    if node.is_ground() {
+        0.0
+    } else {
+        x[node.index() - 1]
     }
+}
 
+impl Engine<Circuit> {
+    /// Mutable access to an owned circuit — the partitioned solver
+    /// rewrites its boundary replica-source values between solves.
+    /// Source waveform values never reach the stamp plan or the matrix
+    /// sparsity (they only enter the residual), so this cannot
+    /// invalidate the engine's cached plan or factors; the caller must
+    /// not change the topology.
+    pub fn ckt_mut(&mut self) -> &mut Circuit {
+        &mut self.ckt
+    }
+}
+
+impl<C: Borrow<Circuit>> Engine<C> {
     /// Assemble both paths to dense `(matrix, residual)` pairs — the
     /// equivalence-test hook behind `crate::testing`.
     pub(crate) fn assemble_both_dense(
@@ -690,7 +716,7 @@ impl Engine<'_> {
         }
 
         self.plan.assemble_into(
-            self.ckt,
+            self.ckt.borrow(),
             x,
             t,
             companion,

@@ -35,6 +35,7 @@ use std::sync::Arc;
 
 use crate::analysis::dc::{branch_map, DcOptions, OpPoint};
 use crate::analysis::engine::{init_cap_states, CapState, CompanionCtx, Engine, NrOptions};
+use crate::analysis::partition;
 use crate::analysis::plan::StampPlan;
 use crate::analysis::tran::{
     dense_output, lte_ratio, retag_tran, step_cell, update_caps, CapHistory, Integrator,
@@ -127,7 +128,7 @@ fn same_topology(a: &Circuit, b: &Circuit) -> bool {
 /// lane 0's first solve: their first factorisation then replays the
 /// recorded symbolic structure numerically instead of re-running the
 /// DFS and pivot search.
-fn seed_factors(engines: &mut [Engine<'_>], seeded: &mut bool) {
+fn seed_factors(engines: &mut [Engine<&Circuit>], seeded: &mut bool) {
     if *seeded {
         return;
     }
@@ -166,7 +167,7 @@ fn merged_breakpoints(ckts: &[Circuit], t_stop: f64) -> (Vec<f64>, f64) {
 /// `[lane × unknown]` state buffers, companion caps, and scratch.
 struct Lanes<'a, 'c> {
     ckts: &'a [Circuit],
-    engines: Vec<Engine<'c>>,
+    engines: Vec<Engine<&'c Circuit>>,
     n_unk: usize,
     /// Flat committed state, lane `l` at `l*n_unk..(l+1)*n_unk`.
     x_all: Vec<f64>,
@@ -320,8 +321,26 @@ pub fn ensemble_transient(ckts: &[Circuit], opts: &TranOptions) -> Result<Vec<Tr
         ops.push(ckt.dc_op_with(&dc_opts)?);
     }
 
+    // Partitioned path: per-lane block solves with independent skip
+    // decisions — lanes whose active partitions differ stop paying for
+    // each other. The partition structure is topology-only, so lane 0's
+    // serves every lane (the same contract as the shared stamp plan);
+    // block circuits are still built from each lane's own element
+    // values, so per-lane Monte-Carlo parameters are preserved. The
+    // fixed-grid ensemble march never shared step decisions between
+    // lanes, so the per-lane marches are equivalent by construction.
+    if opts.partition && opts.lte.is_none() && partition::partition_allowed() {
+        if let Some(structure) = partition::PartitionStructure::build(&ckts[0], true) {
+            let mut results = Vec::with_capacity(lanes);
+            for (ckt, op) in ckts.iter().zip(ops) {
+                results.push(partition::march_partitioned(ckt, opts, &structure, op)?);
+            }
+            return Ok(results);
+        }
+    }
+
     // One plan, built from lane 0, shared by every engine.
-    let mut engines: Vec<Engine<'_>> = Vec::with_capacity(lanes);
+    let mut engines: Vec<Engine<&Circuit>> = Vec::with_capacity(lanes);
     engines.push(Engine::new(&ckts[0]));
     let plan: Arc<StampPlan> = engines[0].plan_handle();
     for ckt in &ckts[1..] {

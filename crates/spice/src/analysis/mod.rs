@@ -5,5 +5,6 @@ pub mod dc;
 pub mod dcsweep;
 pub(crate) mod engine;
 pub mod ensemble;
+pub(crate) mod partition;
 pub(crate) mod plan;
 pub mod tran;

@@ -15,7 +15,9 @@
 //!   interface either way.
 
 use crate::analysis::dc::{branch_map, DcOptions, OpPoint};
-use crate::analysis::engine::{companion_terms, init_cap_states, CompanionCtx, Engine, NrOptions};
+use crate::analysis::engine::{
+    companion_terms, init_cap_states, v_node, CompanionCtx, Engine, NrOptions,
+};
 use crate::circuit::{Circuit, ElementId, NodeId};
 use crate::element::Element;
 use crate::error::SpiceError;
@@ -121,6 +123,10 @@ pub struct TranOptions {
     /// default) refactors every iteration, which is the reference
     /// behaviour all fixed-step goldens pin.
     pub jacobian_reuse: bool,
+    /// Connected-component / block-triangular partitioning of the MNA
+    /// solve (see [`TranOptions::with_partitioning`]). `false` (the
+    /// default) keeps the bit-preserved monolithic reference path.
+    pub partition: bool,
 }
 
 impl TranOptions {
@@ -166,6 +172,7 @@ impl TranOptions {
             bypass_vtol: 0.0,
             ensemble_lanes: 1,
             jacobian_reuse: false,
+            partition: false,
         }
     }
 
@@ -422,6 +429,53 @@ impl TranOptions {
         self
     }
 
+    /// Enable connected-component / block-triangular partitioning of the
+    /// MNA solve: the node graph is split at the voltage-source rails,
+    /// each connected component becomes an independently factored solve
+    /// block, blocks are ordered along the gate-coupling DAG (upstream
+    /// outputs feed downstream gates), and per time step a settled block
+    /// whose boundary inputs have not moved beyond the bypass tolerance
+    /// replays its cached solution instead of re-solving.
+    ///
+    /// Partitioning applies to fixed-grid transients of circuits that
+    /// actually split into two or more blocks; everything else (LTE
+    /// adaptive runs, single-component circuits, voltage-source loops)
+    /// silently takes the monolithic reference path, bit for bit.
+    /// `MCML_SPICE_PARTITION=off` in the environment is a hard-off
+    /// escape hatch that wins over this setting.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use mcml_spice::{Circuit, SourceWave, TranOptions};
+    ///
+    /// // Two independent RC islands off the same supply rail.
+    /// let mut c = Circuit::new();
+    /// let vdd = c.node("vdd");
+    /// let (a, b) = (c.node("a"), c.node("b"));
+    /// c.vsource("VDD", vdd, Circuit::GND, SourceWave::step(0.0, 1.2, 1e-9));
+    /// c.resistor("Ra", vdd, a, 1.0e3);
+    /// c.capacitor("Ca", a, Circuit::GND, 1.0e-12);
+    /// c.resistor("Rb", vdd, b, 2.0e3);
+    /// c.capacitor("Cb", b, Circuit::GND, 1.0e-12);
+    ///
+    /// let base = TranOptions::new(8e-9, 5e-12);
+    /// let mono = c.transient(&base).unwrap();
+    /// let part = c.transient(&base.with_partitioning()).unwrap();
+    /// // Same grid, same physics to solver tolerance.
+    /// assert_eq!(mono.times(), part.times());
+    /// let (m, p) = (
+    ///     mono.voltage(a).last_value(),
+    ///     part.voltage(a).last_value(),
+    /// );
+    /// assert!((m - p).abs() < 1e-6);
+    /// ```
+    #[must_use]
+    pub fn with_partitioning(mut self) -> Self {
+        self.partition = true;
+        self
+    }
+
     pub(crate) fn nr(&self) -> NrOptions {
         NrOptions {
             max_iter: self.max_iter,
@@ -611,6 +665,14 @@ pub fn transient(ckt: &Circuit, opts: &TranOptions) -> Result<TranResult> {
         ..DcOptions::default()
     };
     let op0 = ckt.dc_op_with(&dc_opts)?;
+    // Partitioned path: opt-in, fixed-grid only, and only when the
+    // circuit actually splits — everything else falls through to the
+    // monolithic reference march below, bit for bit.
+    if opts.partition && opts.lte.is_none() && crate::analysis::partition::partition_allowed() {
+        if let Some(structure) = crate::analysis::partition::PartitionStructure::build(ckt, true) {
+            return crate::analysis::partition::march_partitioned(ckt, opts, &structure, op0);
+        }
+    }
     let mut engine = Engine::new(ckt);
     let nr = opts.nr();
     let trapezoidal = opts.integrator == Integrator::Trapezoidal;
@@ -727,7 +789,7 @@ pub fn transient(ckt: &Circuit, opts: &TranOptions) -> Result<TranResult> {
 pub(crate) fn step_cell(
     ckt: &Circuit,
     opts: &TranOptions,
-    engine: &mut Engine<'_>,
+    engine: &mut Engine<impl std::borrow::Borrow<Circuit>>,
     nr: &NrOptions,
     trapezoidal: bool,
     x: &mut Vec<f64>,
@@ -820,7 +882,7 @@ impl CapHistory {
         self.t[self.len] = t;
         let slot = &mut self.v[self.len];
         for (k, &(a, b)) in pairs.iter().enumerate() {
-            slot[k] = Engine::v_pub(x, a) - Engine::v_pub(x, b);
+            slot[k] = v_node(x, a) - v_node(x, b);
         }
         self.len += 1;
     }
@@ -852,7 +914,7 @@ pub(crate) fn lte_ratio(
     let (t1, t2) = (hist.t[n - 2], hist.t[n - 1]);
     let mut r_max = 0.0f64;
     for (k, &(a, b)) in pairs.iter().enumerate() {
-        let v_new = Engine::v_pub(x_new, a) - Engine::v_pub(x_new, b);
+        let v_new = v_node(x_new, a) - v_node(x_new, b);
         let (v1, v2) = (hist.v[n - 2][k], hist.v[n - 1][k]);
         let dd1a = (v2 - v1) / (t2 - t1);
         let dd1b = (v_new - v2) / (t_new - t2);
@@ -881,7 +943,7 @@ fn march_adaptive(
     ckt: &Circuit,
     opts: &TranOptions,
     lte: AdaptiveOptions,
-    engine: &mut Engine<'_>,
+    engine: &mut Engine<impl std::borrow::Borrow<Circuit>>,
     nr: &NrOptions,
     trapezoidal: bool,
     x: &mut Vec<f64>,
@@ -1026,7 +1088,7 @@ fn march_aligned(
     ckt: &Circuit,
     opts: &TranOptions,
     lte: AdaptiveOptions,
-    engine: &mut Engine<'_>,
+    engine: &mut Engine<impl std::borrow::Borrow<Circuit>>,
     nr: &NrOptions,
     trapezoidal: bool,
     x: &mut Vec<f64>,
@@ -1241,7 +1303,7 @@ pub(crate) fn update_caps(
 ) {
     for (idx, (_, e)) in ckt.elements().map(|(id, n, e)| (id.index(), (n, e))) {
         if let (Element::Capacitor { a, b, .. }, Some(state)) = (e, caps[idx].as_mut()) {
-            let v_new = Engine::v_pub(x, *a) - Engine::v_pub(x, *b);
+            let v_new = v_node(x, *a) - v_node(x, *b);
             let (geq, hist) = companion_terms(state, h, trapezoidal);
             let i_new = geq * v_new + hist;
             state.prev_v = v_new;

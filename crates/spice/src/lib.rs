@@ -46,6 +46,7 @@ pub mod waveform;
 pub use analysis::dc::{DcOptions, OpPoint};
 pub use analysis::dcsweep::{dc_sweep, DcSweepResult};
 pub use analysis::ensemble::ensemble_transient;
+pub use analysis::partition::{partition_report, PartitionReport};
 pub use analysis::tran::{AdaptiveOptions, Integrator, TranOptions, TranResult};
 pub use circuit::{Circuit, ElementId, NodeId};
 pub use element::Element;

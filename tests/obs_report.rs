@@ -109,6 +109,68 @@ fn library_fanout_counters_equal_under_contention() {
 }
 
 #[test]
+fn partition_counters_equal_serial_vs_four_threads() {
+    // Fan four independent partitioned transients across workers: the
+    // sharded atomic counters must aggregate to the same totals whether
+    // the runs share one thread or race on four (`MCML_THREADS=4`).
+    use mcml_spice::{Circuit, SourceWave, TranOptions};
+
+    let _g = locked();
+    // Six RC islands hanging off one stepped rail; splitting at the
+    // vsource pin leaves six single-node blocks, and once each island
+    // settles after the step its solves are skipped.
+    let farm = || {
+        let mut c = Circuit::new();
+        let rail = c.node("rail");
+        c.vsource("VDD", rail, Circuit::GND, SourceWave::step(0.0, 1.2, 1e-9));
+        for i in 0..6 {
+            let out = c.node(&format!("out{i}"));
+            c.resistor(&format!("R{i}"), rail, out, 1.0e3 * (i + 1) as f64);
+            c.capacitor(&format!("C{i}"), out, Circuit::GND, 1.0e-12);
+        }
+        c
+    };
+    let opts = TranOptions::new(20e-9, 0.1e-9).with_partitioning();
+    let workload = |par: Parallelism| {
+        mcml_exec::parallel_map(par, 4, |_| {
+            farm()
+                .transient(&opts)
+                .expect("partitioned transient")
+                .steps_taken()
+        })
+    };
+    let mut steps = Vec::new();
+    let serial = instrumented("partition", 1, || {
+        steps = workload(Parallelism::Serial);
+    });
+    let parallel = instrumented("partition", 4, || {
+        workload(Parallelism::Threads(4));
+    });
+
+    assert_eq!(
+        serial.deterministic_totals(),
+        parallel.deterministic_totals(),
+        "partition counters must not depend on MCML_THREADS"
+    );
+    for c in [
+        Counter::PartitionBlocks,
+        Counter::BlockSolves,
+        Counter::BlockSkips,
+    ] {
+        assert!(serial.counter(c) > 0, "{} should be nonzero", c.name());
+    }
+    // Accounting identity: every block either solved or skipped on every
+    // committed sub-step, across all four runs.
+    assert_eq!(serial.counter(Counter::PartitionBlocks), 4 * 6);
+    let committed: u64 = steps.iter().map(|&s| s as u64).sum();
+    assert_eq!(
+        serial.counter(Counter::BlockSolves) + serial.counter(Counter::BlockSkips),
+        6 * committed,
+        "block_solves + block_skips = blocks x committed sub-steps"
+    );
+}
+
+#[test]
 fn report_json_matches_schema_shape() {
     let _g = locked();
     mcml_char::cache::clear();
