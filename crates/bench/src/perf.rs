@@ -622,11 +622,22 @@ impl Trajectory {
     }
 }
 
+/// Counters introduced after the first recorded baselines. A trajectory
+/// point saved before such a counter existed parses it back as 0
+/// (`mcml-bench-perf/1` → `/2` compatibility), and a zero baseline would
+/// turn *any* candidate value into a violation — so these checks only
+/// arm once a baseline with a real (nonzero) measurement exists. Every
+/// counter added to [`TierPerf`] after a schema bump belongs in this
+/// list; the always-armed trio (`nr_iterations`, `matrix_solves`,
+/// `tran_steps`) has been present since the first schema and stays out.
+pub const ZERO_BASELINE_ARMED: &[&str] = &["mos_evals", "block_solves"];
+
 /// Compare a candidate point against a baseline point: every deterministic
 /// work counter (`nr_iterations`, `matrix_solves`, `tran_steps`) of every
 /// tier present in both must not exceed the baseline by more than
 /// `tolerance` (e.g. `0.10` for +10 %). Returns the list of violations,
-/// empty when the candidate passes.
+/// empty when the candidate passes. Counters listed in
+/// [`ZERO_BASELINE_ARMED`] are skipped while their baseline reads 0.
 #[must_use]
 pub fn compare_points(baseline: &PerfPoint, candidate: &PerfPoint, tolerance: f64) -> Vec<String> {
     let mut violations = Vec::new();
@@ -647,16 +658,11 @@ pub fn compare_points(baseline: &PerfPoint, candidate: &PerfPoint, tolerance: f6
                 cand_tier.matrix_solves,
             ),
             ("tran_steps", base_tier.tran_steps, cand_tier.tran_steps),
-            // Model evaluations are deterministic too, but baselines
-            // recorded before the counter existed read back as 0 — a
-            // zero baseline would turn any candidate into a violation,
-            // so the check only arms once a real baseline exists.
             ("mos_evals", base_tier.mos_evals, cand_tier.mos_evals),
-            // Same zero-baseline arming for the partitioned-solve work
-            // counter. `block_skips` needs no gate of its own: the
-            // scheduler's conservation identity (solves + skips =
-            // blocks × sub-steps) turns any lost skip into an extra
-            // solve, which this check catches.
+            // `block_skips` needs no check of its own: the scheduler's
+            // conservation identity (solves + skips = blocks × sub-steps)
+            // turns any lost skip into an extra solve, which the
+            // `block_solves` check catches.
             (
                 "block_solves",
                 base_tier.block_solves,
@@ -664,7 +670,7 @@ pub fn compare_points(baseline: &PerfPoint, candidate: &PerfPoint, tolerance: f6
             ),
         ];
         for (name, base, cand) in checks {
-            if base == 0 && matches!(name, "mos_evals" | "block_solves") {
+            if base == 0 && ZERO_BASELINE_ARMED.contains(&name) {
                 continue;
             }
             let limit = (base as f64 * (1.0 + tolerance)).ceil() as u64;
@@ -1153,6 +1159,64 @@ mod tests {
         assert!(compare_points(&base, &good, 0.10).is_empty());
         let v = compare_points(&base, &bad, 0.10);
         assert!(!v.is_empty() && v[0].contains("nr_iterations"));
+    }
+
+    #[test]
+    fn v1_baseline_arms_post_schema_counters_uniformly() {
+        // A mixed trajectory: the baseline label predates the v2 counters
+        // (parsed from schema-1 JSON, so `mos_evals`/`block_solves` read
+        // back as 0), the candidate is a fresh v2 measurement with real
+        // values. Every counter in ZERO_BASELINE_ARMED must stay quiet
+        // against the old point — none may spuriously flag "0 -> n".
+        let v1 = r#"{
+          "schema": "mcml-bench-perf/1",
+          "points": [{
+            "label": "pr5-old-baseline",
+            "tiers": [{
+              "tier": "fig6_tran", "wall_s": 1.0,
+              "nr_iterations": 1000, "matrix_solves": 1000, "tran_steps": 500,
+              "symbolic_reuse": 0, "numeric_refactor": 0,
+              "linear_stamps_skipped": 0, "solves_per_sec": 1000.0
+            }]
+          }]
+        }"#;
+        let old = Trajectory::from_json(v1).unwrap();
+        let baseline = &old.points[0];
+        for name in ZERO_BASELINE_ARMED {
+            let t = &baseline.tiers[0];
+            let read = match *name {
+                "mos_evals" => t.mos_evals,
+                "block_solves" => t.block_solves,
+                other => panic!("unknown armed counter `{other}` — extend this test"),
+            };
+            assert_eq!(read, 0, "{name}: v1 points must parse the counter as 0");
+        }
+        // Candidate: same always-armed work, huge post-schema counters.
+        let candidate = PerfPoint {
+            label: "pr10-candidate".to_owned(),
+            tiers: vec![tier("fig6_tran", 1000)], // mos_evals 8000, block_solves 3000
+            ..PerfPoint::default()
+        };
+        assert!(
+            compare_points(baseline, &candidate, 0.10).is_empty(),
+            "zero-baseline counters must not fire against a v1 point"
+        );
+        // And once a real (v2) baseline exists, the same counters arm:
+        // regressing mos_evals/block_solves 8x against it must fail.
+        let armed_base = PerfPoint {
+            label: "pr9-baseline".to_owned(),
+            tiers: vec![tier("fig6_tran", 125)],
+            ..PerfPoint::default()
+        };
+        let v = compare_points(&armed_base, &candidate, 0.10);
+        assert!(
+            v.iter().any(|m| m.contains("mos_evals")),
+            "armed mos_evals must fire: {v:?}"
+        );
+        assert!(
+            v.iter().any(|m| m.contains("block_solves")),
+            "armed block_solves must fire: {v:?}"
+        );
     }
 
     #[test]

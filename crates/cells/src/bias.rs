@@ -25,6 +25,29 @@ pub struct BiasPoint {
     pub vswing: f64,
 }
 
+/// Why a bias point could not be solved for a set of cell parameters.
+///
+/// Produced by [`try_solve_bias`]; a candidate sizing whose devices
+/// cannot deliver the requested tail current anywhere in the supply
+/// range is *infeasible*, not a programming error, so callers that feed
+/// machine-generated parameters (the characterisation harness, the
+/// sizing optimizer) get a value to reject instead of a panic.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BiasError {
+    /// Which bisection failed (`"tail current"` or `"load current"`).
+    pub what: &'static str,
+    /// Human-readable bracket description.
+    pub detail: String,
+}
+
+impl std::fmt::Display for BiasError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "bias solve failed for {}: {}", self.what, self.detail)
+    }
+}
+
+impl std::error::Error for BiasError {}
+
 /// Solve `Vn` and `Vp` for the given cell parameters.
 ///
 /// `Vn` is chosen so the (high-Vt) tail device carries `Iss` with ≈0.3 V
@@ -35,10 +58,25 @@ pub struct BiasPoint {
 /// # Panics
 ///
 /// Panics if the requested current is outside what the sized devices can
-/// deliver anywhere in the supply range — a sizing bug, not a runtime
-/// condition.
+/// deliver anywhere in the supply range. Use [`try_solve_bias`] when the
+/// parameters are not known-good (e.g. optimizer candidates).
 #[must_use]
 pub fn solve_bias(params: &CellParams) -> BiasPoint {
+    match try_solve_bias(params) {
+        Ok(b) => b,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Fallible [`solve_bias`]: returns a [`BiasError`] instead of panicking
+/// when the sized devices cannot reach the requested operating point.
+///
+/// # Errors
+///
+/// Returns [`BiasError`] if either bisection bracket does not contain the
+/// target current (including NaN device currents from degenerate
+/// geometry).
+pub fn try_solve_bias(params: &CellParams) -> Result<BiasPoint, BiasError> {
     let iss = params.iss_effective();
     let m = params.drive_mult();
 
@@ -54,7 +92,7 @@ pub fn solve_bias(params: &CellParams) -> BiasPoint {
         0.0,
         params.tech.vdd,
         "tail current",
-    );
+    )?;
 
     // Load: low-Vt PMOS with source at Vdd; current magnitude at
     // Vsd = Vswing must be Iss. Lower gate voltage -> stronger device.
@@ -70,14 +108,14 @@ pub fn solve_bias(params: &CellParams) -> BiasPoint {
         0.0,
         vdd,
         "load current",
-    );
+    )?;
 
-    BiasPoint {
+    Ok(BiasPoint {
         vn,
         vp,
         iss,
         vswing: params.vswing,
-    }
+    })
 }
 
 /// Bisect `f(x) = target` where `f` is increasing on `[lo, hi]`.
@@ -86,14 +124,20 @@ fn bisect_increasing(
     target: f64,
     mut lo: f64,
     mut hi: f64,
-    what: &str,
-) -> f64 {
-    assert!(
-        f(hi) >= target && f(lo) <= target,
-        "{what}: target {target:.3e} A outside achievable range [{:.3e}, {:.3e}]",
-        f(lo),
-        f(hi)
-    );
+    what: &'static str,
+) -> Result<f64, BiasError> {
+    // NaN endpoints fail these comparisons too, which is exactly the
+    // rejection we want for degenerate device geometry.
+    if !(f(hi) >= target && f(lo) <= target) {
+        return Err(BiasError {
+            what,
+            detail: format!(
+                "target {target:.3e} A outside achievable range [{:.3e}, {:.3e}]",
+                f(lo),
+                f(hi)
+            ),
+        });
+    }
     for _ in 0..80 {
         let mid = 0.5 * (lo + hi);
         if f(mid) < target {
@@ -102,13 +146,19 @@ fn bisect_increasing(
             hi = mid;
         }
     }
-    0.5 * (lo + hi)
+    Ok(0.5 * (lo + hi))
 }
 
 /// Bisect `f(x) = target` where `f` is decreasing on `[lo, hi]`.
-fn bisect_decreasing(f: impl Fn(f64) -> f64, target: f64, lo: f64, hi: f64, what: &str) -> f64 {
+fn bisect_decreasing(
+    f: impl Fn(f64) -> f64,
+    target: f64,
+    lo: f64,
+    hi: f64,
+    what: &'static str,
+) -> Result<f64, BiasError> {
     // `y ↦ f(−y)` is increasing on [−hi, −lo].
-    -bisect_increasing(|y| f(-y), target, -hi, -lo, what)
+    Ok(-bisect_increasing(|y| f(-y), target, -hi, -lo, what)?)
 }
 
 #[cfg(test)]
@@ -154,6 +204,25 @@ mod tests {
         assert!((b1.vn - b4.vn).abs() < 0.02, "{} vs {}", b1.vn, b4.vn);
         assert!((b1.vp - b4.vp).abs() < 0.02, "{} vs {}", b1.vp, b4.vp);
         assert_eq!(b4.iss, 4.0 * b1.iss);
+    }
+
+    #[test]
+    fn try_solve_bias_rejects_unreachable_current() {
+        // 1 A through micron-wide devices: no gate voltage inside the
+        // supply can deliver it.
+        let p = CellParams {
+            iss: 1.0,
+            ..CellParams::default()
+        };
+        let e = try_solve_bias(&p).unwrap_err();
+        assert_eq!(e.what, "tail current");
+        assert!(e.to_string().contains("outside achievable range"));
+    }
+
+    #[test]
+    fn try_solve_bias_matches_solve_bias_when_feasible() {
+        let p = CellParams::default();
+        assert_eq!(try_solve_bias(&p).unwrap(), solve_bias(&p));
     }
 
     #[test]

@@ -45,7 +45,7 @@ pub mod params;
 pub mod style;
 
 pub use area::{cell_area_um2, mcml_to_cmos_ratio};
-pub use bias::{solve_bias, BiasPoint};
+pub use bias::{solve_bias, try_solve_bias, BiasError, BiasPoint};
 pub use cellnet::CellNetlist;
 pub use kind::{CellKind, DriveStrength};
 pub use mcml_device::Corner;

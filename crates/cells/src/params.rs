@@ -112,6 +112,43 @@ impl CellParams {
     pub fn v_low(&self) -> f64 {
         self.tech.vdd - self.vswing
     }
+
+    /// Check that the parameters describe a physically buildable cell:
+    /// every float finite, widths/lengths/current strictly positive, and
+    /// the output swing inside the supply (`0 < Vswing < Vdd`).
+    ///
+    /// The device model itself asserts positive geometry, so anything
+    /// that feeds externally supplied parameters into `build_cell` (the
+    /// characterisation harness, the sizing optimizer) calls this first
+    /// and turns a bad candidate into a typed error instead of a panic.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first violated
+    /// constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        let positive = [
+            ("iss", self.iss),
+            ("w_pair", self.w_pair),
+            ("w_tail", self.w_tail),
+            ("w_sleep", self.w_sleep),
+            ("w_load", self.w_load),
+            ("l", self.l),
+            ("l_tail", self.l_tail),
+        ];
+        for (name, v) in positive {
+            if !(v.is_finite() && v > 0.0) {
+                return Err(format!("{name} must be finite and positive, got {v:e}"));
+            }
+        }
+        if !self.vswing.is_finite() || self.vswing <= 0.0 || self.vswing >= self.tech.vdd {
+            return Err(format!(
+                "vswing must lie strictly inside (0, Vdd = {}), got {:e}",
+                self.tech.vdd, self.vswing
+            ));
+        }
+        Ok(())
+    }
 }
 
 impl Default for CellParams {
@@ -162,5 +199,30 @@ mod tests {
     #[should_panic(expected = "iss must be positive")]
     fn negative_iss_rejected() {
         let _ = CellParams::default().with_iss(-1.0);
+    }
+
+    #[test]
+    fn validate_accepts_defaults_and_rejects_degenerates() {
+        assert!(CellParams::default().validate().is_ok());
+        let zero_w = CellParams {
+            w_pair: 0.0,
+            ..CellParams::default()
+        };
+        assert!(zero_w.validate().unwrap_err().contains("w_pair"));
+        let nan_l = CellParams {
+            l: f64::NAN,
+            ..CellParams::default()
+        };
+        assert!(nan_l.validate().is_err());
+        let big_swing = CellParams {
+            vswing: 2.0,
+            ..CellParams::default()
+        };
+        assert!(big_swing.validate().unwrap_err().contains("vswing"));
+        let neg_iss = CellParams {
+            iss: -1e-6,
+            ..CellParams::default()
+        };
+        assert!(neg_iss.validate().is_err());
     }
 }

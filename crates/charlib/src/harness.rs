@@ -5,8 +5,10 @@
 //! a sleep driver, and fan-out loads built from real buffer cells of the
 //! same style (so FO4 means what it means on silicon).
 
-use mcml_cells::{bias::solve_bias, build_cell, BiasPoint, CellKind, CellParams, LogicStyle};
-use mcml_spice::{Circuit, ElementId, NodeId, SourceWave, TranOptions, TranResult, Waveform};
+use mcml_cells::{bias::try_solve_bias, build_cell, BiasPoint, CellKind, CellParams, LogicStyle};
+use mcml_spice::{
+    Circuit, ElementId, NodeId, SourceWave, SpiceError, TranOptions, TranResult, Waveform,
+};
 
 use crate::Result;
 
@@ -213,8 +215,36 @@ impl Testbench {
     }
 
     /// Construct the simulation circuit.
+    ///
+    /// # Panics
+    ///
+    /// Panics on parameters that cannot be built or biased; use
+    /// [`Testbench::try_build`] for machine-generated candidates.
     #[must_use]
     pub fn build(&self) -> BuiltTestbench {
+        match self.try_build() {
+            Ok(tb) => tb,
+            Err(e) => panic!("testbench build failed: {e}"),
+        }
+    }
+
+    /// Fallible [`Testbench::build`]: degenerate parameters (non-positive
+    /// geometry, swing outside the supply, a tail current the sized
+    /// devices cannot deliver) surface as
+    /// [`SpiceError::InvalidParameter`] instead of a panic, so one
+    /// infeasible candidate cannot kill a whole population evaluation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpiceError::InvalidParameter`] when validation or the
+    /// bias solve rejects the parameters.
+    pub fn try_build(&self) -> Result<BuiltTestbench> {
+        self.params
+            .validate()
+            .map_err(|reason| SpiceError::InvalidParameter {
+                element: format!("{}/{}", self.kind, self.style),
+                reason,
+            })?;
         let cell = build_cell(self.kind, self.style, &self.params);
         let mut ckt = Circuit::new();
         let vdd = ckt.node("vdd");
@@ -224,7 +254,10 @@ impl Testbench {
         // Map the cell in, sharing the supply node.
         let mut connections = vec![(cell.port("vdd"), vdd)];
         let bias = if self.style.is_differential() {
-            let b = solve_bias(&self.params);
+            let b = try_solve_bias(&self.params).map_err(|e| SpiceError::InvalidParameter {
+                element: format!("{}/{}", self.kind, self.style),
+                reason: e.to_string(),
+            })?;
             let vn = ckt.node("vn");
             let vp = ckt.node("vp");
             ckt.vsource("VN", vn, Circuit::GND, SourceWave::dc(b.vn));
@@ -347,7 +380,7 @@ impl Testbench {
             }
         }
 
-        BuiltTestbench {
+        Ok(BuiltTestbench {
             ckt,
             cell_ports,
             vdd_src,
@@ -355,16 +388,17 @@ impl Testbench {
             style: self.style,
             v_lo,
             v_hi,
-        }
+        })
     }
 
     /// Build and run a transient analysis.
     ///
     /// # Errors
     ///
-    /// Propagates simulator convergence errors.
+    /// Propagates simulator convergence errors and
+    /// [`SpiceError::InvalidParameter`] from [`Testbench::try_build`].
     pub fn run(&self, t_stop: f64, dt: f64) -> Result<(BuiltTestbench, TranResult)> {
-        let tb = self.build();
+        let tb = self.try_build()?;
         let res = tb.ckt.transient(&TranOptions::new(t_stop, dt))?;
         Ok((tb, res))
     }

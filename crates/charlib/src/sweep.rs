@@ -56,13 +56,22 @@ pub fn bias_sweep(params: &CellParams, currents: &[f64]) -> Result<Vec<BiasSweep
 ///
 /// # Errors
 ///
-/// Propagates simulator errors from the delay measurements.
+/// Propagates simulator errors from the delay measurements; a sweep
+/// current that is not finite and positive is rejected as
+/// [`mcml_spice::SpiceError::InvalidParameter`] before any simulation
+/// runs (the optimizer feeds machine-generated currents through here).
 pub fn bias_sweep_par(
     params: &CellParams,
     currents: &[f64],
     par: Parallelism,
 ) -> Result<Vec<BiasSweepPoint>> {
     let _span = mcml_obs::span(mcml_obs::Stage::BiasSweep);
+    if let Some(bad) = currents.iter().find(|i| !(i.is_finite() && **i > 0.0)) {
+        return Err(mcml_spice::SpiceError::InvalidParameter {
+            element: "bias sweep".to_owned(),
+            reason: format!("sweep current must be finite and positive, got {bad:e}"),
+        });
+    }
     mcml_obs::add(mcml_obs::Counter::SweepPoints, currents.len() as u64);
     mcml_exec::parallel_map_items(par, currents, |&iss| {
         let p = params.with_iss(iss);

@@ -1,0 +1,73 @@
+//! Property test: characterization is panic-free on arbitrary — including
+//! deliberately pathological — cell parameters.
+//!
+//! The optimizer feeds machine-generated sizings straight into
+//! `characterize_cell` and `bias_sweep_par`; a degenerate candidate must
+//! come back as a typed `Err`, never a panic. Each generated parameter
+//! independently draws from a mix of plausible values and poison values
+//! (zero, negative, NaN, infinity, absurd magnitudes).
+
+use proptest::prelude::*;
+
+use mcml_cells::{CellKind, CellParams, LogicStyle};
+use mcml_char::{bias_sweep_par, characterize_cell_uncached, Testbench};
+use mcml_exec::Parallelism;
+
+/// A strictly positive, sane-magnitude value or one of the poison cases.
+fn hostile(lo: f64, hi: f64) -> impl Strategy<Value = f64> {
+    prop_oneof![
+        (lo..hi).boxed(),
+        Just(0.0).boxed(),
+        Just(-1.0e-6).boxed(),
+        Just(f64::NAN).boxed(),
+        Just(f64::INFINITY).boxed(),
+        Just(-f64::INFINITY).boxed(),
+        Just(1.0e3).boxed(),
+        Just(f64::MIN_POSITIVE).boxed(),
+    ]
+}
+
+fn hostile_params() -> impl Strategy<Value = CellParams> {
+    (
+        hostile(1.0e-6, 4.0e-4), // iss
+        hostile(0.05, 0.9),      // vswing
+        hostile(1.0e-7, 8.0e-6), // w_pair
+        hostile(1.0e-7, 8.0e-6), // w_tail
+        hostile(1.0e-7, 8.0e-6), // w_load
+        hostile(6.0e-8, 5.0e-7), // l
+    )
+        .prop_map(|(iss, vswing, w_pair, w_tail, w_load, l)| CellParams {
+            iss,
+            vswing,
+            w_pair,
+            w_tail,
+            w_sleep: w_tail,
+            w_load,
+            l,
+            ..CellParams::new()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// `Testbench::run` and the full characterization return `Ok` or a
+    /// typed `Err` for every generated sizing — no panics, no NaN smuggled
+    /// into an `Ok`.
+    #[test]
+    fn characterization_never_panics(params in hostile_params()) {
+        let tb = Testbench::new(CellKind::Buffer, LogicStyle::PgMcml, &params);
+        let _ = tb.run(2.0e-9, 1.0e-12);
+        if let Ok(t) = characterize_cell_uncached(CellKind::Buffer, LogicStyle::PgMcml, &params) {
+            prop_assert!(t.delay_fo4_ps.is_finite(), "Ok result with non-finite delay");
+        }
+    }
+
+    /// The bias sweep rejects non-finite / non-positive currents with a
+    /// typed error before any simulation, and survives hostile base
+    /// parameters at valid currents.
+    #[test]
+    fn bias_sweep_never_panics(params in hostile_params(), bad in hostile(1.0e-6, 4.0e-4)) {
+        let _ = bias_sweep_par(&params, &[50e-6, bad], Parallelism::Serial);
+    }
+}

@@ -115,11 +115,21 @@ pub enum Counter {
     DataflowGateEvals,
     /// Nets the secret-taint analysis marked tainted (`mcml-lint`).
     DataflowTaintedNets,
+    /// Optimizer generations advanced — one per population the solver
+    /// sampled, evaluated and folded into its state (`mcml-opt`).
+    OptGenerations,
+    /// Objective evaluations requested by an optimizer, feasible or not;
+    /// cache hits still count — the solver asked (`mcml-opt`).
+    OptEvals,
+    /// Candidate sizings rejected by the feasibility oracle (parameter
+    /// validation, bias solvability, lint, Iss budget) and charged the
+    /// penalty cost instead of a measurement (`mcml-opt`).
+    OptInfeasible,
 }
 
 impl Counter {
     /// Every counter, in declaration order.
-    pub const ALL: [Counter; 38] = [
+    pub const ALL: [Counter; 41] = [
         Counter::DcSolves,
         Counter::Transients,
         Counter::TranSteps,
@@ -158,6 +168,9 @@ impl Counter {
         Counter::DataflowRuns,
         Counter::DataflowGateEvals,
         Counter::DataflowTaintedNets,
+        Counter::OptGenerations,
+        Counter::OptEvals,
+        Counter::OptInfeasible,
     ];
 
     /// Number of counters (size of the storage rows).
@@ -205,6 +218,9 @@ impl Counter {
             Counter::DataflowRuns => "lint.dataflow_runs",
             Counter::DataflowGateEvals => "lint.dataflow_gate_evals",
             Counter::DataflowTaintedNets => "lint.dataflow_tainted_nets",
+            Counter::OptGenerations => "opt.generations",
+            Counter::OptEvals => "opt.evals",
+            Counter::OptInfeasible => "opt.infeasible",
         }
     }
 
@@ -247,6 +263,9 @@ impl Counter {
             Counter::DataflowRuns => "solves",
             Counter::DataflowGateEvals => "transfer applications",
             Counter::DataflowTaintedNets => "nets",
+            Counter::OptGenerations => "generations",
+            Counter::OptEvals => "evaluations",
+            Counter::OptInfeasible => "candidates",
         }
     }
 
@@ -290,6 +309,7 @@ impl Counter {
             | Counter::DataflowRuns
             | Counter::DataflowGateEvals
             | Counter::DataflowTaintedNets => "mcml-lint",
+            Counter::OptGenerations | Counter::OptEvals | Counter::OptInfeasible => "mcml-opt",
         }
     }
 }

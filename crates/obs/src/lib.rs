@@ -51,10 +51,12 @@
 mod counters;
 mod report;
 mod span;
+mod warn;
 
 pub use counters::{add, incr, total, Counter};
 pub use report::{write_json, RunReport, StageSnapshot};
 pub use span::{span, time, SpanGuard, Stage};
+pub use warn::{warn_once, warnings};
 
 use std::sync::atomic::{AtomicU8, Ordering};
 use std::sync::Mutex;

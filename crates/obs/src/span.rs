@@ -70,11 +70,14 @@ pub enum Stage {
     LuFactor,
     /// Triangular solves against the computed factors (`mcml-spice`).
     LuSolve,
+    /// One derivative-free optimization run, first sample to returned
+    /// optimum (`mcml-opt`).
+    Opt,
 }
 
 impl Stage {
     /// Every stage, in declaration order.
-    pub const ALL: [Stage; 20] = [
+    pub const ALL: [Stage; 21] = [
         Stage::Characterize,
         Stage::BiasSweep,
         Stage::CornerSweep,
@@ -95,6 +98,7 @@ impl Stage {
         Stage::MnaAssemble,
         Stage::LuFactor,
         Stage::LuSolve,
+        Stage::Opt,
     ];
 
     /// Number of stages (size of the accumulator arrays).
@@ -124,6 +128,7 @@ impl Stage {
             Stage::MnaAssemble => "mna_assemble",
             Stage::LuFactor => "lu_factor",
             Stage::LuSolve => "lu_solve",
+            Stage::Opt => "opt",
         }
     }
 }

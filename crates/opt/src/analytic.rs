@@ -1,0 +1,67 @@
+//! Analytic benchmark objectives for solver validation.
+//!
+//! These are the standard derivative-free test functions: [`Sphere`] is
+//! convex and separable (any competent solver nails it), [`Rastrigin`]
+//! is highly multimodal (a hill-climber gets trapped in one of the
+//! `10ⁿ`-ish local minima; a population method with step-size adaptation
+//! should still reach the global basin at the origin).
+
+use crate::solver::Objective;
+
+/// `f(x) = Σ xᵢ²` — global minimum 0 at the origin.
+#[derive(Debug, Clone, Copy)]
+pub struct Sphere {
+    /// Dimensionality.
+    pub dim: usize,
+}
+
+impl Objective for Sphere {
+    fn dim(&self) -> usize {
+        self.dim
+    }
+    fn bounds(&self) -> Vec<(f64, f64)> {
+        vec![(-5.0, 5.0); self.dim]
+    }
+    fn eval(&self, x: &[f64]) -> f64 {
+        x.iter().map(|v| v * v).sum()
+    }
+}
+
+/// `f(x) = 10n + Σ (xᵢ² − 10·cos 2πxᵢ)` — global minimum 0 at the
+/// origin, with a lattice of local minima roughly one unit apart.
+#[derive(Debug, Clone, Copy)]
+pub struct Rastrigin {
+    /// Dimensionality.
+    pub dim: usize,
+}
+
+impl Objective for Rastrigin {
+    fn dim(&self) -> usize {
+        self.dim
+    }
+    fn bounds(&self) -> Vec<(f64, f64)> {
+        vec![(-5.12, 5.12); self.dim]
+    }
+    fn eval(&self, x: &[f64]) -> f64 {
+        let n = x.len() as f64;
+        10.0 * n
+            + x.iter()
+                .map(|&v| v * v - 10.0 * (2.0 * std::f64::consts::PI * v).cos())
+                .sum::<f64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minima_at_origin() {
+        assert_eq!(Sphere { dim: 3 }.eval(&[0.0; 3]), 0.0);
+        assert!(Rastrigin { dim: 2 }.eval(&[0.0; 2]).abs() < 1e-12);
+        assert!(Sphere { dim: 3 }.eval(&[1.0, 0.0, 0.0]) > 0.0);
+        // A unit offset lands near a Rastrigin local (not global) minimum.
+        let local = Rastrigin { dim: 2 }.eval(&[1.0, 0.0]);
+        assert!(local > 0.5, "local minimum is strictly worse: {local}");
+    }
+}

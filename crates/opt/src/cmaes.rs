@@ -1,0 +1,308 @@
+//! Covariance-matrix-adaptation evolution strategy (CMA-ES).
+//!
+//! Standard `(µ/µ_w, λ)` CMA-ES in Hansen's parameterization: rank-one +
+//! rank-µ covariance update, cumulative step-size adaptation, and the
+//! `h_σ` stall gate. The search runs in normalized `[0, 1]ⁿ`
+//! coordinates; out-of-box samples are repaired by clamping and the
+//! mutation vector is recomputed from the repaired point so the
+//! covariance update sees what was actually evaluated.
+//!
+//! The eigendecomposition uses cyclic Jacobi sweeps — exact for the
+//! small dimensionalities cell sizing needs (`n ≤ 8`) and free of any
+//! linear-algebra dependency.
+
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+use crate::solver::{
+    denormalize, eval_population, rank_by_cost, Budget, Objective, OptOutcome, Solver,
+};
+
+/// CMA-ES solver. Stateless; all run state lives inside
+/// [`Solver::minimize`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CmaEs;
+
+/// Draw one standard normal via Box–Muller (uses two uniforms per pair,
+/// caching the spare in `extra`).
+fn gaussian(rng: &mut StdRng, extra: &mut Option<f64>) -> f64 {
+    if let Some(z) = extra.take() {
+        return z;
+    }
+    // 1 - u maps [0, 1) onto (0, 1], keeping ln() finite.
+    let u1: f64 = 1.0 - rng.gen::<f64>();
+    let u2: f64 = rng.gen::<f64>();
+    let r = (-2.0 * u1.ln()).sqrt();
+    let theta = 2.0 * std::f64::consts::PI * u2;
+    *extra = Some(r * theta.sin());
+    r * theta.cos()
+}
+
+/// Symmetric eigendecomposition by cyclic Jacobi rotations.
+///
+/// Returns `(eigenvalues, eigenvectors)` with `eigenvectors[k]` the unit
+/// eigenvector for `eigenvalues[k]` (i.e. the matrix `B` stored
+/// column-major as rows). Eigenvalues are floored at a small positive
+/// value so `D` and `D⁻¹` stay finite even if numerical drift makes `C`
+/// indefinite.
+fn jacobi_eigen(c: &[Vec<f64>]) -> (Vec<f64>, Vec<Vec<f64>>) {
+    let n = c.len();
+    let mut a: Vec<Vec<f64>> = c.to_vec();
+    let mut v: Vec<Vec<f64>> = (0..n)
+        .map(|i| (0..n).map(|j| f64::from(u8::from(i == j))).collect())
+        .collect();
+    for _sweep in 0..64 {
+        let off: f64 = (0..n)
+            .flat_map(|i| ((i + 1)..n).map(move |j| (i, j)))
+            .map(|(i, j)| a[i][j] * a[i][j])
+            .sum();
+        if off < 1e-24 {
+            break;
+        }
+        for p in 0..n {
+            for q in (p + 1)..n {
+                if a[p][q].abs() < 1e-15 {
+                    continue;
+                }
+                let theta = (a[q][q] - a[p][p]) / (2.0 * a[p][q]);
+                let t = theta.signum() / (theta.abs() + (theta * theta + 1.0).sqrt());
+                let cos = 1.0 / (t * t + 1.0).sqrt();
+                let sin = t * cos;
+                for row in &mut a {
+                    let akp = row[p];
+                    let akq = row[q];
+                    row[p] = cos * akp - sin * akq;
+                    row[q] = sin * akp + cos * akq;
+                }
+                let (top, bot) = a.split_at_mut(q);
+                for (apk, aqk) in top[p].iter_mut().zip(bot[0].iter_mut()) {
+                    let (x, y) = (*apk, *aqk);
+                    *apk = cos * x - sin * y;
+                    *aqk = sin * x + cos * y;
+                }
+                for row in &mut v {
+                    let vp = row[p];
+                    let vq = row[q];
+                    row[p] = cos * vp - sin * vq;
+                    row[q] = sin * vp + cos * vq;
+                }
+            }
+        }
+    }
+    let eig: Vec<f64> = (0..n).map(|i| a[i][i].max(1e-20)).collect();
+    // Column k of v is the k-th eigenvector; transpose into rows.
+    let vecs: Vec<Vec<f64>> = (0..n).map(|k| (0..n).map(|i| v[i][k]).collect()).collect();
+    (eig, vecs)
+}
+
+impl Solver for CmaEs {
+    fn name(&self) -> &'static str {
+        "cmaes"
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn minimize(&self, obj: &dyn Objective, budget: &Budget) -> OptOutcome {
+        let _span = mcml_obs::span(mcml_obs::Stage::Opt);
+        let n = obj.dim();
+        assert!(n >= 1, "objective must have at least one dimension");
+        let bounds = obj.bounds();
+        assert_eq!(bounds.len(), n, "bounds()/dim() disagree");
+        let lambda = budget.population.max(4);
+        let mu = lambda / 2;
+
+        // Hansen's log-rank recombination weights.
+        let mut w: Vec<f64> = (0..mu)
+            .map(|i| ((mu as f64) + 0.5).ln() - ((i + 1) as f64).ln())
+            .collect();
+        let wsum: f64 = w.iter().sum();
+        for wi in &mut w {
+            *wi /= wsum;
+        }
+        let mu_eff = 1.0 / w.iter().map(|wi| wi * wi).sum::<f64>();
+
+        let nf = n as f64;
+        let c_sigma = (mu_eff + 2.0) / (nf + mu_eff + 5.0);
+        let d_sigma = 1.0 + 2.0 * (((mu_eff - 1.0) / (nf + 1.0)).sqrt() - 1.0).max(0.0) + c_sigma;
+        let c_c = (4.0 + mu_eff / nf) / (nf + 4.0 + 2.0 * mu_eff / nf);
+        let c_1 = 2.0 / ((nf + 1.3) * (nf + 1.3) + mu_eff);
+        let c_mu = (2.0 * (mu_eff - 2.0 + 1.0 / mu_eff) / ((nf + 2.0) * (nf + 2.0) + mu_eff))
+            .min(1.0 - c_1);
+        let chi_n = nf.sqrt() * (1.0 - 1.0 / (4.0 * nf) + 1.0 / (21.0 * nf * nf));
+
+        let mut rng = StdRng::seed_from_u64(budget.seed);
+        let mut spare: Option<f64> = None;
+        let mut mean = vec![0.5; n];
+        let mut sigma = 0.3_f64;
+        let mut cov: Vec<Vec<f64>> = (0..n)
+            .map(|i| (0..n).map(|j| f64::from(u8::from(i == j))).collect())
+            .collect();
+        let mut p_sigma = vec![0.0; n];
+        let mut p_c = vec![0.0; n];
+
+        let mut best_x: Vec<f64> = denormalize(&mean, &bounds);
+        let mut best_f = f64::INFINITY;
+        let mut evals: u64 = 0;
+        let mut best_per_gen = Vec::with_capacity(budget.generations);
+
+        for gen in 0..budget.generations {
+            let (eig, b) = jacobi_eigen(&cov);
+            let d: Vec<f64> = eig.iter().map(|&e| e.sqrt()).collect();
+
+            // Sample λ candidates: x = m + σ·B·D·z, clamp to the unit
+            // box, then recompute y from the repaired x.
+            let mut xs_norm: Vec<Vec<f64>> = Vec::with_capacity(lambda);
+            let mut ys: Vec<Vec<f64>> = Vec::with_capacity(lambda);
+            for _ in 0..lambda {
+                let z: Vec<f64> = (0..n).map(|_| gaussian(&mut rng, &mut spare)).collect();
+                let mut x = vec![0.0; n];
+                for i in 0..n {
+                    let mut yi = 0.0;
+                    for (k, bk) in b.iter().enumerate() {
+                        yi += bk[i] * d[k] * z[k];
+                    }
+                    x[i] = (mean[i] + sigma * yi).clamp(0.0, 1.0);
+                }
+                let y: Vec<f64> = (0..n).map(|i| (x[i] - mean[i]) / sigma).collect();
+                xs_norm.push(x);
+                ys.push(y);
+            }
+
+            let xs: Vec<Vec<f64>> = xs_norm.iter().map(|x| denormalize(x, &bounds)).collect();
+            let costs = eval_population(obj, &xs, budget.par);
+            evals += lambda as u64;
+            mcml_obs::incr(mcml_obs::Counter::OptGenerations);
+
+            let order = rank_by_cost(&costs);
+            if costs[order[0]] < best_f {
+                best_f = costs[order[0]];
+                best_x = xs[order[0]].clone();
+            }
+            best_per_gen.push(best_f);
+
+            // Recombine the top µ in normalized coordinates.
+            let mut new_mean = vec![0.0; n];
+            for (rank, &idx) in order.iter().take(mu).enumerate() {
+                for i in 0..n {
+                    new_mean[i] += w[rank] * xs_norm[idx][i];
+                }
+            }
+            let y_w: Vec<f64> = (0..n).map(|i| (new_mean[i] - mean[i]) / sigma).collect();
+            mean = new_mean;
+
+            // Step-size path uses C^{-1/2}·y_w = B·D⁻¹·Bᵀ·y_w.
+            let mut bty = vec![0.0; n];
+            for (k, bk) in b.iter().enumerate() {
+                bty[k] = bk.iter().zip(&y_w).map(|(bi, yi)| bi * yi).sum();
+            }
+            let mut c_inv_sqrt_y = vec![0.0; n];
+            for i in 0..n {
+                for (k, bk) in b.iter().enumerate() {
+                    c_inv_sqrt_y[i] += bk[i] * bty[k] / d[k];
+                }
+            }
+            let cs_fac = (c_sigma * (2.0 - c_sigma) * mu_eff).sqrt();
+            for i in 0..n {
+                p_sigma[i] = (1.0 - c_sigma) * p_sigma[i] + cs_fac * c_inv_sqrt_y[i];
+            }
+            let ps_norm = p_sigma.iter().map(|v| v * v).sum::<f64>().sqrt();
+            let decay = 1.0 - (1.0 - c_sigma).powi(2 * (gen as i32 + 1));
+            let h_sigma = ps_norm / decay.sqrt() < (1.4 + 2.0 / (nf + 1.0)) * chi_n;
+
+            let cc_fac = (c_c * (2.0 - c_c) * mu_eff).sqrt();
+            for i in 0..n {
+                p_c[i] = (1.0 - c_c) * p_c[i] + if h_sigma { cc_fac * y_w[i] } else { 0.0 };
+            }
+
+            // Covariance: decay + rank-one (with stall correction) + rank-µ.
+            let stall = if h_sigma { 0.0 } else { c_c * (2.0 - c_c) };
+            for i in 0..n {
+                for j in 0..n {
+                    let mut rank_mu = 0.0;
+                    for (rank, &idx) in order.iter().take(mu).enumerate() {
+                        rank_mu += w[rank] * ys[idx][i] * ys[idx][j];
+                    }
+                    cov[i][j] = (1.0 - c_1 - c_mu) * cov[i][j]
+                        + c_1 * (p_c[i] * p_c[j] + stall * cov[i][j])
+                        + c_mu * rank_mu;
+                }
+            }
+
+            sigma *= ((c_sigma / d_sigma) * (ps_norm / chi_n - 1.0)).exp();
+            sigma = sigma.clamp(1e-12, 1.0);
+        }
+
+        OptOutcome {
+            best_x,
+            best_f,
+            evals,
+            generations: budget.generations as u64,
+            best_per_gen,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analytic::{Rastrigin, Sphere};
+    use mcml_exec::Parallelism;
+
+    fn budget(pop: usize, gens: usize, seed: u64) -> Budget {
+        Budget {
+            population: pop,
+            generations: gens,
+            seed,
+            par: Parallelism::Serial,
+        }
+    }
+
+    #[test]
+    fn jacobi_recovers_known_spectrum() {
+        // [[2,1],[1,2]] has eigenvalues {1, 3}.
+        let c = vec![vec![2.0, 1.0], vec![1.0, 2.0]];
+        let (mut eig, vecs) = jacobi_eigen(&c);
+        eig.sort_by(f64::total_cmp);
+        assert!((eig[0] - 1.0).abs() < 1e-10 && (eig[1] - 3.0).abs() < 1e-10);
+        for v in &vecs {
+            let norm: f64 = v.iter().map(|x| x * x).sum::<f64>().sqrt();
+            assert!((norm - 1.0).abs() < 1e-10, "eigenvector not unit length");
+        }
+    }
+
+    #[test]
+    fn solves_sphere_to_high_precision() {
+        let out = CmaEs.minimize(&Sphere { dim: 3 }, &budget(12, 60, 42));
+        assert!(out.best_f < 1e-6, "sphere residual {:e}", out.best_f);
+        assert_eq!(out.evals, 12 * 60);
+        assert_eq!(out.best_per_gen.len(), 60);
+    }
+
+    #[test]
+    fn escapes_rastrigin_local_minima() {
+        let out = CmaEs.minimize(&Rastrigin { dim: 2 }, &budget(24, 80, 7));
+        // Global basin is f < 1 (one lattice step away costs ≥ ~1).
+        assert!(out.best_f < 1.0, "stuck at f = {}", out.best_f);
+    }
+
+    #[test]
+    fn pinned_seed_is_reproducible_and_thread_invariant() {
+        let serial = CmaEs.minimize(&Sphere { dim: 2 }, &budget(8, 20, 9));
+        let again = CmaEs.minimize(&Sphere { dim: 2 }, &budget(8, 20, 9));
+        assert_eq!(serial, again);
+        let par = CmaEs.minimize(
+            &Sphere { dim: 2 },
+            &Budget {
+                par: Parallelism::Threads(4),
+                ..budget(8, 20, 9)
+            },
+        );
+        assert_eq!(serial, par, "parallel evaluation changed the optimum");
+    }
+
+    #[test]
+    fn best_per_gen_is_monotone() {
+        let out = CmaEs.minimize(&Rastrigin { dim: 2 }, &budget(8, 30, 3));
+        for pair in out.best_per_gen.windows(2) {
+            assert!(pair[1] <= pair[0]);
+        }
+    }
+}

@@ -1,0 +1,152 @@
+//! The `Objective`/`Solver` trait pair and the shared evaluation fan-out.
+
+use mcml_exec::Parallelism;
+
+/// A scalar cost function over a box-constrained search space.
+///
+/// Implementations must be **deterministic** (same `x` → same value,
+/// bit-for-bit) and cheap to call concurrently — population evaluation
+/// fans candidates across the [`mcml_exec`] worker pool.
+pub trait Objective: Sync {
+    /// Search-space dimensionality.
+    fn dim(&self) -> usize;
+
+    /// Per-dimension `(lo, hi)` box bounds in *problem* units. Solvers
+    /// search normalized `[0, 1]ⁿ` internally and denormalize through
+    /// these bounds when calling [`Objective::eval`].
+    fn bounds(&self) -> Vec<(f64, f64)>;
+
+    /// Cost at `x` (problem units; length [`Objective::dim`]). Smaller is
+    /// better. Infeasible candidates return a large finite penalty, never
+    /// NaN.
+    fn eval(&self, x: &[f64]) -> f64;
+}
+
+/// Evaluation budget and determinism knobs shared by all solvers.
+#[derive(Debug, Clone)]
+pub struct Budget {
+    /// Candidates per generation (λ).
+    pub population: usize,
+    /// Generations to run.
+    pub generations: usize,
+    /// RNG seed; a run is a pure function of `(objective, budget)`.
+    pub seed: u64,
+    /// Worker-pool knob for population evaluation. Results are merged in
+    /// candidate-index order, so the optimum is identical for any value.
+    pub par: Parallelism,
+}
+
+impl Default for Budget {
+    fn default() -> Self {
+        Self {
+            population: 8,
+            generations: 12,
+            seed: 0x5050_50aa,
+            par: Parallelism::from_env(),
+        }
+    }
+}
+
+/// Result of one optimization run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OptOutcome {
+    /// Best point found, in problem units.
+    pub best_x: Vec<f64>,
+    /// Cost at [`OptOutcome::best_x`].
+    pub best_f: f64,
+    /// Objective evaluations spent.
+    pub evals: u64,
+    /// Generations run.
+    pub generations: u64,
+    /// Best cost seen up to and including each generation (monotone
+    /// non-increasing; length = generations).
+    pub best_per_gen: Vec<f64>,
+}
+
+/// A derivative-free minimizer.
+pub trait Solver {
+    /// Short stable identifier (`"cmaes"`, `"pso"`), used in reports.
+    fn name(&self) -> &'static str;
+
+    /// Minimize `obj` within `budget`. Deterministic: the outcome is a
+    /// pure function of the objective, the budget and the seed.
+    fn minimize(&self, obj: &dyn Objective, budget: &Budget) -> OptOutcome;
+}
+
+/// Evaluate a population across the worker pool, in candidate order.
+///
+/// The returned costs line up index-for-index with `xs` regardless of the
+/// thread count — this is the property that makes serial and parallel
+/// optimization runs bit-identical. Each candidate counts one
+/// `opt.evals`.
+#[must_use]
+pub fn eval_population(obj: &dyn Objective, xs: &[Vec<f64>], par: Parallelism) -> Vec<f64> {
+    mcml_obs::add(mcml_obs::Counter::OptEvals, xs.len() as u64);
+    mcml_exec::parallel_map_items(par, xs, |x| obj.eval(x))
+}
+
+/// Map a normalized point in `[0, 1]ⁿ` into problem units.
+pub(crate) fn denormalize(u: &[f64], bounds: &[(f64, f64)]) -> Vec<f64> {
+    u.iter()
+        .zip(bounds)
+        .map(|(&t, &(lo, hi))| lo + t.clamp(0.0, 1.0) * (hi - lo))
+        .collect()
+}
+
+/// Rank candidate indices by ascending cost (ties broken by index, so
+/// ordering is total and deterministic even with equal penalties).
+pub(crate) fn rank_by_cost(costs: &[f64]) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..costs.len()).collect();
+    idx.sort_by(|&a, &b| {
+        costs[a]
+            .partial_cmp(&costs[b])
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cmp(&b))
+    });
+    idx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Quadratic;
+    impl Objective for Quadratic {
+        fn dim(&self) -> usize {
+            2
+        }
+        fn bounds(&self) -> Vec<(f64, f64)> {
+            vec![(-1.0, 1.0), (0.0, 10.0)]
+        }
+        fn eval(&self, x: &[f64]) -> f64 {
+            x.iter().map(|v| v * v).sum()
+        }
+    }
+
+    #[test]
+    fn denormalize_maps_box_corners() {
+        let b = Quadratic.bounds();
+        assert_eq!(denormalize(&[0.0, 0.0], &b), vec![-1.0, 0.0]);
+        assert_eq!(denormalize(&[1.0, 1.0], &b), vec![1.0, 10.0]);
+        assert_eq!(denormalize(&[0.5, 0.5], &b), vec![0.0, 5.0]);
+        // Out-of-box normalized points clamp instead of extrapolating.
+        assert_eq!(denormalize(&[-3.0, 7.0], &b), vec![-1.0, 10.0]);
+    }
+
+    #[test]
+    fn rank_is_total_and_stable() {
+        assert_eq!(rank_by_cost(&[3.0, 1.0, 2.0]), vec![1, 2, 0]);
+        // Equal costs (the infeasible-penalty case) keep index order.
+        assert_eq!(rank_by_cost(&[5.0, 5.0, 1.0]), vec![2, 0, 1]);
+    }
+
+    #[test]
+    fn eval_population_is_thread_invariant() {
+        let xs: Vec<Vec<f64>> = (0..37)
+            .map(|i| vec![f64::from(i) * 0.01, f64::from(i) * 0.1])
+            .collect();
+        let serial = eval_population(&Quadratic, &xs, Parallelism::Serial);
+        let par = eval_population(&Quadratic, &xs, Parallelism::Threads(4));
+        assert_eq!(serial, par);
+    }
+}

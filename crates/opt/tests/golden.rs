@@ -1,0 +1,57 @@
+//! Golden test: the optimizer re-derives the paper's design point.
+//!
+//! Fig. 3 (b) puts the minimum of the buffer's area–delay product near
+//! 50 µA, which the paper adopts for the whole library. Both solvers —
+//! structurally unrelated algorithms — must land their optimum tail
+//! current inside a generous [30, 80] µA band around that point, with
+//! the accepted sizing lint-clean and serial/parallel population
+//! evaluation bit-identical.
+
+use mcml_exec::Parallelism;
+use mcml_opt::{Budget, CmaEs, ParticleSwarm, SizingObjective, Solver, INFEASIBLE_PENALTY};
+
+#[test]
+fn both_solvers_rederive_fig3b_optimum() {
+    let obj = SizingObjective::buffer_bias();
+    let solvers: [&dyn Solver; 2] = [&CmaEs, &ParticleSwarm];
+    for solver in solvers {
+        let budget = Budget {
+            population: 8,
+            generations: 10,
+            seed: 0x0f1_93b,
+            par: Parallelism::Serial,
+        };
+        let serial = solver.minimize(&obj, &budget);
+        let par = solver.minimize(
+            &obj,
+            &Budget {
+                par: Parallelism::Threads(4),
+                ..budget.clone()
+            },
+        );
+        assert_eq!(
+            serial,
+            par,
+            "{}: parallel evaluation changed the outcome",
+            solver.name()
+        );
+
+        assert!(
+            serial.best_f < INFEASIBLE_PENALTY,
+            "{}: optimum is an infeasible candidate",
+            solver.name()
+        );
+        let sizing = obj.decode(&serial.best_x);
+        let iss_ua = sizing.params.iss * 1e6;
+        assert!(
+            (30.0..=80.0).contains(&iss_ua),
+            "{}: optimal Iss = {iss_ua:.1} µA, outside the Fig. 3(b) band",
+            solver.name()
+        );
+        assert!(
+            sizing.lint_report().is_clean(),
+            "{}: accepted sizing trips a deny lint",
+            solver.name()
+        );
+    }
+}

@@ -1,0 +1,113 @@
+//! Parsing for the `MCML_SPICE_*` hard-off environment knobs.
+//!
+//! `MCML_SPICE_BYPASS` and `MCML_SPICE_PARTITION` are escape hatches: set
+//! to an "off" word they force the corresponding fast path back to the
+//! safe unconditional behaviour. Both knobs are read once per process
+//! through [`hard_off`], which accepts the off/on words
+//! **case-insensitively** (a user exporting `MCML_SPICE_BYPASS=OFF`
+//! means off) and warns once — via [`mcml_obs::warn_once`] — when the
+//! value is not a recognised word, so a typo like `offf` is loud instead
+//! of silently enabling the optimisation it was meant to disable.
+
+/// How one knob value parses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum KnobValue {
+    /// A recognised off word: `off`, `0`, `none`, `false`, `no`.
+    Off,
+    /// A recognised on word (`on`, `1`, `true`, `yes`), an empty value,
+    /// or the variable being unset.
+    On,
+    /// Anything else; treated as on, but worth a warning.
+    Unrecognized,
+}
+
+/// Classify a knob value (trimmed, case-insensitive). `None` means the
+/// variable is unset.
+pub(crate) fn classify(value: Option<&str>) -> KnobValue {
+    let Some(v) = value else { return KnobValue::On };
+    let v = v.trim();
+    if v.is_empty() {
+        return KnobValue::On;
+    }
+    let is = |w: &str| v.eq_ignore_ascii_case(w);
+    if is("off") || is("0") || is("none") || is("false") || is("no") {
+        KnobValue::Off
+    } else if is("on") || is("1") || is("true") || is("yes") {
+        KnobValue::On
+    } else {
+        KnobValue::Unrecognized
+    }
+}
+
+/// Read environment variable `var` once and report whether it demands the
+/// hard-off. Unrecognized values warn once per variable and leave the
+/// feature enabled (the historical behaviour of anything ≠ off).
+pub(crate) fn hard_off(var: &str) -> bool {
+    let value = std::env::var(var).ok();
+    match classify(value.as_deref()) {
+        KnobValue::Off => true,
+        KnobValue::On => false,
+        KnobValue::Unrecognized => {
+            mcml_obs::warn_once(
+                var,
+                &format!(
+                    "{var}={} is not a recognised value (expected off|0|none|false|no \
+                     or on|1|true|yes); leaving the feature enabled",
+                    value.as_deref().unwrap_or_default()
+                ),
+            );
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn off_words_any_case() {
+        for v in ["off", "OFF", "Off", "0", "none", "NONE", "False", "no"] {
+            assert_eq!(classify(Some(v)), KnobValue::Off, "{v}");
+        }
+    }
+
+    #[test]
+    fn on_words_unset_and_empty() {
+        for v in [Some("on"), Some("ON"), Some("1"), Some("true"), Some("YES")] {
+            assert_eq!(classify(v), KnobValue::On, "{v:?}");
+        }
+        assert_eq!(classify(None), KnobValue::On);
+        assert_eq!(classify(Some("")), KnobValue::On);
+        assert_eq!(classify(Some("  ")), KnobValue::On);
+    }
+
+    #[test]
+    fn whitespace_trimmed() {
+        assert_eq!(classify(Some(" off ")), KnobValue::Off);
+        assert_eq!(classify(Some("\t1\n")), KnobValue::On);
+    }
+
+    #[test]
+    fn typos_are_unrecognized() {
+        for v in ["offf", "disable", "2", "o ff"] {
+            assert_eq!(classify(Some(v)), KnobValue::Unrecognized, "{v}");
+        }
+    }
+
+    #[test]
+    fn hard_off_warns_once_on_unrecognized_value() {
+        // Uses a variable name no other test touches; `hard_off` reads
+        // the process environment directly.
+        std::env::set_var("MCML_SPICE_TEST_KNOB", "bogus");
+        assert!(!hard_off("MCML_SPICE_TEST_KNOB"));
+        assert!(mcml_obs::warnings()
+            .iter()
+            .any(|(t, m)| t == "MCML_SPICE_TEST_KNOB" && m.contains("bogus")));
+        // Second parse of the same variable stays silent (dedup by topic).
+        let before = mcml_obs::warnings().len();
+        assert!(!hard_off("MCML_SPICE_TEST_KNOB"));
+        assert_eq!(mcml_obs::warnings().len(), before);
+        std::env::remove_var("MCML_SPICE_TEST_KNOB");
+    }
+}

@@ -621,16 +621,13 @@ struct RailCap {
 }
 
 /// Hard-off escape hatch mirroring `MCML_SPICE_BYPASS`: setting
-/// `MCML_SPICE_PARTITION=off` (or `0`, or `none`) forces every transient
-/// back to the monolithic solve regardless of the analysis options.
+/// `MCML_SPICE_PARTITION=off` (or `0`, or `none`, in any case) forces
+/// every transient back to the monolithic solve regardless of the
+/// analysis options. Unrecognised values warn once and leave
+/// partitioning enabled.
 pub(crate) fn partition_allowed() -> bool {
     static ALLOWED: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
-    *ALLOWED.get_or_init(|| {
-        !matches!(
-            std::env::var("MCML_SPICE_PARTITION").as_deref(),
-            Ok("off" | "0" | "none")
-        )
-    })
+    *ALLOWED.get_or_init(|| !super::envknob::hard_off("MCML_SPICE_PARTITION"))
 }
 
 /// March a partitioned fixed-grid transient from the given operating

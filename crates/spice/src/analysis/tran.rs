@@ -494,17 +494,14 @@ impl TranOptions {
 }
 
 /// Hard-off escape hatch for the quiescent-MOS bypass: setting
-/// `MCML_SPICE_BYPASS=off` (or `0`, or `none`) in the environment forces
-/// every transient back to unconditional device evaluation, regardless of
-/// what the analysis options request. Read once per process.
+/// `MCML_SPICE_BYPASS=off` (or `0`, or `none`, in any case) in the
+/// environment forces every transient back to unconditional device
+/// evaluation, regardless of what the analysis options request. Read
+/// once per process; unrecognised values warn once and leave the bypass
+/// enabled.
 fn bypass_allowed() -> bool {
     static ALLOWED: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
-    *ALLOWED.get_or_init(|| {
-        !matches!(
-            std::env::var("MCML_SPICE_BYPASS").as_deref(),
-            Ok("off" | "0" | "none")
-        )
-    })
+    *ALLOWED.get_or_init(|| !super::envknob::hard_off("MCML_SPICE_BYPASS"))
 }
 
 /// Recorded transient simulation results.
